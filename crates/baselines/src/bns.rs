@@ -1,0 +1,335 @@
+//! BNS-GCN-style partition parallelism with full boundary exchange.
+//!
+//! Each rank owns one partition of the graph: its rows of Â, its nodes'
+//! trainable features, labels and masks. Weights are replicated
+//! (data-parallel) with an all-reduce on their gradients. Every layer
+//! exchanges boundary-node features with an all-to-all (the communication
+//! pattern §7.1 identifies as BNS-GCN's scaling bottleneck), and the
+//! backward pass routes boundary gradients back to their owners with the
+//! reverse all-to-all.
+//!
+//! With a boundary sampling rate of 1.0 — the setting the paper compares
+//! under — this computes *exactly* full-graph training, so it is validated
+//! against the serial trainer like the 3D engine is.
+
+use crate::partition::{partition_graph, PartitionInfo};
+use plexus_comm::{run_world_with, CommEvent, ReduceOp, ThreadComm};
+use plexus_gnn::{Adam, AdamConfig, Gcn, GcnConfig};
+use plexus_graph::LoadedDataset;
+use plexus_sparse::{Coo, Csr};
+use plexus_tensor::ops::{logsumexp_rows, relu, relu_backward_inplace, softmax_rows};
+use plexus_tensor::{gemm, Matrix, Trans};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of a BNS run.
+pub struct BnsRunResult {
+    pub losses: Vec<f64>,
+    pub partition: PartitionInfo,
+    pub traffic: Vec<Vec<CommEvent>>,
+}
+
+struct RankSetup {
+    a_local: Csr,
+    a_local_t: Csr,
+    /// For each peer q: local row indices (into own block) to send to q.
+    send_rows: Vec<Vec<usize>>,
+    /// For each peer q: local x_ext row slots where q's data lands.
+    recv_slots: Vec<Vec<usize>>,
+    features: Matrix,
+    labels: Vec<u32>,
+    mask: Vec<bool>,
+    own_count: usize,
+    ext_count: usize,
+}
+
+fn build_rank(ds: &LoadedDataset, info: &PartitionInfo, p: usize) -> RankSetup {
+    let own = &info.members[p];
+    let halo = &info.halo[p];
+    let own_index: HashMap<u32, usize> =
+        own.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let halo_index: HashMap<u32, usize> =
+        halo.iter().enumerate().map(|(i, &v)| (v, own.len() + i)).collect();
+
+    // Local adjacency: rows = own nodes (in members order), cols = own ++
+    // halo.
+    let ext = own.len() + halo.len();
+    let mut coo = Coo::new(own.len(), ext);
+    for (li, &v) in own.iter().enumerate() {
+        let (cols, vals) = ds.adjacency.row_entries(v as usize);
+        for (&u, &w) in cols.iter().zip(vals) {
+            let lc = own_index
+                .get(&u)
+                .copied()
+                .or_else(|| halo_index.get(&u).copied())
+                .expect("neighbor neither owned nor in halo");
+            coo.push(li as u32, lc as u32, w);
+        }
+    }
+    let a_local = coo.to_csr();
+    let a_local_t = a_local.transposed();
+
+    // Exchange plans: q needs my nodes that sit in q's halo.
+    let k = info.num_parts;
+    let mut send_rows = vec![Vec::new(); k];
+    for (q, qhalo) in info.halo.iter().enumerate() {
+        if q == p {
+            continue;
+        }
+        for &u in qhalo {
+            if info.part[u as usize] as usize == p {
+                send_rows[q].push(own_index[&u]);
+            }
+        }
+    }
+    let mut recv_slots = vec![Vec::new(); k];
+    for &u in halo {
+        recv_slots[info.part[u as usize] as usize].push(halo_index[&u]);
+    }
+
+    let perm: Vec<usize> = own.iter().map(|&v| v as usize).collect();
+    let features = ds.features.gather_rows(&perm);
+    let labels: Vec<u32> = own.iter().map(|&v| ds.labels[v as usize]).collect();
+    let mask: Vec<bool> = own.iter().map(|&v| ds.split.train[v as usize]).collect();
+
+    RankSetup {
+        a_local,
+        a_local_t,
+        send_rows,
+        recv_slots,
+        features,
+        labels,
+        mask,
+        own_count: own.len(),
+        ext_count: ext,
+    }
+}
+
+/// Exchange boundary rows: sends `x[send_rows[q]]` to each q, scatters the
+/// replies into the halo section of the returned `ext x d` matrix whose
+/// first rows are `x` itself.
+fn exchange_boundary(
+    comm: &ThreadComm,
+    setup: &RankSetup,
+    x: &Matrix,
+    forward: bool,
+) -> Matrix {
+    let d = x.cols();
+    let k = comm.size();
+    if forward {
+        let sends: Vec<Vec<f32>> = (0..k)
+            .map(|q| {
+                let mut buf = Vec::with_capacity(setup.send_rows[q].len() * d);
+                for &r in &setup.send_rows[q] {
+                    buf.extend_from_slice(x.row(r));
+                }
+                buf
+            })
+            .collect();
+        let recv = comm.all_to_all(sends);
+        let mut ext = Matrix::zeros(setup.ext_count, d);
+        ext.set_block(0, 0, x);
+        for (q, chunk) in recv.iter().enumerate() {
+            assert_eq!(chunk.len(), setup.recv_slots[q].len() * d, "boundary shape mismatch");
+            for (i, &slot) in setup.recv_slots[q].iter().enumerate() {
+                ext.row_mut(slot).copy_from_slice(&chunk[i * d..(i + 1) * d]);
+            }
+        }
+        ext
+    } else {
+        unreachable!("use return_boundary_grads for the reverse direction")
+    }
+}
+
+/// Reverse exchange: routes halo gradients in `dx_ext` back to their
+/// owners and accumulates them into the own-rows gradient.
+fn return_boundary_grads(comm: &ThreadComm, setup: &RankSetup, dx_ext: &Matrix) -> Matrix {
+    let d = dx_ext.cols();
+    let k = comm.size();
+    let sends: Vec<Vec<f32>> = (0..k)
+        .map(|q| {
+            let mut buf = Vec::with_capacity(setup.recv_slots[q].len() * d);
+            for &slot in &setup.recv_slots[q] {
+                buf.extend_from_slice(dx_ext.row(slot));
+            }
+            buf
+        })
+        .collect();
+    let recv = comm.all_to_all(sends);
+    let mut dx_own = dx_ext.row_block(0, setup.own_count);
+    for (q, chunk) in recv.iter().enumerate() {
+        assert_eq!(chunk.len(), setup.send_rows[q].len() * d, "gradient shape mismatch");
+        for (i, &r) in setup.send_rows[q].iter().enumerate() {
+            let row = dx_own.row_mut(r);
+            for (dst, &src) in row.iter_mut().zip(&chunk[i * d..(i + 1) * d]) {
+                *dst += src;
+            }
+        }
+    }
+    dx_own
+}
+
+/// Train `ds` with BNS-style partition parallelism on `num_parts` ranks.
+/// Returns per-epoch losses (identical on all ranks) plus the partition
+/// statistics the cost model consumes.
+pub fn train_bns(
+    ds: &LoadedDataset,
+    num_parts: usize,
+    hidden_dim: usize,
+    num_layers: usize,
+    adam: AdamConfig,
+    model_seed: u64,
+    epochs: usize,
+) -> BnsRunResult {
+    let info = Arc::new(partition_graph(&ds.graph, num_parts));
+    let total_train = ds.split.num_train();
+    assert!(total_train > 0, "train_bns: no training nodes");
+    let ds = ds;
+    let info_for_run = Arc::clone(&info);
+
+    let (per_rank, traffic) = run_world_with(num_parts, move |comm| {
+        let p = comm.rank();
+        let setup = build_rank(ds, &info_for_run, p);
+        let model_cfg = GcnConfig {
+            input_dim: ds.feature_dim(),
+            hidden_dim,
+            num_classes: ds.num_classes,
+            num_layers,
+            seed: model_seed,
+        };
+        // Replicated weights: every rank constructs the same model.
+        let mut model = Gcn::new(model_cfg);
+        let mut w_opts: Vec<Adam> =
+            model.weights.iter().map(|w| Adam::new(w.rows(), w.cols(), adam)).collect();
+        let mut features = setup.features.clone();
+        let mut f_opt = Adam::new(features.rows(), features.cols(), adam);
+
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            // Forward.
+            let mut x = features.clone();
+            let mut caches = Vec::with_capacity(num_layers);
+            for (l, w) in model.weights.iter().enumerate() {
+                let x_ext = exchange_boundary(comm, &setup, &x, true);
+                let h = plexus_sparse::spmm(&setup.a_local, &x_ext);
+                let mut q = Matrix::zeros(h.rows(), w.cols());
+                gemm(&mut q, &h, Trans::N, w, Trans::N, 1.0, 0.0);
+                let activated = l + 1 < num_layers;
+                x = if activated { relu(&q) } else { q.clone() };
+                caches.push((h, q, activated));
+            }
+
+            // Loss over own training nodes, averaged by the global count.
+            let lse = logsumexp_rows(&x);
+            let probs = softmax_rows(&x);
+            let inv = 1.0 / total_train as f32;
+            let mut dlogits = Matrix::zeros(x.rows(), x.cols());
+            let mut loss_sum = 0.0f64;
+            for i in 0..setup.own_count {
+                if !setup.mask[i] {
+                    continue;
+                }
+                let y = setup.labels[i] as usize;
+                loss_sum += (lse[i] - x[(i, y)]) as f64;
+                let drow = dlogits.row_mut(i);
+                drow.copy_from_slice(probs.row(i));
+                for v in drow.iter_mut() {
+                    *v *= inv;
+                }
+                drow[y] -= inv;
+            }
+            let mut scalars = [loss_sum];
+            comm.all_reduce(&mut scalars, ReduceOp::Sum);
+            losses.push(scalars[0] / total_train as f64);
+
+            // Backward.
+            let mut dout = dlogits;
+            for l in (0..num_layers).rev() {
+                let (h, q, activated) = &caches[l];
+                if *activated {
+                    relu_backward_inplace(&mut dout, q);
+                }
+                let w = &model.weights[l];
+                let mut dw = Matrix::zeros(w.rows(), w.cols());
+                gemm(&mut dw, h, Trans::T, &dout, Trans::N, 1.0, 0.0);
+                comm.all_reduce(dw.as_mut_slice(), ReduceOp::Sum);
+                let mut dh = Matrix::zeros(h.rows(), h.cols());
+                gemm(&mut dh, &dout, Trans::N, w, Trans::T, 1.0, 0.0);
+                let dx_ext = plexus_sparse::spmm(&setup.a_local_t, &dh);
+                dout = return_boundary_grads(comm, &setup, &dx_ext);
+                w_opts[l].step(&mut model.weights[l], &dw);
+            }
+            f_opt.step(&mut features, &dout);
+        }
+        losses
+    });
+
+    let reference = per_rank[0].clone();
+    for (rank, l) in per_rank.iter().enumerate().skip(1) {
+        for (e, (a, b)) in l.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-12, "BNS rank {} epoch {} loss disagrees", rank, e);
+        }
+    }
+    BnsRunResult {
+        losses: reference,
+        partition: Arc::try_unwrap(info).unwrap_or_else(|arc| (*arc).clone()),
+        traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_gnn::{SerialTrainer, TrainConfig};
+    use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+
+    fn tiny_ds(nodes: usize, seed: u64) -> LoadedDataset {
+        let spec = DatasetSpec {
+            kind: DatasetKind::OgbnProducts,
+            name: "tiny",
+            nodes,
+            edges: nodes * 8,
+            nonzeros: nodes * 17,
+            features: 10,
+            classes: 5,
+        };
+        LoadedDataset::generate(spec, nodes, Some(10), seed)
+    }
+
+    #[test]
+    fn bns_matches_serial_training() {
+        let ds = tiny_ds(120, 3);
+        let cfg = TrainConfig { hidden_dim: 8, num_layers: 3, seed: 5, ..Default::default() };
+        let mut serial = SerialTrainer::new(&ds, &cfg);
+        let serial_losses: Vec<f64> = serial.train(4).iter().map(|s| s.loss).collect();
+        let res = train_bns(&ds, 4, 8, 3, AdamConfig::default(), 5, 4);
+        for (e, (a, b)) in res.losses.iter().zip(&serial_losses).enumerate() {
+            let rel = ((a - b) / b.abs().max(1e-9)).abs();
+            assert!(rel < 5e-3, "epoch {}: BNS {} vs serial {} (rel {:.2e})", e, a, b, rel);
+        }
+    }
+
+    #[test]
+    fn bns_single_partition_is_serial() {
+        let ds = tiny_ds(80, 7);
+        let cfg = TrainConfig { hidden_dim: 8, num_layers: 2, seed: 1, ..Default::default() };
+        let mut serial = SerialTrainer::new(&ds, &cfg);
+        let serial_losses: Vec<f64> = serial.train(3).iter().map(|s| s.loss).collect();
+        let res = train_bns(&ds, 1, 8, 2, AdamConfig::default(), 1, 3);
+        for (a, b) in res.losses.iter().zip(&serial_losses) {
+            assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn bns_traffic_is_all_to_all_heavy() {
+        let ds = tiny_ds(120, 11);
+        let res = train_bns(&ds, 4, 8, 3, AdamConfig::default(), 2, 1);
+        let a2a = res.traffic[0]
+            .iter()
+            .filter(|e| matches!(e.op, plexus_comm::CollOp::AllToAll))
+            .count();
+        // 3 layers x (fwd exchange + bwd return) = 6 all-to-alls per epoch.
+        assert_eq!(a2a, 6);
+    }
+}

@@ -1,0 +1,188 @@
+//! CAGNET's 1D tensor-parallel algorithm (Tripathy et al., SC '20) — the
+//! ancestor of the SA baseline the paper compares against.
+//!
+//! 1D: Â and F are row-partitioned across all G ranks; every layer
+//! all-gathers the full feature matrix (this is the volume the
+//! sparsity-aware variant later reduces), multiplies the local row block,
+//! and keeps weights replicated. The all-gather of N·D values per layer is
+//! exactly why 1D stops scaling — Fig. 8's SA curves flatten while Plexus
+//! keeps descending.
+
+use plexus_comm::{run_world_with, CommEvent, ReduceOp};
+use plexus_gnn::{Adam, AdamConfig, Gcn, GcnConfig};
+use plexus_graph::LoadedDataset;
+use plexus_sparse::Csr;
+use plexus_tensor::ops::{logsumexp_rows, relu, relu_backward_inplace, softmax_rows};
+use plexus_tensor::{gemm, Matrix, Trans};
+
+/// Result of a CAGNET-1D run.
+pub struct CagnetRunResult {
+    pub losses: Vec<f64>,
+    pub traffic: Vec<Vec<CommEvent>>,
+}
+
+/// Train with CAGNET 1D row partitioning on `g` ranks.
+pub fn train_cagnet_1d(
+    ds: &LoadedDataset,
+    g: usize,
+    hidden_dim: usize,
+    num_layers: usize,
+    adam: AdamConfig,
+    model_seed: u64,
+    epochs: usize,
+) -> CagnetRunResult {
+    let n_real = ds.num_nodes();
+    let n_pad = n_real.div_ceil(g) * g;
+    let rows_per = n_pad / g;
+    let a_pad = ds.adjacency.zero_padded(n_pad, n_pad);
+    let f_pad = ds.features.zero_padded(n_pad, ds.feature_dim());
+    let total_train = ds.split.num_train();
+    assert!(total_train > 0, "train_cagnet_1d: no training nodes");
+
+    let (per_rank, traffic) = run_world_with(g, |comm| {
+        let p = comm.rank();
+        let r0 = p * rows_per;
+        let r1 = r0 + rows_per;
+        let a_block: Csr = a_pad.block(r0, r1, 0, n_pad);
+        let a_block_t = a_block.transposed();
+        let mut features = f_pad.row_block(r0, r1);
+        let labels: Vec<u32> =
+            (r0..r1).map(|i| if i < n_real { ds.labels[i] } else { 0 }).collect();
+        let mask: Vec<bool> =
+            (r0..r1).map(|i| i < n_real && ds.split.train[i]).collect();
+
+        let mut model = Gcn::new(GcnConfig {
+            input_dim: ds.feature_dim(),
+            hidden_dim,
+            num_classes: ds.num_classes,
+            num_layers,
+            seed: model_seed,
+        });
+        let mut w_opts: Vec<Adam> =
+            model.weights.iter().map(|w| Adam::new(w.rows(), w.cols(), adam)).collect();
+        let mut f_opt = Adam::new(features.rows(), features.cols(), adam);
+
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            // Forward: each layer all-gathers the full F.
+            let mut x = features.clone();
+            let mut caches = Vec::with_capacity(num_layers);
+            for (l, w) in model.weights.iter().enumerate() {
+                let gathered = comm.all_gather(x.as_slice());
+                let x_full = Matrix::from_vec(n_pad, x.cols(), gathered);
+                let h = plexus_sparse::spmm(&a_block, &x_full);
+                let mut q = Matrix::zeros(h.rows(), w.cols());
+                gemm(&mut q, &h, Trans::N, w, Trans::N, 1.0, 0.0);
+                let activated = l + 1 < num_layers;
+                x = if activated { relu(&q) } else { q.clone() };
+                caches.push((h, q, activated));
+            }
+
+            // Local loss over own rows.
+            let lse = logsumexp_rows(&x);
+            let probs = softmax_rows(&x);
+            let inv = 1.0 / total_train as f32;
+            let mut dlogits = Matrix::zeros(x.rows(), x.cols());
+            let mut loss_sum = 0.0f64;
+            for i in 0..rows_per {
+                if !mask[i] {
+                    continue;
+                }
+                let y = labels[i] as usize;
+                loss_sum += (lse[i] - x[(i, y)]) as f64;
+                let drow = dlogits.row_mut(i);
+                drow.copy_from_slice(probs.row(i));
+                for v in drow.iter_mut() {
+                    *v *= inv;
+                }
+                drow[y] -= inv;
+            }
+            let mut scalars = [loss_sum];
+            comm.all_reduce(&mut scalars, ReduceOp::Sum);
+            losses.push(scalars[0] / total_train as f64);
+
+            // Backward.
+            let mut dout = dlogits;
+            for l in (0..num_layers).rev() {
+                let (h, q, activated) = &caches[l];
+                if *activated {
+                    relu_backward_inplace(&mut dout, q);
+                }
+                let w = &model.weights[l];
+                let mut dw = Matrix::zeros(w.rows(), w.cols());
+                gemm(&mut dw, h, Trans::T, &dout, Trans::N, 1.0, 0.0);
+                comm.all_reduce(dw.as_mut_slice(), ReduceOp::Sum);
+                let mut dh = Matrix::zeros(h.rows(), h.cols());
+                gemm(&mut dh, &dout, Trans::N, w, Trans::T, 1.0, 0.0);
+                // ∂L/∂F = Aᵀ ∂L/∂H is partial over ranks: reduce-scatter
+                // back to row blocks.
+                let df_partial = plexus_sparse::spmm(&a_block_t, &dh);
+                let chunk = comm.reduce_scatter(df_partial.as_slice(), ReduceOp::Sum);
+                dout = Matrix::from_vec(rows_per, df_partial.cols(), chunk);
+                w_opts[l].step(&mut model.weights[l], &dw);
+            }
+            f_opt.step(&mut features, &dout);
+        }
+        losses
+    });
+
+    let reference = per_rank[0].clone();
+    for (rank, l) in per_rank.iter().enumerate().skip(1) {
+        for (e, (a, b)) in l.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-12, "1D rank {} epoch {} loss disagrees", rank, e);
+        }
+    }
+    CagnetRunResult { losses: reference, traffic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_gnn::{SerialTrainer, TrainConfig};
+    use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+
+    fn tiny_ds(nodes: usize, seed: u64) -> LoadedDataset {
+        let spec = DatasetSpec {
+            kind: DatasetKind::OgbnProducts,
+            name: "tiny",
+            nodes,
+            edges: nodes * 6,
+            nonzeros: nodes * 13,
+            features: 10,
+            classes: 5,
+        };
+        LoadedDataset::generate(spec, nodes, Some(10), seed)
+    }
+
+    #[test]
+    fn cagnet_1d_matches_serial() {
+        let ds = tiny_ds(100, 3);
+        let cfg = TrainConfig { hidden_dim: 8, num_layers: 3, seed: 9, ..Default::default() };
+        let mut serial = SerialTrainer::new(&ds, &cfg);
+        let serial_losses: Vec<f64> = serial.train(4).iter().map(|s| s.loss).collect();
+        let res = train_cagnet_1d(&ds, 4, 8, 3, AdamConfig::default(), 9, 4);
+        for (e, (a, b)) in res.losses.iter().zip(&serial_losses).enumerate() {
+            let rel = ((a - b) / b.abs().max(1e-9)).abs();
+            assert!(rel < 5e-3, "epoch {}: 1D {} vs serial {} (rel {:.2e})", e, a, b, rel);
+        }
+    }
+
+    #[test]
+    fn cagnet_gathers_full_features_each_layer() {
+        let ds = tiny_ds(96, 5);
+        let res = train_cagnet_1d(&ds, 3, 8, 3, AdamConfig::default(), 1, 1);
+        let gathers = res.traffic[0]
+            .iter()
+            .filter(|e| matches!(e.op, plexus_comm::CollOp::AllGather))
+            .count();
+        assert_eq!(gathers, 3, "one full-F all-gather per layer");
+    }
+
+    #[test]
+    fn cagnet_handles_non_divisible_node_counts() {
+        let ds = tiny_ds(101, 7);
+        let res = train_cagnet_1d(&ds, 4, 8, 2, AdamConfig::default(), 3, 2);
+        assert_eq!(res.losses.len(), 2);
+        assert!(res.losses.iter().all(|l| l.is_finite()));
+    }
+}

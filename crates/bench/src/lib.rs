@@ -1,0 +1,159 @@
+//! Shared harness utilities for the per-table/per-figure benchmarks.
+//!
+//! Every bench target prints an aligned text table (the paper's rows) and
+//! writes the same data as CSV under `results/`, so the series can be
+//! re-plotted outside the harness.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where bench harnesses drop their CSVs (`<repo>/results`).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// A simple aligned table that mirrors the paper's presentation and
+/// doubles as a CSV writer.
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print aligned to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n=== {} ===", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{:>width$}", c, width = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Write as CSV into `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let path = results_dir().join(format!("{}.csv", name));
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out).expect("cannot write CSV");
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Fit `y = a * x^b` by least squares in log-log space; returns `(a, b)`.
+/// Used to extrapolate measured boundary fractions / sparsity factors from
+/// scaled instances to paper-scale GPU counts.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(xs.len() == ys.len() && xs.len() >= 2, "fit_power_law: need >= 2 points");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
+    let n = lx.len() as f64;
+    let sx: f64 = lx.iter().sum();
+    let sy: f64 = ly.iter().sum();
+    let sxx: f64 = lx.iter().map(|v| v * v).sum();
+    let sxy: f64 = lx.iter().zip(&ly).map(|(a, b)| a * b).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = ((sy - b * sx) / n).exp();
+    (a, b)
+}
+
+/// Deterministic per-key jitter in `[1-amp, 1+amp]` — stands in for run-to-
+/// run variance when "observing" simulated epoch times (Fig. 5 scatter).
+pub fn jitter(key: u64, amp: f64) -> f64 {
+    // SplitMix64 scramble.
+    let mut z = key.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    1.0 + amp * (2.0 * unit - 1.0)
+}
+
+/// Pearson R² between two series.
+pub fn r_squared(pred: &[f64], obs: &[f64]) -> f64 {
+    assert_eq!(pred.len(), obs.len());
+    let n = pred.len() as f64;
+    let mp = pred.iter().sum::<f64>() / n;
+    let mo = obs.iter().sum::<f64>() / n;
+    let cov: f64 = pred.iter().zip(obs).map(|(p, o)| (p - mp) * (o - mo)).sum();
+    let vp: f64 = pred.iter().map(|p| (p - mp).powi(2)).sum();
+    let vo: f64 = obs.iter().map(|o| (o - mo).powi(2)).sum();
+    if vp == 0.0 || vo == 0.0 {
+        return 1.0;
+    }
+    let r = cov / (vp * vo).sqrt();
+    r * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs = [4.0f64, 8.0, 16.0, 32.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.5 * x.powf(0.7)).collect();
+        let (a, b) = fit_power_law(&xs, &ys);
+        assert!((a - 0.5).abs() < 1e-9 && (b - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        for k in 0..100u64 {
+            let j = jitter(k, 0.15);
+            assert!((0.85..=1.15).contains(&j));
+            assert_eq!(j, jitter(k, 0.15));
+        }
+    }
+
+    #[test]
+    fn r_squared_of_identical_series_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["only-one".into()])
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! Process groups and collectives.
+//!
+//! [`ThreadComm`] is the per-rank handle onto a process group. Collectives
+//! follow a post / barrier / read-all / barrier / clear-own protocol over a
+//! shared slot table:
+//!
+//! 1. each rank posts its contribution into its own slot;
+//! 2. barrier — all contributions visible;
+//! 3. each rank reads every slot (in ascending rank order, which makes
+//!    reductions deterministic and identical across ranks);
+//! 4. barrier — nobody may overwrite a slot before all ranks finished
+//!    reading;
+//! 5. each rank clears its own slot, ready for the next collective.
+//!
+//! This is O(G·M) per rank instead of a ring's O(M), which is irrelevant
+//! for correctness runs (G ≤ 64 threads) — the *cost* of the real ring
+//! algorithm is accounted separately by the performance model from the
+//! traffic ledger.
+
+use crate::barrier::PoisonBarrier;
+use crate::types::{CollOp, CommElem, CommEvent, ReduceOp, TrafficLedger};
+use crate::world::WorldState;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Slot = Option<Box<dyn Any + Send>>;
+
+/// State shared by all ranks of one process group.
+pub(crate) struct GroupShared {
+    size: usize,
+    label: &'static str,
+    barrier: Arc<PoisonBarrier>,
+    slots: Mutex<Vec<Slot>>,
+    /// Subgroups created by `split`, keyed by (split sequence number, color).
+    children: Mutex<HashMap<(u64, u64), Arc<GroupShared>>>,
+}
+
+impl GroupShared {
+    pub(crate) fn new(world: &Arc<WorldState>, size: usize, label: &'static str) -> Arc<Self> {
+        let barrier = PoisonBarrier::new(size);
+        world.register_barrier(&barrier);
+        Arc::new(Self {
+            size,
+            label,
+            barrier,
+            slots: Mutex::new((0..size).map(|_| None).collect()),
+            children: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// Per-rank communicator handle for one process group.
+///
+/// All collectives must be called by **every** rank of the group, in the
+/// same order, with compatible arguments — the usual SPMD contract. Misuse
+/// (mismatched element types or buffer lengths) panics with a descriptive
+/// message and poisons the world so sibling ranks unwind too.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    shared: Arc<GroupShared>,
+    world: Arc<WorldState>,
+    ledger: Arc<TrafficLedger>,
+    /// Number of `split` calls made through this handle (must advance in
+    /// lockstep across ranks; SPMD guarantees it).
+    split_seq: Cell<u64>,
+}
+
+impl ThreadComm {
+    pub(crate) fn new(
+        rank: usize,
+        shared: Arc<GroupShared>,
+        world: Arc<WorldState>,
+        ledger: Arc<TrafficLedger>,
+    ) -> Self {
+        assert!(rank < shared.size, "ThreadComm: rank {} out of {}", rank, shared.size);
+        Self { rank, size: shared.size, shared, world, ledger, split_seq: Cell::new(0) }
+    }
+
+    /// Rank within this group.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this group.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Label given at creation ("world") or `split` time ("x", "y", "z"...).
+    pub fn label(&self) -> &'static str {
+        self.shared.label
+    }
+
+    /// The rank's traffic ledger (shared across all groups derived on this
+    /// rank).
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    fn record(&self, op: CollOp, bytes: usize) {
+        self.ledger.record(CommEvent {
+            op,
+            bytes,
+            group_size: self.size,
+            group: self.shared.label,
+        });
+    }
+
+    /// Synchronize all ranks of the group.
+    pub fn barrier(&self) {
+        self.record(CollOp::Barrier, 0);
+        self.shared.barrier.wait();
+    }
+
+    fn post(&self, value: Box<dyn Any + Send>) {
+        let mut slots = self.shared.slots.lock();
+        assert!(
+            slots[self.rank].is_none(),
+            "collective protocol violation on rank {} of group '{}': slot still occupied \
+             (mismatched collective sequence across ranks?)",
+            self.rank,
+            self.shared.label
+        );
+        slots[self.rank] = Some(value);
+    }
+
+    fn clear_own_slot(&self) {
+        self.shared.slots.lock()[self.rank] = None;
+    }
+
+    /// Read phase helper: runs `f` over each rank's posted value in
+    /// ascending rank order, under the slot lock.
+    fn read_all<T: 'static, R>(&self, mut f: impl FnMut(usize, &T) -> R) -> Vec<R> {
+        let slots = self.shared.slots.lock();
+        (0..self.size)
+            .map(|r| {
+                let boxed = slots[r].as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "collective on group '{}': rank {} posted nothing (mismatched calls)",
+                        self.shared.label, r
+                    )
+                });
+                let v = boxed.downcast_ref::<T>().unwrap_or_else(|| {
+                    panic!(
+                        "collective type mismatch on group '{}': rank {} posted a different \
+                         element type",
+                        self.shared.label, r
+                    )
+                });
+                f(r, v)
+            })
+            .collect()
+    }
+
+    /// All-reduce in place: after the call every rank's `buf` holds the
+    /// elementwise reduction over all ranks' inputs (bitwise identical on
+    /// every rank).
+    pub fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp) {
+        self.record(CollOp::AllReduce, buf.len() * T::BYTES);
+        self.post(Box::new(buf.to_vec()));
+        self.shared.barrier.wait();
+        {
+            let slots = self.shared.slots.lock();
+            for r in 0..self.size {
+                let v = slots[r]
+                    .as_ref()
+                    .expect("all_reduce: missing contribution")
+                    .downcast_ref::<Vec<T>>()
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "all_reduce type mismatch on group '{}' (rank {})",
+                            self.shared.label, r
+                        )
+                    });
+                assert_eq!(
+                    v.len(),
+                    buf.len(),
+                    "all_reduce length mismatch on group '{}': rank {} sent {}, rank {} sent {}",
+                    self.shared.label,
+                    r,
+                    v.len(),
+                    self.rank,
+                    buf.len()
+                );
+                if r == 0 {
+                    buf.copy_from_slice(v);
+                } else {
+                    for (acc, &x) in buf.iter_mut().zip(v.iter()) {
+                        *acc = T::reduce(op, *acc, x);
+                    }
+                }
+            }
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+    }
+
+    /// All-gather equal-size shards: returns the concatenation of every
+    /// rank's `src` in rank order (length `src.len() * group size`).
+    pub fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T> {
+        self.record(CollOp::AllGather, src.len() * T::BYTES);
+        self.post(Box::new(src.to_vec()));
+        self.shared.barrier.wait();
+        let mut out = Vec::with_capacity(src.len() * self.size);
+        {
+            let slots = self.shared.slots.lock();
+            for r in 0..self.size {
+                let v = slots[r]
+                    .as_ref()
+                    .expect("all_gather: missing contribution")
+                    .downcast_ref::<Vec<T>>()
+                    .expect("all_gather type mismatch");
+                assert_eq!(
+                    v.len(),
+                    src.len(),
+                    "all_gather: unequal shard sizes (rank {} sent {}, rank {} sent {}); \
+                     use all_gather_varlen for ragged data",
+                    r,
+                    v.len(),
+                    self.rank,
+                    src.len()
+                );
+                out.extend_from_slice(v);
+            }
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    /// All-gather with per-rank sizes preserved (ragged).
+    pub fn all_gather_varlen<T: CommElem>(&self, src: &[T]) -> Vec<Vec<T>> {
+        self.record(CollOp::AllGather, src.len() * T::BYTES);
+        self.post(Box::new(src.to_vec()));
+        self.shared.barrier.wait();
+        let out = self.read_all::<Vec<T>, Vec<T>>(|_, v| v.clone());
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    /// Reduce-scatter: reduce all ranks' equal-length buffers elementwise,
+    /// then return this rank's 1/G chunk of the result. `buf.len()` must be
+    /// divisible by the group size.
+    pub fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
+        assert_eq!(
+            buf.len() % self.size,
+            0,
+            "reduce_scatter: buffer length {} not divisible by group size {}",
+            buf.len(),
+            self.size
+        );
+        self.record(CollOp::ReduceScatter, buf.len() * T::BYTES);
+        self.post(Box::new(buf.to_vec()));
+        self.shared.barrier.wait();
+        let chunk = buf.len() / self.size;
+        let lo = self.rank * chunk;
+        let hi = lo + chunk;
+        let mut out = vec![buf[0]; chunk];
+        {
+            let slots = self.shared.slots.lock();
+            for r in 0..self.size {
+                let v = slots[r]
+                    .as_ref()
+                    .expect("reduce_scatter: missing contribution")
+                    .downcast_ref::<Vec<T>>()
+                    .expect("reduce_scatter type mismatch");
+                assert_eq!(v.len(), buf.len(), "reduce_scatter: length mismatch");
+                if r == 0 {
+                    out.copy_from_slice(&v[lo..hi]);
+                } else {
+                    for (acc, &x) in out.iter_mut().zip(&v[lo..hi]) {
+                        *acc = T::reduce(op, *acc, x);
+                    }
+                }
+            }
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    /// Broadcast `buf` from `root` to every rank.
+    pub fn broadcast<T: CommElem>(&self, buf: &mut Vec<T>, root: usize) {
+        assert!(root < self.size, "broadcast: root {} out of {}", root, self.size);
+        self.record(CollOp::Broadcast, buf.len() * T::BYTES);
+        if self.rank == root {
+            self.post(Box::new(buf.clone()));
+        }
+        self.shared.barrier.wait();
+        if self.rank != root {
+            let slots = self.shared.slots.lock();
+            let v = slots[root]
+                .as_ref()
+                .expect("broadcast: root posted nothing")
+                .downcast_ref::<Vec<T>>()
+                .expect("broadcast type mismatch");
+            buf.clear();
+            buf.extend_from_slice(v);
+        }
+        self.shared.barrier.wait();
+        if self.rank == root {
+            self.clear_own_slot();
+        }
+    }
+
+    /// All-to-all: `sends[d]` goes to rank `d`; returns `recv` where
+    /// `recv[s]` came from rank `s`. Chunks may be ragged (BNS-GCN boundary
+    /// exchange needs that).
+    pub fn all_to_all<T: CommElem>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(
+            sends.len(),
+            self.size,
+            "all_to_all: expected {} destination chunks, got {}",
+            self.size,
+            sends.len()
+        );
+        let bytes: usize = sends.iter().map(|s| s.len() * T::BYTES).sum();
+        self.record(CollOp::AllToAll, bytes);
+        self.post(Box::new(sends));
+        self.shared.barrier.wait();
+        let out = self.read_all::<Vec<Vec<T>>, Vec<T>>(|_, per_dest| per_dest[self.rank].clone());
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    /// MPI_Comm_split: ranks with equal `color` form a new group, ordered
+    /// by `(key, parent rank)`. Must be called collectively. The returned
+    /// communicator shares this rank's traffic ledger.
+    pub fn split(&self, color: u64, key: u64, label: &'static str) -> ThreadComm {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+
+        self.post(Box::new((color, key)));
+        self.shared.barrier.wait();
+        // Determine members of my color, ordered by (key, parent rank).
+        let pairs = self.read_all::<(u64, u64), (u64, u64)>(|_, &(c, k)| (c, k));
+        let mut members: Vec<(u64, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(c, _))| c == color)
+            .map(|(r, &(_, k))| (k, r))
+            .collect();
+        members.sort_unstable();
+        let group_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("split: own rank missing from its color group");
+        // The group leader materializes the shared state.
+        if group_rank == 0 {
+            let child = GroupShared::new(&self.world, members.len(), label);
+            self.shared.children.lock().insert((seq, color), child);
+        }
+        self.shared.barrier.wait();
+        let child = Arc::clone(
+            self.shared
+                .children
+                .lock()
+                .get(&(seq, color))
+                .expect("split: leader did not publish the subgroup"),
+        );
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        ThreadComm::new(group_rank, child, Arc::clone(&self.world), Arc::clone(&self.ledger))
+    }
+}

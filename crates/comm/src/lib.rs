@@ -1,0 +1,33 @@
+//! Collective-communication runtime for the Plexus reproduction.
+//!
+//! The paper runs on NCCL/RCCL process groups spanning up to 2048 GPUs.
+//! Here every *rank is an OS thread* and collectives move real data through
+//! shared memory, but the programming model is kept identical to
+//! `torch.distributed`: a world communicator, MPI-style `split(color, key)`
+//! to build the X/Y/Z process groups of the 3D grid, and the collective set
+//! the algorithms in the paper use (all-gather, all-reduce, reduce-scatter,
+//! broadcast, all-to-all, barrier).
+//!
+//! Design notes:
+//!
+//! * **Determinism** — every rank reduces contributions in ascending rank
+//!   order, so an all-reduce produces *bitwise identical* results on all
+//!   ranks and across runs. The Fig. 7 serial-equivalence tests depend on
+//!   this.
+//! * **Poison safety** — a panicking rank would deadlock naive barriers, so
+//!   [`barrier::PoisonBarrier`] supports external poisoning and
+//!   [`world::run_world`] poisons every barrier in the world when any rank
+//!   panics, turning a crash into a clean propagated panic.
+//! * **Traffic ledger** — each communicator records (collective, bytes,
+//!   group size) events; the performance model replays these against the
+//!   ring-collective cost equations (paper eq. 4.5) to predict epoch times
+//!   at scales this machine cannot execute.
+
+pub mod barrier;
+pub mod group;
+pub mod types;
+pub mod world;
+
+pub use group::ThreadComm;
+pub use types::{CollOp, CommElem, CommEvent, ReduceOp, TrafficLedger};
+pub use world::{run_world, run_world_with};

@@ -1,0 +1,158 @@
+//! Element traits, reduction operators and the traffic ledger.
+
+use parking_lot::Mutex;
+
+/// Reduction operator for all-reduce / reduce-scatter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+/// Element types that can travel through collectives.
+///
+/// The reduce is defined here rather than via `std::ops` bounds so integer
+/// and float types share one code path and `Max`/`Min` need no `Ord`
+/// (floats aren't `Ord`).
+pub trait CommElem: Copy + Send + 'static {
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+    /// Size in bytes (for the traffic ledger).
+    const BYTES: usize = std::mem::size_of::<Self>();
+}
+
+macro_rules! impl_comm_elem_float {
+    ($($t:ty),*) => {$(
+        impl CommElem for $t {
+            #[inline]
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Max => if b > a { b } else { a },
+                    ReduceOp::Min => if b < a { b } else { a },
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_comm_elem_int {
+    ($($t:ty),*) => {$(
+        impl CommElem for $t {
+            #[inline]
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_comm_elem_float!(f32, f64);
+impl_comm_elem_int!(u32, u64, usize, i32, i64);
+
+/// Which collective produced a traffic event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollOp {
+    AllGather,
+    AllReduce,
+    ReduceScatter,
+    Broadcast,
+    AllToAll,
+    Barrier,
+}
+
+/// One recorded collective call on one rank.
+#[derive(Clone, Debug)]
+pub struct CommEvent {
+    pub op: CollOp,
+    /// Per-rank payload bytes (the buffer this rank contributed).
+    pub bytes: usize,
+    pub group_size: usize,
+    /// Label of the process group ("world", "x", "y", "z", ...).
+    pub group: &'static str,
+}
+
+/// Per-rank log of collective calls; the performance model replays this
+/// against the ring-collective cost equations.
+///
+/// Uses a mutex (not `RefCell`) so communicators derived via `split` on the
+/// same rank can share one `Arc<TrafficLedger>` while the whole bundle stays
+/// `Send`. Contention is nil: only one thread ever touches a rank's ledger.
+#[derive(Default)]
+pub struct TrafficLedger {
+    events: Mutex<Vec<CommEvent>>,
+    enabled: Mutex<bool>,
+}
+
+impl TrafficLedger {
+    pub fn new(enabled: bool) -> Self {
+        Self { events: Mutex::new(Vec::new()), enabled: Mutex::new(enabled) }
+    }
+
+    pub fn record(&self, ev: CommEvent) {
+        if *self.enabled.lock() {
+            self.events.lock().push(ev);
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        *self.enabled.lock() = on;
+    }
+
+    pub fn take(&self) -> Vec<CommEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    pub fn snapshot(&self) -> Vec<CommEvent> {
+        self.events.lock().clone()
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.events.lock().iter().map(|e| e.bytes).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_reduce_ops() {
+        assert_eq!(f32::reduce(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(f32::reduce(ReduceOp::Max, 1.5, 2.5), 2.5);
+        assert_eq!(f32::reduce(ReduceOp::Min, 1.5, 2.5), 1.5);
+    }
+
+    #[test]
+    fn int_reduce_ops() {
+        assert_eq!(u64::reduce(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(i32::reduce(ReduceOp::Max, -3, -4), -3);
+        assert_eq!(usize::reduce(ReduceOp::Min, 3, 4), 3);
+    }
+
+    #[test]
+    fn ledger_records_when_enabled() {
+        let ledger = TrafficLedger::new(true);
+        ledger.record(CommEvent { op: CollOp::AllReduce, bytes: 1024, group_size: 4, group: "x" });
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.total_bytes(), 1024);
+        ledger.set_enabled(false);
+        ledger.record(CommEvent { op: CollOp::Barrier, bytes: 0, group_size: 4, group: "x" });
+        assert_eq!(ledger.len(), 1);
+        let taken = ledger.take();
+        assert_eq!(taken.len(), 1);
+        assert!(ledger.is_empty());
+    }
+}

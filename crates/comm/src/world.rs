@@ -1,0 +1,316 @@
+//! World construction and rank-thread lifecycle.
+//!
+//! [`run_world`] is the `mpirun` of this runtime: it spawns one thread per
+//! rank, hands each a world [`ThreadComm`], and joins them. If any rank
+//! panics, every barrier in the world is poisoned so sibling ranks unwind
+//! instead of deadlocking, and the original panic is re-raised on the
+//! caller's thread.
+
+use crate::barrier::PoisonBarrier;
+use crate::group::{GroupShared, ThreadComm};
+use crate::types::{CommEvent, TrafficLedger};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Weak};
+
+/// World-global state: the registry of every barrier ever created in this
+/// world, so a crash can poison all of them.
+pub(crate) struct WorldState {
+    barriers: Mutex<Vec<Weak<PoisonBarrier>>>,
+}
+
+impl WorldState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self { barriers: Mutex::new(Vec::new()) })
+    }
+
+    pub(crate) fn register_barrier(&self, b: &Arc<PoisonBarrier>) {
+        self.barriers.lock().push(Arc::downgrade(b));
+    }
+
+    pub(crate) fn poison_all(&self) {
+        for weak in self.barriers.lock().iter() {
+            if let Some(b) = weak.upgrade() {
+                b.poison();
+            }
+        }
+    }
+}
+
+/// Run an SPMD closure on `size` rank-threads and return the per-rank
+/// results in rank order.
+///
+/// The closure receives this rank's world communicator. Panics on any rank
+/// poison the world (unblocking the others) and are re-raised here.
+pub fn run_world<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+{
+    run_world_with(size, f).0
+}
+
+/// Like [`run_world`] but also returns each rank's collective-traffic
+/// ledger, which the performance model replays against the ring cost
+/// equations.
+pub fn run_world_with<R, F>(size: usize, f: F) -> (Vec<R>, Vec<Vec<CommEvent>>)
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+{
+    assert!(size > 0, "run_world: world size must be positive");
+    let world = WorldState::new();
+    let root = GroupShared::new(&world, size, "world");
+
+    type RankOutcome<R> = Result<(R, Vec<CommEvent>), Box<dyn std::any::Any + Send>>;
+
+    let outcomes: Vec<RankOutcome<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..size)
+            .map(|rank| {
+                let root = Arc::clone(&root);
+                let world = Arc::clone(&world);
+                let f = &f;
+                s.spawn(move || {
+                    let ledger = Arc::new(TrafficLedger::new(true));
+                    let comm =
+                        ThreadComm::new(rank, root, Arc::clone(&world), Arc::clone(&ledger));
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                    match result {
+                        Ok(r) => Ok((r, ledger.take())),
+                        Err(e) => {
+                            world.poison_all();
+                            Err(e)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread died outside catch_unwind")).collect()
+    });
+
+    // Prefer re-raising an original panic over a downstream poison panic.
+    let mut poison_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut results = Vec::with_capacity(size);
+    let mut ledgers = Vec::with_capacity(size);
+    for outcome in outcomes {
+        match outcome {
+            Ok((r, l)) => {
+                results.push(r);
+                ledgers.push(l);
+            }
+            Err(payload) => {
+                if is_poison_panic(&payload) {
+                    poison_panic.get_or_insert(payload);
+                } else {
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+    if let Some(p) = poison_panic {
+        resume_unwind(p);
+    }
+    (results, ledgers)
+}
+
+fn is_poison_panic(payload: &Box<dyn std::any::Any + Send>) -> bool {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s.contains("poisoned")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.contains("poisoned")
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ReduceOp;
+
+    #[test]
+    fn world_all_reduce_sums() {
+        let results = run_world(4, |comm| {
+            let mut buf = vec![comm.rank() as f32 + 1.0; 3];
+            comm.all_reduce(&mut buf, ReduceOp::Sum);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![10.0, 10.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_bitwise_identical_across_ranks() {
+        // f32 addition is non-associative; identical results across ranks
+        // require the fixed reduction order the implementation promises.
+        let results = run_world(8, |comm| {
+            let mut buf = vec![0.1f32 * (comm.rank() as f32 + 1.0); 1000];
+            comm.all_reduce(&mut buf, ReduceOp::Sum);
+            buf
+        });
+        for r in 1..8 {
+            assert_eq!(results[0], results[r], "rank {} differs bitwise", r);
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let results = run_world(3, |comm| comm.all_gather(&[comm.rank() as u32 * 10]));
+        for r in &results {
+            assert_eq!(r, &vec![0, 10, 20]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_own_chunk() {
+        let results = run_world(4, |comm| {
+            let buf: Vec<f32> = (0..8).map(|i| (i + comm.rank()) as f32).collect();
+            comm.reduce_scatter(&buf, ReduceOp::Sum)
+        });
+        // Sum over ranks of (i + rank) = 4*i + 6.
+        for (rank, r) in results.iter().enumerate() {
+            let expect: Vec<f32> =
+                (2 * rank..2 * rank + 2).map(|i| 4.0 * i as f32 + 6.0).collect();
+            assert_eq!(r, &expect, "rank {} chunk", rank);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let results = run_world(4, |comm| {
+            let mut buf = if comm.rank() == 2 { vec![7u64, 8, 9] } else { vec![] };
+            comm.broadcast(&mut buf, 2);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![7, 8, 9]);
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_chunks() {
+        let results = run_world(3, |comm| {
+            let sends: Vec<Vec<u32>> =
+                (0..3).map(|d| vec![(comm.rank() * 10 + d) as u32]).collect();
+            comm.all_to_all(sends)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            let expect: Vec<Vec<u32>> = (0..3).map(|s| vec![(s * 10 + rank) as u32]).collect();
+            assert_eq!(r, &expect, "rank {} received", rank);
+        }
+    }
+
+    #[test]
+    fn all_to_all_supports_ragged_chunks() {
+        let results = run_world(2, |comm| {
+            let sends: Vec<Vec<f32>> = if comm.rank() == 0 {
+                vec![vec![], vec![1.0, 2.0, 3.0]]
+            } else {
+                vec![vec![9.0], vec![]]
+            };
+            comm.all_to_all(sends)
+        });
+        assert_eq!(results[0], vec![vec![], vec![9.0]]);
+        assert_eq!(results[1], vec![vec![1.0, 2.0, 3.0], vec![]]);
+    }
+
+    #[test]
+    fn split_builds_row_groups() {
+        // 2x3 grid: color = row, key = column.
+        let results = run_world(6, |comm| {
+            let row = comm.rank() / 3;
+            let col = comm.rank() % 3;
+            let rowc = comm.split(row as u64, col as u64, "row");
+            let mut v = vec![comm.rank() as u32];
+            let gathered = rowc.all_gather(&v);
+            v[0] = 0;
+            (rowc.rank(), rowc.size(), gathered)
+        });
+        assert_eq!(results[0], (0, 3, vec![0, 1, 2]));
+        assert_eq!(results[4], (1, 3, vec![3, 4, 5]));
+        assert_eq!(results[5], (2, 3, vec![3, 4, 5]));
+    }
+
+    #[test]
+    fn nested_splits_work() {
+        // 8 ranks -> 2 groups of 4 -> 4 groups of 2; reduce within leaves.
+        let results = run_world(8, |comm| {
+            let g4 = comm.split((comm.rank() / 4) as u64, comm.rank() as u64, "g4");
+            let g2 = g4.split((g4.rank() / 2) as u64, g4.rank() as u64, "g2");
+            let mut v = vec![comm.rank() as u64];
+            g2.all_reduce(&mut v, ReduceOp::Sum);
+            v[0]
+        });
+        assert_eq!(results, vec![1, 1, 5, 5, 9, 9, 13, 13]);
+    }
+
+    #[test]
+    fn varlen_gather_preserves_shapes() {
+        let results = run_world(3, |comm| {
+            let data: Vec<u32> = (0..comm.rank() as u32).collect();
+            comm.all_gather_varlen(&data)
+        });
+        assert_eq!(results[0], vec![vec![], vec![0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn ledger_tracks_traffic() {
+        let (_, ledgers) = run_world_with(2, |comm| {
+            let mut v = vec![0.0f32; 256];
+            comm.all_reduce(&mut v, ReduceOp::Sum);
+            let _ = comm.all_gather(&v[..16]);
+        });
+        assert_eq!(ledgers[0].len(), 2);
+        assert_eq!(ledgers[0][0].bytes, 1024);
+        assert_eq!(ledgers[0][1].bytes, 64);
+        assert_eq!(ledgers[1][0].group_size, 2);
+    }
+
+    #[test]
+    fn rank_panic_poisons_world_instead_of_deadlocking() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_world(3, |comm| {
+                if comm.rank() == 1 {
+                    panic!("injected failure on rank 1");
+                }
+                // Ranks 0 and 2 would deadlock here without poisoning.
+                comm.barrier();
+            });
+        }));
+        let payload = caught.expect_err("must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected failure"), "got panic message: {}", msg);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_world(2, |comm| {
+                if comm.rank() == 0 {
+                    let mut v = vec![0.0f32; 4];
+                    comm.all_reduce(&mut v, ReduceOp::Sum);
+                } else {
+                    let mut v = vec![0u32; 4];
+                    comm.all_reduce(&mut v, ReduceOp::Sum);
+                }
+            });
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn single_rank_world_is_trivially_correct() {
+        let results = run_world(1, |comm| {
+            let mut v = vec![5.0f32];
+            comm.all_reduce(&mut v, ReduceOp::Sum);
+            let g = comm.all_gather(&v);
+            (v[0], g)
+        });
+        assert_eq!(results[0], (5.0, vec![5.0]));
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-rank distributed context: the X/Y/Z process groups plus
+//! matrix-shaped wrappers over the raw collectives.
+
+use crate::grid::{Axis, GridConfig, GridCoords};
+use plexus_comm::{ReduceOp, ThreadComm};
+use plexus_tensor::Matrix;
+
+/// Everything a rank needs to communicate inside the 3D grid.
+pub struct DistContext {
+    pub grid: GridConfig,
+    pub coords: GridCoords,
+    pub world: ThreadComm,
+    x_group: ThreadComm,
+    y_group: ThreadComm,
+    z_group: ThreadComm,
+}
+
+impl DistContext {
+    /// Build the three axis groups from the world communicator. Must be
+    /// called collectively by every rank. Panics if the world size does not
+    /// match the grid.
+    pub fn new(world: ThreadComm, grid: GridConfig) -> Self {
+        assert_eq!(
+            world.size(),
+            grid.total(),
+            "DistContext: world has {} ranks but grid {} needs {}",
+            world.size(),
+            grid.label(),
+            grid.total()
+        );
+        let c = grid.coords(world.rank());
+        // A group along an axis = ranks sharing the other two coordinates.
+        let x_group = world.split((c.y + c.z * grid.gy) as u64, c.x as u64, "x");
+        let y_group = world.split((c.x + c.z * grid.gx) as u64, c.y as u64, "y");
+        let z_group = world.split((c.x + c.y * grid.gx) as u64, c.z as u64, "z");
+        debug_assert_eq!(x_group.size(), grid.gx);
+        debug_assert_eq!(y_group.size(), grid.gy);
+        debug_assert_eq!(z_group.size(), grid.gz);
+        debug_assert_eq!(x_group.rank(), c.x);
+        debug_assert_eq!(y_group.rank(), c.y);
+        debug_assert_eq!(z_group.rank(), c.z);
+        Self { grid, coords: c, world, x_group, y_group, z_group }
+    }
+
+    /// The process group along `axis`.
+    pub fn group(&self, axis: Axis) -> &ThreadComm {
+        match axis {
+            Axis::X => &self.x_group,
+            Axis::Y => &self.y_group,
+            Axis::Z => &self.z_group,
+        }
+    }
+
+    /// Sum-all-reduce a matrix in place across the `axis` group.
+    pub fn all_reduce_sum(&self, m: &mut Matrix, axis: Axis) {
+        self.group(axis).all_reduce(m.as_mut_slice(), ReduceOp::Sum);
+    }
+
+    /// All-gather row blocks across the `axis` group: each rank contributes
+    /// its `rows x cols` shard; the result stacks them in group-rank order.
+    pub fn all_gather_rows(&self, m: &Matrix, axis: Axis) -> Matrix {
+        let group = self.group(axis);
+        let data = group.all_gather(m.as_slice());
+        Matrix::from_vec(m.rows() * group.size(), m.cols(), data)
+    }
+
+    /// All-gather column blocks across the `axis` group: result places each
+    /// rank's columns side by side in group-rank order.
+    pub fn all_gather_cols(&self, m: &Matrix, axis: Axis) -> Matrix {
+        let group = self.group(axis);
+        let parts = group.all_gather_varlen(m.as_slice());
+        let g = group.size();
+        debug_assert_eq!(parts.len(), g);
+        let total_cols: usize = m.cols() * g;
+        let mut out = Matrix::zeros(m.rows(), total_cols);
+        for (gr, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), m.rows() * m.cols(), "all_gather_cols: ragged shard");
+            for r in 0..m.rows() {
+                let src = &part[r * m.cols()..(r + 1) * m.cols()];
+                out.row_mut(r)[gr * m.cols()..(gr + 1) * m.cols()].copy_from_slice(src);
+            }
+        }
+        out
+    }
+
+    /// Reduce-scatter row blocks: sum the full matrix across the group,
+    /// return this rank's row chunk (`rows / group_size` rows).
+    pub fn reduce_scatter_rows(&self, m: &Matrix, axis: Axis) -> Matrix {
+        let group = self.group(axis);
+        assert_eq!(
+            m.rows() % group.size(),
+            0,
+            "reduce_scatter_rows: {} rows not divisible by group size {}",
+            m.rows(),
+            group.size()
+        );
+        let chunk = group.reduce_scatter(m.as_slice(), ReduceOp::Sum);
+        Matrix::from_vec(m.rows() / group.size(), m.cols(), chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_comm::run_world;
+
+    #[test]
+    fn groups_have_grid_shapes() {
+        let grid = GridConfig::new(2, 2, 2);
+        run_world(8, |world| {
+            let rank = world.rank();
+            let ctx = DistContext::new(world.split(0, rank as u64, "clone"), grid);
+            assert_eq!(ctx.group(Axis::X).size(), 2);
+            assert_eq!(ctx.group(Axis::Y).size(), 2);
+            assert_eq!(ctx.group(Axis::Z).size(), 2);
+            assert_eq!(ctx.group(Axis::X).rank(), ctx.coords.x);
+        });
+    }
+
+    #[test]
+    fn axis_reduce_sums_over_correct_peers() {
+        // Grid 2x2x1: all-reduce over X must sum pairs {0,1} and {2,3}.
+        let grid = GridConfig::new(2, 2, 1);
+        let results = run_world(4, |world| {
+            let rank = world.rank();
+            let ctx = DistContext::new(world.split(0, rank as u64, "w"), grid);
+            let mut m = Matrix::full(1, 1, (rank + 1) as f32);
+            ctx.all_reduce_sum(&mut m, Axis::X);
+            m[(0, 0)]
+        });
+        assert_eq!(results, vec![3.0, 3.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_rows_and_cols_reassemble() {
+        let grid = GridConfig::new(2, 1, 1);
+        let results = run_world(2, |world| {
+            let rank = world.rank();
+            let ctx = DistContext::new(world.split(0, rank as u64, "w"), grid);
+            let local = Matrix::from_fn(2, 3, |i, j| (rank * 100 + i * 3 + j) as f32);
+            let rows = ctx.all_gather_rows(&local, Axis::X);
+            let cols = ctx.all_gather_cols(&local, Axis::X);
+            (rows, cols)
+        });
+        let (rows, cols) = &results[0];
+        assert_eq!(rows.shape(), (4, 3));
+        assert_eq!(rows[(2, 0)], 100.0); // rank 1's first row comes after rank 0's block
+        assert_eq!(cols.shape(), (2, 6));
+        assert_eq!(cols[(0, 3)], 100.0); // rank 1's first column after rank 0's
+        assert_eq!(cols[(1, 5)], 105.0);
+    }
+
+    #[test]
+    fn reduce_scatter_rows_chunks_by_rank() {
+        let grid = GridConfig::new(1, 1, 2);
+        let results = run_world(2, |world| {
+            let rank = world.rank();
+            let ctx = DistContext::new(world.split(0, rank as u64, "w"), grid);
+            let m = Matrix::from_fn(4, 2, |i, _| (i + rank) as f32);
+            ctx.reduce_scatter_rows(&m, Axis::Z)
+        });
+        // Sum over both ranks of row i = 2*i + 1.
+        assert_eq!(results[0].as_slice(), &[1.0, 1.0, 3.0, 3.0]);
+        assert_eq!(results[1].as_slice(), &[5.0, 5.0, 7.0, 7.0]);
+    }
+}

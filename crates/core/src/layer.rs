@@ -1,0 +1,234 @@
+//! The distributed GCN layer: Algorithm 1 (forward) and Algorithm 2
+//! (backward) from the paper, generalized over the per-layer axis roles of
+//! §3.2.
+//!
+//! For layer 0 the roles are (R=Z, C=X, K=Y) and the code below reads
+//! exactly like the paper's pseudocode: all-gather F across Z, SpMM,
+//! all-reduce H across X, all-gather W across Z, SGEMM, all-reduce Q across
+//! Y; backward mirrors it with the reduce-scatters across Z.
+
+use crate::dist::DistContext;
+use crate::grid::LayerRoles;
+use plexus_sparse::blocked::RowBlocks;
+use plexus_sparse::{spmm, Csr};
+use plexus_tensor::ops::{relu, relu_backward_inplace};
+use plexus_tensor::{gemm, Matrix, Trans};
+use std::time::Instant;
+
+/// How `∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)` is computed (§5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmTuning {
+    /// The straightforward TN-mode kernel (slow strided reads — the
+    /// behaviour the paper observed on Frontier at ≥512 GCDs).
+    Default,
+    /// Reorder so only fast-mode kernels run: materialize Hᵀ once
+    /// (O(N·D) copy) and use the NN kernel (O(N·D²) work). This is this
+    /// codebase's equivalent of the paper's
+    /// `∂L/∂W = (SGEMM(∂L/∂Qᵀ, H))ᵀ` trick — both replace a
+    /// transposed-operand kernel with a fast-path one.
+    Reordered,
+}
+
+/// Aggregation strategy (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregation {
+    /// One SpMM over the whole shard, one all-reduce of the whole H.
+    Unblocked,
+    /// Split the shard into `n` row blocks; all-reduce each block right
+    /// after its SpMM. Bitwise identical results, smoother per-op sizes.
+    Blocked(usize),
+}
+
+/// Wall-time split of an operation sequence, used for the Fig. 9-style
+/// communication/computation breakdowns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeSplit {
+    pub compute_s: f64,
+    pub comm_s: f64,
+}
+
+impl TimeSplit {
+    pub fn add(&mut self, other: TimeSplit) {
+        self.compute_s += other.compute_s;
+        self.comm_s += other.comm_s;
+    }
+
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// One rank's share of one GCN layer.
+pub struct DistLayer {
+    pub layer_idx: usize,
+    pub roles: LayerRoles,
+    pub a_shard: Csr,
+    pub a_shard_t: Csr,
+    /// Row-blocked view of `a_shard` when blocked aggregation is on.
+    blocks: Option<RowBlocks>,
+    pub tuning: GemmTuning,
+}
+
+/// Forward-pass cache (post-all-reduce H and Q, plus the gathered W).
+pub struct DistLayerCache {
+    pub h: Matrix,
+    pub q: Matrix,
+    pub w_full: Matrix,
+    pub activated: bool,
+}
+
+/// Backward outputs: the gradient flowing to the previous layer and the
+/// weight gradient already reduce-scattered onto this rank's stored shard.
+pub struct DistLayerGrads {
+    pub df: Matrix,
+    pub dw_stored: Matrix,
+}
+
+impl DistLayer {
+    pub fn new(
+        layer_idx: usize,
+        roles: LayerRoles,
+        a_shard: Csr,
+        a_shard_t: Csr,
+        aggregation: Aggregation,
+        tuning: GemmTuning,
+    ) -> Self {
+        let blocks = match aggregation {
+            Aggregation::Unblocked => None,
+            Aggregation::Blocked(n) => {
+                assert!(n >= 1, "Aggregation::Blocked needs >= 1 block");
+                Some(RowBlocks::split(&a_shard, n.min(a_shard.rows().max(1))))
+            }
+        };
+        Self { layer_idx, roles, a_shard, a_shard_t, blocks, tuning }
+    }
+
+    /// Algorithm 1, lines 2–12, for this layer's roles. `f_full` is the
+    /// layer input after any required all-gather (the trainer performs the
+    /// layer-0 gather of the Z-sharded trainable features). `w_stored` is
+    /// the R-axis shard of W. Returns (output, cache, timing).
+    pub fn forward(
+        &self,
+        ctx: &DistContext,
+        f_full: &Matrix,
+        w_stored: &Matrix,
+        activated: bool,
+    ) -> (Matrix, DistLayerCache, TimeSplit) {
+        let mut t = TimeSplit::default();
+
+        // Step 1: aggregation. H = SpMM(A, F); all-reduce across C.
+        let h = match &self.blocks {
+            None => {
+                let t0 = Instant::now();
+                let mut h = spmm(&self.a_shard, f_full);
+                t.compute_s += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                ctx.all_reduce_sum(&mut h, self.roles.contract);
+                t.comm_s += t1.elapsed().as_secs_f64();
+                h
+            }
+            Some(blocks) => {
+                // §5.2: per-block SpMM + immediate all-reduce of the block.
+                let mut outs = Vec::with_capacity(blocks.num_blocks());
+                for (blk, _) in blocks.iter() {
+                    let t0 = Instant::now();
+                    let mut partial = spmm(blk, f_full);
+                    t.compute_s += t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    ctx.all_reduce_sum(&mut partial, self.roles.contract);
+                    t.comm_s += t1.elapsed().as_secs_f64();
+                    outs.push(partial);
+                }
+                Matrix::vstack(&outs)
+            }
+        };
+
+        // Step 2: combination. All-gather W across R, SGEMM, all-reduce Q
+        // across K.
+        let t1 = Instant::now();
+        let w_full = ctx.all_gather_rows(w_stored, self.roles.rows);
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut q = Matrix::zeros(h.rows(), w_full.cols());
+        gemm(&mut q, &h, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        ctx.all_reduce_sum(&mut q, self.roles.feat);
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        // Step 3: activation.
+        let t0 = Instant::now();
+        let out = if activated { relu(&q) } else { q.clone() };
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        (out, DistLayerCache { h, q, w_full, activated }, t)
+    }
+
+    /// Algorithm 2 for this layer's roles. `dout` is `∂L/∂(layer output)`
+    /// in this rank's block layout. `df_scatter` selects the final step for
+    /// `∂L/∂F`: `true` = reduce-scatter across R (layer 0, where F is
+    /// stored Z-sharded), `false` = all-reduce across R (all other layers).
+    pub fn backward(
+        &self,
+        ctx: &DistContext,
+        cache: &DistLayerCache,
+        mut dout: Matrix,
+        df_scatter: bool,
+    ) -> (DistLayerGrads, TimeSplit) {
+        let mut t = TimeSplit::default();
+
+        // ∂L/∂Q = ∂L/∂F' ⊙ σ'(Q).
+        let t0 = Instant::now();
+        if cache.activated {
+            relu_backward_inplace(&mut dout, &cache.q);
+        }
+        let dq = dout;
+
+        // ∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q), tuned or not (§5.3).
+        let mut dw_full = Matrix::zeros(cache.w_full.rows(), cache.w_full.cols());
+        match self.tuning {
+            GemmTuning::Default => {
+                gemm(&mut dw_full, &cache.h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+            }
+            GemmTuning::Reordered => {
+                let ht = cache.h.transposed();
+                gemm(&mut dw_full, &ht, Trans::N, &dq, Trans::N, 1.0, 0.0);
+            }
+        }
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        // Reduce-scatter ∂L/∂W across R onto the stored shard.
+        let t1 = Instant::now();
+        let dw_stored = ctx.reduce_scatter_rows(&dw_full, self.roles.rows);
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        // ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ); all-reduce across C.
+        let t0 = Instant::now();
+        let mut dh = Matrix::zeros(cache.h.rows(), cache.h.cols());
+        gemm(&mut dh, &dq, Trans::N, &cache.w_full, Trans::T, 1.0, 0.0);
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        ctx.all_reduce_sum(&mut dh, self.roles.contract);
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        // ∂L/∂F = SpMM(Aᵀ, ∂L/∂H); reduce over R (scatter at layer 0).
+        let t0 = Instant::now();
+        let df_partial = spmm(&self.a_shard_t, &dh);
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let df = if df_scatter {
+            ctx.reduce_scatter_rows(&df_partial, self.roles.rows)
+        } else {
+            let mut d = df_partial;
+            ctx.all_reduce_sum(&mut d, self.roles.rows);
+            d
+        };
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        (DistLayerGrads { df, dw_stored }, t)
+    }
+}

@@ -1,0 +1,55 @@
+//! # Plexus — 3D parallel full-graph GNN training
+//!
+//! Rust reproduction of the SC '25 paper *"Plexus: Taming Billion-edge
+//! Graphs with 3D Parallel Full-graph GNN Training"* (Ranjan, Singh, Wei,
+//! Bhatele). This crate is the paper's primary contribution: the 3D
+//! tensor-parallel training engine.
+//!
+//! ## What lives where
+//!
+//! * [`grid`] — the `Gx x Gy x Gz` virtual GPU grid and the per-layer
+//!   axis-role rotation of §3.2 (adjacency planes ZX → YZ → XY);
+//! * [`setup`] — padding, the §5.1 single/double permutation schemes, and
+//!   per-rank shard extraction;
+//! * [`dist`] — the X/Y/Z process groups plus matrix-shaped collectives;
+//! * [`layer`] — Algorithms 1 and 2 (distributed forward/backward),
+//!   blocked aggregation (§5.2) and GEMM-order tuning (§5.3);
+//! * [`loss`] — distributed masked cross-entropy;
+//! * [`trainer`] — per-rank state, the epoch loop and
+//!   [`trainer::train_distributed`], the engine's main entry point;
+//! * [`perfmodel`] — the §4 performance model (computation, communication,
+//!   unified) and grid-configuration selection;
+//! * [`loader`] — the §5.4 parallel data loader over 2D shard files.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use plexus::grid::GridConfig;
+//! use plexus::setup::PermutationMode;
+//! use plexus::trainer::{train_distributed, DistTrainOptions};
+//! use plexus_graph::{LoadedDataset, datasets::OGBN_PRODUCTS};
+//!
+//! let ds = LoadedDataset::generate(OGBN_PRODUCTS, 256, Some(16), 42);
+//! let opts = DistTrainOptions {
+//!     hidden_dim: 16,
+//!     permutation: PermutationMode::Double,
+//!     ..Default::default()
+//! };
+//! let result = train_distributed(&ds, GridConfig::new(2, 2, 2), &opts, 3);
+//! assert_eq!(result.epochs.len(), 3);
+//! ```
+
+pub mod dist;
+pub mod grid;
+pub mod layer;
+pub mod loader;
+pub mod loss;
+pub mod perfmodel;
+pub mod setup;
+pub mod trainer;
+
+pub use dist::DistContext;
+pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, LayerRoles};
+pub use layer::{Aggregation, DistLayer, GemmTuning, TimeSplit};
+pub use setup::{GlobalProblem, PermutationMode, RankData};
+pub use trainer::{train_distributed, DistEpochStats, DistRunResult, DistTrainOptions, RankTrainer};

@@ -1,0 +1,386 @@
+//! The §5.4 parallel data loader.
+//!
+//! "Plexus implements a parallel data loader ... It shards processed data
+//! into 2D files offline (e.g., 8x8), and the data loader for each GPU
+//! only loads, merges, and extracts the shards it needs." For
+//! ogbn-papers100M on 64 GPUs this cut CPU memory from 146 GB to 9 GB and
+//! load time from 139 s to 7 s.
+//!
+//! [`ShardStore`] is that mechanism over real files: `create` writes a
+//! `p x q` grid of adjacency shard files (plus `p` feature row-band
+//! files) in a simple length-prefixed little-endian binary format;
+//! `load_adjacency_window`/`load_feature_rows` read back only the files a
+//! rank's window intersects and report the bytes actually read — the
+//! quantity behind the paper's memory/time reductions.
+
+use plexus_sparse::shard::{shard_grid, split_range};
+use plexus_sparse::Csr;
+use plexus_tensor::Matrix;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u64 = 0x504c5853_53484152; // "PLXSSHAR"
+
+/// An on-disk 2D-sharded dataset.
+pub struct ShardStore {
+    dir: PathBuf,
+    pub grid_p: usize,
+    pub grid_q: usize,
+    pub rows: usize,
+    pub cols: usize,
+    pub feat_dim: usize,
+}
+
+impl ShardStore {
+    /// Write `a` (adjacency) and `features` into `dir` as a `p x q` shard
+    /// grid. `dir` is created; existing shard files are overwritten.
+    pub fn create(
+        dir: &Path,
+        a: &Csr,
+        features: &Matrix,
+        p: usize,
+        q: usize,
+    ) -> io::Result<ShardStore> {
+        assert_eq!(a.rows(), features.rows(), "ShardStore: A and F row mismatch");
+        assert!(p > 0 && q > 0, "ShardStore: empty grid");
+        fs::create_dir_all(dir)?;
+        let shards = shard_grid(a, p, q);
+        for i in 0..p {
+            for j in 0..q {
+                write_csr(&dir.join(format!("adj_{}_{}.plx", i, j)), &shards[i * q + j])?;
+            }
+            let (r0, r1) = split_range(a.rows(), p, i);
+            write_matrix(&dir.join(format!("feat_{}.plx", i)), &features.row_block(r0, r1))?;
+        }
+        let store = ShardStore {
+            dir: dir.to_path_buf(),
+            grid_p: p,
+            grid_q: q,
+            rows: a.rows(),
+            cols: a.cols(),
+            feat_dim: features.cols(),
+        };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// Open an existing store by reading its manifest.
+    pub fn open(dir: &Path) -> io::Result<ShardStore> {
+        let text = fs::read_to_string(dir.join("manifest.txt"))?;
+        let mut vals = [0usize; 5];
+        for (slot, line) in vals.iter_mut().zip(text.lines()) {
+            *slot = line
+                .split('=')
+                .nth(1)
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad manifest"))?;
+        }
+        Ok(ShardStore {
+            dir: dir.to_path_buf(),
+            grid_p: vals[0],
+            grid_q: vals[1],
+            rows: vals[2],
+            cols: vals[3],
+            feat_dim: vals[4],
+        })
+    }
+
+    fn write_manifest(&self) -> io::Result<()> {
+        let mut f = File::create(self.dir.join("manifest.txt"))?;
+        writeln!(f, "p = {}", self.grid_p)?;
+        writeln!(f, "q = {}", self.grid_q)?;
+        writeln!(f, "rows = {}", self.rows)?;
+        writeln!(f, "cols = {}", self.cols)?;
+        writeln!(f, "feat_dim = {}", self.feat_dim)?;
+        Ok(())
+    }
+
+    /// Total bytes of all shard files (what a naive loader would read on
+    /// every rank).
+    pub fn total_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "plx") {
+                total += entry.metadata()?.len();
+            }
+        }
+        Ok(total)
+    }
+
+    /// Load the adjacency window `[r0, r1) x [c0, c1)`, touching only the
+    /// shard files it intersects. Returns the block (local indices) and
+    /// the bytes read from disk.
+    pub fn load_adjacency_window(
+        &self,
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+    ) -> io::Result<(Csr, u64)> {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols, "window out of bounds");
+        let mut bytes = 0u64;
+        let mut row_bands: Vec<Csr> = Vec::new();
+        for i in 0..self.grid_p {
+            let (sr0, sr1) = split_range(self.rows, self.grid_p, i);
+            if sr1 <= r0 || sr0 >= r1 {
+                continue;
+            }
+            let mut band_parts: Vec<(usize, Csr)> = Vec::new();
+            for j in 0..self.grid_q {
+                let (sc0, sc1) = split_range(self.cols, self.grid_q, j);
+                if sc1 <= c0 || sc0 >= c1 {
+                    continue;
+                }
+                let path = self.dir.join(format!("adj_{}_{}.plx", i, j));
+                bytes += fs::metadata(&path)?.len();
+                let shard = read_csr(&path)?;
+                // Slice to the window intersection, in shard-local coords.
+                let lr0 = r0.max(sr0) - sr0;
+                let lr1 = r1.min(sr1) - sr0;
+                let lc0 = c0.max(sc0) - sc0;
+                let lc1 = c1.min(sc1) - sc0;
+                band_parts.push((sc0.max(c0), shard.block(lr0, lr1, lc0, lc1)));
+            }
+            band_parts.sort_by_key(|&(off, _)| off);
+            row_bands.push(hstack_blocks(&band_parts, c1 - c0));
+        }
+        let merged = if row_bands.is_empty() {
+            Csr::empty(r1 - r0, c1 - c0)
+        } else {
+            Csr::vstack(&row_bands)
+        };
+        Ok((merged, bytes))
+    }
+
+    /// Load feature rows `[r0, r1)`, touching only intersecting band files.
+    pub fn load_feature_rows(&self, r0: usize, r1: usize) -> io::Result<(Matrix, u64)> {
+        assert!(r0 <= r1 && r1 <= self.rows, "feature window out of bounds");
+        let mut bytes = 0u64;
+        let mut blocks = Vec::new();
+        for i in 0..self.grid_p {
+            let (sr0, sr1) = split_range(self.rows, self.grid_p, i);
+            if sr1 <= r0 || sr0 >= r1 {
+                continue;
+            }
+            let path = self.dir.join(format!("feat_{}.plx", i));
+            bytes += fs::metadata(&path)?.len();
+            let band = read_matrix(&path)?;
+            blocks.push(band.row_block(r0.max(sr0) - sr0, r1.min(sr1) - sr0));
+        }
+        let merged =
+            if blocks.is_empty() { Matrix::zeros(0, self.feat_dim) } else { Matrix::vstack(&blocks) };
+        Ok((merged, bytes))
+    }
+}
+
+/// Stitch column-partial CSR blocks (sharing rows) into one block of
+/// `total_cols`, given each part's absolute starting column.
+fn hstack_blocks(parts: &[(usize, Csr)], total_cols: usize) -> Csr {
+    assert!(!parts.is_empty(), "hstack_blocks: no parts");
+    let base = parts[0].0;
+    let rows = parts[0].1.rows();
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..rows {
+        for &(off, ref blk) in parts {
+            let (cols, vals) = blk.row_entries(r);
+            col_idx.extend(cols.iter().map(|&c| c + (off - base) as u32));
+            values.extend_from_slice(vals);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(rows, total_cols, row_ptr, col_idx, values)
+}
+
+fn write_csr(path: &Path, a: &Csr) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&(a.rows() as u64).to_le_bytes())?;
+    w.write_all(&(a.cols() as u64).to_le_bytes())?;
+    w.write_all(&(a.nnz() as u64).to_le_bytes())?;
+    for &p in a.row_ptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &c in a.col_idx() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    for &v in a.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+fn read_csr(path: &Path) -> io::Result<Csr> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_u64(&mut r)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a Plexus shard file"));
+    }
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    for _ in 0..=rows {
+        row_ptr.push(read_u64(&mut r)? as usize);
+    }
+    let mut col_idx = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        col_idx.push(read_u32(&mut r)?);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(f32::from_le_bytes(read_array(&mut r)?));
+    }
+    Ok(Csr::from_raw(rows, cols, row_ptr, col_idx, values))
+}
+
+fn write_matrix(path: &Path, m: &Matrix) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    for &v in m.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+fn read_matrix(path: &Path) -> io::Result<Matrix> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_u64(&mut r)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a Plexus matrix file"));
+    }
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(f32::from_le_bytes(read_array(&mut r)?));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(read_array(r)?))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_array<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_sparse::Coo;
+    use plexus_tensor::uniform_matrix;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plexus_loader_{}_{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn random_csr(n: usize, seed: u64) -> Csr {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for _ in 0..n * 5 {
+            coo.push(
+                rng.random_range(0..n as u32),
+                rng.random_range(0..n as u32),
+                rng.random_range(-1.0f32..1.0),
+            );
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn round_trip_whole_matrix() {
+        let dir = temp_dir("round");
+        let a = random_csr(40, 1);
+        let f = uniform_matrix(40, 6, -1.0, 1.0, 2);
+        let store = ShardStore::create(&dir, &a, &f, 4, 4).unwrap();
+        let (a2, _) = store.load_adjacency_window(0, 40, 0, 40).unwrap();
+        assert_eq!(a2, a);
+        let (f2, _) = store.load_feature_rows(0, 40).unwrap();
+        assert_eq!(f2, f);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn window_load_matches_direct_block() {
+        let dir = temp_dir("window");
+        let a = random_csr(48, 3);
+        let f = uniform_matrix(48, 4, -1.0, 1.0, 4);
+        let store = ShardStore::create(&dir, &a, &f, 4, 4).unwrap();
+        for (r0, r1, c0, c1) in [(0, 12, 0, 48), (12, 24, 24, 48), (5, 43, 7, 29), (24, 36, 0, 12)] {
+            let (blk, _) = store.load_adjacency_window(r0, r1, c0, c1).unwrap();
+            assert_eq!(blk, a.block(r0, r1, c0, c1), "window {:?}", (r0, r1, c0, c1));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_window_reads_less_than_everything() {
+        // The §5.4 claim in miniature: one rank's window touches a fraction
+        // of the files a full load would.
+        let dir = temp_dir("partial");
+        let a = random_csr(64, 5);
+        let f = uniform_matrix(64, 8, -1.0, 1.0, 6);
+        let store = ShardStore::create(&dir, &a, &f, 8, 8).unwrap();
+        let total = store.total_bytes().unwrap();
+        let (_, window_bytes) = store.load_adjacency_window(0, 8, 0, 8).unwrap();
+        assert!(
+            window_bytes * 8 < total,
+            "1/64 window read {} of {} total bytes",
+            window_bytes,
+            total
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_from_manifest() {
+        let dir = temp_dir("reopen");
+        let a = random_csr(20, 7);
+        let f = uniform_matrix(20, 3, -1.0, 1.0, 8);
+        ShardStore::create(&dir, &a, &f, 2, 2).unwrap();
+        let store = ShardStore::open(&dir).unwrap();
+        assert_eq!((store.grid_p, store.grid_q), (2, 2));
+        assert_eq!(store.rows, 20);
+        assert_eq!(store.feat_dim, 3);
+        let (a2, _) = store.load_adjacency_window(0, 20, 0, 20).unwrap();
+        assert_eq!(a2, a);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feature_window_load() {
+        let dir = temp_dir("featwin");
+        let a = random_csr(30, 9);
+        let f = uniform_matrix(30, 5, -1.0, 1.0, 10);
+        let store = ShardStore::create(&dir, &a, &f, 3, 3).unwrap();
+        let (blk, bytes) = store.load_feature_rows(11, 19).unwrap();
+        assert_eq!(blk, f.row_block(11, 19));
+        assert!(bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let dir = temp_dir("magic");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.plx"), [0u8; 64]).unwrap();
+        assert!(read_csr(&dir.join("bad.plx")).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Distributed masked cross-entropy over the final layer's logits layout.
+//!
+//! The last layer's output is sharded (rows over its R axis, cols over its
+//! C axis, replicated over K). Every rank gathers the full class dimension
+//! across the C group, masks out padded class columns, computes its row
+//! block's loss contribution, and all-reduces the scalar across the R
+//! group. The logit gradient is sliced back to this rank's column block —
+//! already in the layout the backward pass expects.
+
+use crate::dist::DistContext;
+use crate::grid::LayerRoles;
+use plexus_comm::ReduceOp;
+use plexus_tensor::ops::{logsumexp_rows, softmax_rows};
+use plexus_tensor::Matrix;
+
+/// Loss value (global), training accuracy (global) and local `∂L/∂logits`.
+pub struct DistLossOutput {
+    pub loss: f64,
+    pub train_accuracy: f64,
+    pub dlogits_local: Matrix,
+}
+
+/// Large negative filler for padded class columns: exp(x - max) underflows
+/// to exactly 0, so padded classes get zero probability and zero gradient.
+const NEG_FILL: f32 = -1.0e30;
+
+/// Compute the distributed masked cross-entropy.
+///
+/// * `logits_local`: this rank's block (rows = its R-axis row block,
+///   cols = its C-axis class block, padded width).
+/// * `labels/mask`: this rank's row slice, in the same (permuted, padded)
+///   node order as the logits rows.
+/// * `num_classes_real`: classes beyond this index are padding.
+/// * `total_train`: global training-node count (the averaging denominator).
+pub fn dist_masked_cross_entropy(
+    ctx: &DistContext,
+    roles_last: LayerRoles,
+    logits_local: &Matrix,
+    labels: &[u32],
+    mask: &[bool],
+    num_classes_real: usize,
+    total_train: usize,
+) -> DistLossOutput {
+    assert_eq!(labels.len(), logits_local.rows(), "dist loss: labels/rows mismatch");
+    assert_eq!(mask.len(), labels.len(), "dist loss: mask length mismatch");
+    assert!(total_train > 0, "dist loss: zero training nodes");
+
+    // Full class dimension on every rank.
+    let mut full = ctx.all_gather_cols(logits_local, roles_last.contract);
+    let cp = full.cols();
+    assert!(
+        num_classes_real <= cp,
+        "dist loss: {} real classes exceed padded width {}",
+        num_classes_real,
+        cp
+    );
+    for r in 0..full.rows() {
+        for v in &mut full.row_mut(r)[num_classes_real..] {
+            *v = NEG_FILL;
+        }
+    }
+
+    let lse = logsumexp_rows(&full);
+    let probs = softmax_rows(&full);
+    let inv = 1.0 / total_train as f32;
+
+    let mut dlogits_full = Matrix::zeros(full.rows(), cp);
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0u64;
+    for i in 0..labels.len() {
+        if !mask[i] {
+            continue;
+        }
+        let y = labels[i] as usize;
+        debug_assert!(y < num_classes_real, "label {} out of {} classes", y, num_classes_real);
+        loss_sum += (lse[i] - full[(i, y)]) as f64;
+        let prow = probs.row(i);
+        let drow = dlogits_full.row_mut(i);
+        for j in 0..num_classes_real {
+            drow[j] = prow[j] * inv;
+        }
+        drow[y] -= inv;
+        // argmax over real classes for accuracy.
+        let mut best = 0usize;
+        for j in 1..num_classes_real {
+            if full[(i, j)] > full[(i, best)] {
+                best = j;
+            }
+        }
+        if best == y {
+            correct += 1;
+        }
+    }
+
+    // Row blocks partition the nodes along R; sum across the R group gives
+    // the global figures (identical on all ranks afterwards).
+    let mut scalars = [loss_sum, correct as f64];
+    ctx.group(roles_last.rows).all_reduce(&mut scalars, ReduceOp::Sum);
+    let loss = scalars[0] / total_train as f64;
+    let train_accuracy = scalars[1] / total_train as f64;
+
+    // Slice the gradient back to this rank's class-column block.
+    let width = logits_local.cols();
+    let c0 = ctx.coords.along(roles_last.contract) * width;
+    let dlogits_local = dlogits_full.col_block(c0, c0 + width);
+
+    DistLossOutput { loss, train_accuracy, dlogits_local }
+}

@@ -1,0 +1,363 @@
+//! Problem preprocessing: padding, the §5.1 permutation schemes, and
+//! per-rank shard extraction.
+//!
+//! All preprocessing is deterministic and happens once per (dataset, grid)
+//! pair; every rank then extracts its own shards — mirroring the paper's
+//! offline preprocessing plus the parallel loader's per-rank reads.
+
+use crate::grid::{roles_for_layer, GridConfig};
+use plexus_gnn::{Gcn, GcnConfig};
+use plexus_graph::LoadedDataset;
+use plexus_sparse::permute::{
+    apply_permutation, inverse_permutation, random_permutation,
+};
+use plexus_sparse::Csr;
+use plexus_tensor::Matrix;
+
+/// Which §5.1 scheme to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PermutationMode {
+    /// Original node order (the "Original" row of Table 3).
+    None,
+    /// One shared permutation applied to rows and columns (`P A Pᵀ`).
+    Single,
+    /// Distinct row/column permutations (`P_r A P_cᵀ` / `P_c A P_rᵀ`),
+    /// alternating every layer — the paper's contribution.
+    Double,
+}
+
+/// Round `n` up to a multiple of `m`.
+pub fn pad_to_multiple(n: usize, m: usize) -> usize {
+    n.div_ceil(m) * m
+}
+
+/// The fully preprocessed problem, shared read-only across rank threads.
+pub struct GlobalProblem {
+    pub grid: GridConfig,
+    pub num_layers: usize,
+    /// Real node count and padded node count (multiple of Gx·Gy·Gz).
+    pub n_real: usize,
+    pub n_pad: usize,
+    /// Per-boundary feature dims, real and padded: `dims[0]` is the input
+    /// dim, `dims[L]` the class count.
+    pub dims_real: Vec<usize>,
+    pub dims_pad: Vec<usize>,
+    /// Adjacency used by even layers (`P_r Â P_cᵀ`, zero-padded).
+    pub a_even: Csr,
+    /// Adjacency used by odd layers (`P_c Â P_rᵀ`, zero-padded).
+    pub a_odd: Csr,
+    /// Input features in even-layer input order (`P_c` applied), padded.
+    pub features_perm: Matrix,
+    /// Labels/mask in the *final layer output* order, padded (padding rows
+    /// masked out).
+    pub labels_final: Vec<u32>,
+    pub train_mask_final: Vec<bool>,
+    /// Full (padded) weight matrices, identical to the serial model's
+    /// weights up to zero padding.
+    pub weights_full: Vec<Matrix>,
+    pub num_classes_real: usize,
+    pub total_train: usize,
+}
+
+impl GlobalProblem {
+    /// Preprocess `ds` for `grid`. `model_seed` must match the serial
+    /// baseline's seed for bit-compatible initialization; `perm_seed` seeds
+    /// the permutations.
+    pub fn build(
+        ds: &LoadedDataset,
+        grid: GridConfig,
+        hidden_dim: usize,
+        num_layers: usize,
+        model_seed: u64,
+        mode: PermutationMode,
+        perm_seed: u64,
+    ) -> Self {
+        let n_real = ds.num_nodes();
+        let g = grid.total().max(grid.gx * grid.gy).max(grid.gx * grid.gz).max(grid.gy * grid.gz);
+        let n_pad = pad_to_multiple(n_real, lcm3(grid));
+        let _ = g;
+
+        // Permutations over the real nodes; padding rows stay at the end.
+        let (pr, pc) = match mode {
+            PermutationMode::None => {
+                let id: Vec<u32> = (0..n_real as u32).collect();
+                (id.clone(), id)
+            }
+            PermutationMode::Single => {
+                let p = random_permutation(n_real, perm_seed);
+                (p.clone(), p)
+            }
+            PermutationMode::Double => (
+                random_permutation(n_real, perm_seed),
+                random_permutation(n_real, perm_seed.wrapping_add(0x9e3779b97f4a7c15)),
+            ),
+        };
+
+        // Â with both §5.1 permutation variants, padded.
+        let a_even = apply_permutation(&ds.adjacency, &pr, &pc).zero_padded(n_pad, n_pad);
+        let a_odd = apply_permutation(&ds.adjacency, &pc, &pr).zero_padded(n_pad, n_pad);
+
+        // Model dims, real and padded.
+        let cfg = GcnConfig {
+            input_dim: ds.feature_dim(),
+            hidden_dim,
+            num_classes: ds.num_classes,
+            num_layers,
+            seed: model_seed,
+        };
+        let mut dims_real = vec![cfg.input_dim];
+        for (_, dout) in cfg.layer_dims() {
+            dims_real.push(dout);
+        }
+        let pad_unit = lcm3(grid);
+        let dims_pad: Vec<usize> = dims_real.iter().map(|&d| pad_to_multiple(d, pad_unit)).collect();
+
+        // Weights: identical to the serial model, zero-padded.
+        let model = Gcn::new(cfg);
+        let weights_full: Vec<Matrix> = model
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(l, w)| w.zero_padded(dims_pad[l], dims_pad[l + 1]))
+            .collect();
+
+        // Input features: row-permute by P_c (even-layer input order), pad.
+        let inv_pc = inverse_permutation(&pc);
+        let perm_rows: Vec<usize> = inv_pc.iter().map(|&i| i as usize).collect();
+        let features_perm =
+            ds.features.gather_rows(&perm_rows).zero_padded(n_pad, dims_pad[0]);
+
+        // Labels/mask in the final-layer output order.
+        let final_perm = if (num_layers - 1) % 2 == 0 { &pr } else { &pc };
+        let mut labels_final = vec![0u32; n_pad];
+        let mut train_mask_final = vec![false; n_pad];
+        for i in 0..n_real {
+            let dst = final_perm[i] as usize;
+            labels_final[dst] = ds.labels[i];
+            train_mask_final[dst] = ds.split.train[i];
+        }
+        let total_train = train_mask_final.iter().filter(|&&b| b).count();
+        assert!(total_train > 0, "GlobalProblem: no training nodes");
+
+        Self {
+            grid,
+            num_layers,
+            n_real,
+            n_pad,
+            dims_real,
+            dims_pad,
+            a_even,
+            a_odd,
+            features_perm,
+            labels_final,
+            train_mask_final,
+            weights_full,
+            num_classes_real: ds.num_classes,
+            total_train,
+        }
+    }
+}
+
+/// Padding unit: every axis split and every two-axis sub-split must be
+/// integral, which `Gx·Gy·Gz` guarantees.
+fn lcm3(grid: GridConfig) -> usize {
+    grid.gx * grid.gy * grid.gz
+}
+
+/// The shards one rank owns.
+pub struct RankData {
+    /// Per-layer adjacency shard and its transpose (for eq. 2.7).
+    pub a_shards: Vec<Csr>,
+    pub a_shards_t: Vec<Csr>,
+    /// Stored input-feature shard (rows over C₀ then sub-sharded over R₀,
+    /// cols over K₀).
+    pub f_stored: Matrix,
+    /// Per-layer stored weight shard (rows over K_l sub-sharded over R_l,
+    /// cols over C_l).
+    pub w_stored: Vec<Matrix>,
+    /// This rank's slice of labels/mask (rows of the final logits block).
+    pub labels_local: Vec<u32>,
+    pub mask_local: Vec<bool>,
+}
+
+impl RankData {
+    /// Extract everything rank `rank` owns from the global problem.
+    pub fn extract(gp: &GlobalProblem, rank: usize) -> Self {
+        let grid = gp.grid;
+        let c = grid.coords(rank);
+        let np = gp.n_pad;
+
+        let mut a_shards = Vec::with_capacity(gp.num_layers);
+        let mut a_shards_t = Vec::with_capacity(gp.num_layers);
+        for l in 0..gp.num_layers {
+            let roles = roles_for_layer(l);
+            let a_global = if l % 2 == 0 { &gp.a_even } else { &gp.a_odd };
+            let rdim = grid.dim(roles.rows);
+            let cdim = grid.dim(roles.contract);
+            let r0 = c.along(roles.rows) * (np / rdim);
+            let c0 = c.along(roles.contract) * (np / cdim);
+            let shard = a_global.block(r0, r0 + np / rdim, c0, c0 + np / cdim);
+            a_shards_t.push(shard.transposed());
+            a_shards.push(shard);
+        }
+
+        // F₀ stored shard.
+        let roles0 = roles_for_layer(0);
+        let d0 = gp.dims_pad[0];
+        let crows = np / grid.dim(roles0.contract);
+        let subrows = crows / grid.dim(roles0.rows);
+        let fr0 = c.along(roles0.contract) * crows + c.along(roles0.rows) * subrows;
+        let fcols = d0 / grid.dim(roles0.feat);
+        let fc0 = c.along(roles0.feat) * fcols;
+        let f_stored =
+            gp.features_perm.block(fr0, fr0 + subrows, fc0, fc0 + fcols);
+
+        // W_l stored shards.
+        let mut w_stored = Vec::with_capacity(gp.num_layers);
+        for l in 0..gp.num_layers {
+            let roles = roles_for_layer(l);
+            let din = gp.dims_pad[l];
+            let dout = gp.dims_pad[l + 1];
+            let krows = din / grid.dim(roles.feat);
+            let sub = krows / grid.dim(roles.rows);
+            let wr0 = c.along(roles.feat) * krows + c.along(roles.rows) * sub;
+            let wcols = dout / grid.dim(roles.contract);
+            let wc0 = c.along(roles.contract) * wcols;
+            w_stored.push(gp.weights_full[l].block(wr0, wr0 + sub, wc0, wc0 + wcols));
+        }
+
+        // Labels/mask slice: final logits rows are split over the last
+        // layer's rows axis.
+        let roles_last = roles_for_layer(gp.num_layers - 1);
+        let lrows = np / grid.dim(roles_last.rows);
+        let l0 = c.along(roles_last.rows) * lrows;
+        let labels_local = gp.labels_final[l0..l0 + lrows].to_vec();
+        let mask_local = gp.train_mask_final[l0..l0 + lrows].to_vec();
+
+        Self { a_shards, a_shards_t, f_stored, w_stored, labels_local, mask_local }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+    use plexus_sparse::shard::split_range;
+
+    fn tiny_ds() -> LoadedDataset {
+        let spec = DatasetSpec {
+            kind: DatasetKind::OgbnProducts,
+            name: "tiny",
+            nodes: 100,
+            edges: 600,
+            nonzeros: 1300,
+            features: 10,
+            classes: 5,
+        };
+        LoadedDataset::generate(spec, 128, Some(10), 3)
+    }
+
+    #[test]
+    fn padding_is_minimal_multiple() {
+        assert_eq!(pad_to_multiple(100, 8), 104);
+        assert_eq!(pad_to_multiple(104, 8), 104);
+        assert_eq!(pad_to_multiple(1, 8), 8);
+    }
+
+    #[test]
+    fn build_pads_everything_consistently() {
+        let ds = tiny_ds();
+        let grid = GridConfig::new(2, 2, 2);
+        let gp = GlobalProblem::build(&ds, grid, 16, 3, 7, PermutationMode::Double, 11);
+        assert_eq!(gp.n_pad % 8, 0);
+        assert_eq!(gp.a_even.shape(), (gp.n_pad, gp.n_pad));
+        assert_eq!(gp.a_odd.shape(), (gp.n_pad, gp.n_pad));
+        assert_eq!(gp.features_perm.shape(), (gp.n_pad, gp.dims_pad[0]));
+        assert_eq!(gp.dims_pad.len(), 4);
+        for d in &gp.dims_pad {
+            assert_eq!(d % 8, 0);
+        }
+        // nnz preserved by permutation + padding.
+        assert_eq!(gp.a_even.nnz(), ds.adjacency.nnz());
+        assert_eq!(gp.a_odd.nnz(), ds.adjacency.nnz());
+    }
+
+    #[test]
+    fn identity_mode_keeps_adjacency() {
+        let ds = tiny_ds();
+        let grid = GridConfig::new(1, 1, 1);
+        let gp = GlobalProblem::build(&ds, grid, 8, 3, 7, PermutationMode::None, 1);
+        assert_eq!(gp.a_even, ds.adjacency.zero_padded(gp.n_pad, gp.n_pad));
+        assert_eq!(gp.a_odd, gp.a_even);
+    }
+
+    #[test]
+    fn odd_adjacency_is_transpose_of_even_for_symmetric_graphs() {
+        // Â is symmetric, so P_c Â P_rᵀ = (P_r Â P_cᵀ)ᵀ.
+        let ds = tiny_ds();
+        let grid = GridConfig::new(2, 1, 1);
+        let gp = GlobalProblem::build(&ds, grid, 8, 3, 7, PermutationMode::Double, 5);
+        assert_eq!(gp.a_odd, gp.a_even.transposed());
+    }
+
+    #[test]
+    fn rank_shards_tile_the_matrices() {
+        let ds = tiny_ds();
+        let grid = GridConfig::new(2, 2, 2);
+        let gp = GlobalProblem::build(&ds, grid, 16, 3, 7, PermutationMode::Double, 11);
+        // Sum of shard nnz over the (rows x contract) plane == total nnz;
+        // shards are replicated over the feat axis, so count each (R, C)
+        // block once.
+        for l in 0..3 {
+            let roles = roles_for_layer(l);
+            let mut total = 0usize;
+            let mut seen = std::collections::HashSet::new();
+            for rank in 0..grid.total() {
+                let c = grid.coords(rank);
+                let key = (c.along(roles.rows), c.along(roles.contract));
+                if seen.insert(key) {
+                    let rd = RankData::extract(&gp, rank);
+                    total += rd.a_shards[l].nnz();
+                    assert_eq!(rd.a_shards[l].nnz(), rd.a_shards_t[l].nnz());
+                }
+            }
+            assert_eq!(total, gp.a_even.nnz(), "layer {} shards don't tile", l);
+        }
+    }
+
+    #[test]
+    fn label_slices_cover_all_training_nodes() {
+        let ds = tiny_ds();
+        let grid = GridConfig::new(2, 2, 1);
+        let gp = GlobalProblem::build(&ds, grid, 8, 3, 7, PermutationMode::Double, 11);
+        let roles_last = roles_for_layer(2);
+        let mut covered = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..grid.total() {
+            let c = grid.coords(rank);
+            if seen.insert(c.along(roles_last.rows)) {
+                let rd = RankData::extract(&gp, rank);
+                covered += rd.mask_local.iter().filter(|&&b| b).count();
+            }
+        }
+        assert_eq!(covered, gp.total_train);
+        assert_eq!(gp.total_train, ds.split.num_train());
+    }
+
+    #[test]
+    fn split_range_consistency_with_padding() {
+        // The shard layout assumes exact division after padding; verify
+        // via split_range equivalence.
+        let np = 24;
+        for parts in [2usize, 3, 4] {
+            if np % parts != 0 {
+                continue;
+            }
+            for i in 0..parts {
+                let (s, e) = split_range(np, parts, i);
+                assert_eq!(s, i * np / parts);
+                assert_eq!(e, (i + 1) * np / parts);
+            }
+        }
+    }
+}

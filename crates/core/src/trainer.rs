@@ -1,0 +1,390 @@
+//! The distributed trainer: per-rank state, the epoch loop, and the
+//! `run_world` orchestration entry point.
+
+use crate::dist::DistContext;
+use crate::grid::{roles_for_layer, GridConfig};
+use crate::layer::{Aggregation, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
+use crate::loss::dist_masked_cross_entropy;
+use crate::setup::{GlobalProblem, PermutationMode, RankData};
+use plexus_comm::{run_world_with, CommEvent};
+use plexus_gnn::{Adam, AdamConfig};
+use plexus_graph::LoadedDataset;
+use plexus_tensor::Matrix;
+use std::sync::Arc;
+
+/// Engine options (model hyperparameters plus the §5 optimizations).
+#[derive(Clone, Debug)]
+pub struct DistTrainOptions {
+    pub hidden_dim: usize,
+    pub num_layers: usize,
+    pub adam: AdamConfig,
+    /// Model-weight seed; must equal the serial baseline's seed for the
+    /// Fig. 7 equivalence checks.
+    pub model_seed: u64,
+    pub permutation: PermutationMode,
+    pub perm_seed: u64,
+    pub aggregation: Aggregation,
+    pub tuning: GemmTuning,
+}
+
+impl Default for DistTrainOptions {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 128,
+            num_layers: 3,
+            adam: AdamConfig::default(),
+            model_seed: 0,
+            permutation: PermutationMode::Double,
+            perm_seed: 0x5eed,
+            aggregation: Aggregation::Unblocked,
+            tuning: GemmTuning::Reordered,
+        }
+    }
+}
+
+/// Per-epoch results (identical on every rank by construction).
+#[derive(Clone, Copy, Debug)]
+pub struct DistEpochStats {
+    pub loss: f64,
+    pub train_accuracy: f64,
+    pub timing: TimeSplit,
+}
+
+/// One rank's training state.
+pub struct RankTrainer {
+    ctx: DistContext,
+    layers: Vec<DistLayer>,
+    w_stored: Vec<Matrix>,
+    w_opts: Vec<Adam>,
+    f_stored: Matrix,
+    f_opt: Adam,
+    labels_local: Vec<u32>,
+    mask_local: Vec<bool>,
+    num_classes_real: usize,
+    total_train: usize,
+    num_layers: usize,
+}
+
+impl RankTrainer {
+    /// Assemble this rank's trainer from the shared preprocessed problem.
+    pub fn new(gp: &GlobalProblem, ctx: DistContext, opts: &DistTrainOptions) -> Self {
+        let rd = RankData::extract(gp, ctx.world.rank());
+        Self::from_parts(gp, ctx, rd, opts)
+    }
+
+    pub fn from_parts(
+        gp: &GlobalProblem,
+        ctx: DistContext,
+        rd: RankData,
+        opts: &DistTrainOptions,
+    ) -> Self {
+        let RankData { a_shards, a_shards_t, f_stored, w_stored, labels_local, mask_local } = rd;
+        let layers: Vec<DistLayer> = a_shards
+            .into_iter()
+            .zip(a_shards_t)
+            .enumerate()
+            .map(|(l, (a, at))| {
+                DistLayer::new(l, roles_for_layer(l), a, at, opts.aggregation, opts.tuning)
+            })
+            .collect();
+        let w_opts =
+            w_stored.iter().map(|w| Adam::new(w.rows(), w.cols(), opts.adam)).collect();
+        let f_opt = Adam::new(f_stored.rows(), f_stored.cols(), opts.adam);
+        Self {
+            ctx,
+            layers,
+            w_stored,
+            w_opts,
+            f_stored,
+            f_opt,
+            labels_local,
+            mask_local,
+            num_classes_real: gp.num_classes_real,
+            total_train: gp.total_train,
+            num_layers: gp.num_layers,
+        }
+    }
+
+    /// One full-graph epoch: forward, loss, backward, Adam on the weight
+    /// shards and the feature shard.
+    pub fn train_epoch(&mut self) -> DistEpochStats {
+        let mut timing = TimeSplit::default();
+
+        // Layer-0 input: all-gather the Z-sharded trainable features
+        // (Algorithm 1 line 3).
+        let t1 = std::time::Instant::now();
+        let roles0 = roles_for_layer(0);
+        let mut x = self.ctx.all_gather_rows(&self.f_stored, roles0.rows);
+        timing.comm_s += t1.elapsed().as_secs_f64();
+
+        // Forward through all layers.
+        let mut caches: Vec<DistLayerCache> = Vec::with_capacity(self.num_layers);
+        for l in 0..self.num_layers {
+            let activated = l + 1 < self.num_layers;
+            let (out, cache, t) =
+                self.layers[l].forward(&self.ctx, &x, &self.w_stored[l], activated);
+            timing.add(t);
+            caches.push(cache);
+            x = out;
+        }
+
+        // Distributed loss.
+        let t1 = std::time::Instant::now();
+        let roles_last = roles_for_layer(self.num_layers - 1);
+        let loss_out = dist_masked_cross_entropy(
+            &self.ctx,
+            roles_last,
+            &x,
+            &self.labels_local,
+            &self.mask_local,
+            self.num_classes_real,
+            self.total_train,
+        );
+        timing.comm_s += t1.elapsed().as_secs_f64();
+
+        // Backward through all layers.
+        let mut carried = loss_out.dlogits_local;
+        let mut df_stored: Option<Matrix> = None;
+        for l in (0..self.num_layers).rev() {
+            let df_scatter = l == 0;
+            let dout = std::mem::replace(&mut carried, Matrix::zeros(0, 0));
+            let (grads, t) = self.layers[l].backward(&self.ctx, &caches[l], dout, df_scatter);
+            timing.add(t);
+            self.w_opts[l].step(&mut self.w_stored[l], &grads.dw_stored);
+            if l == 0 {
+                df_stored = Some(grads.df);
+            } else {
+                carried = grads.df;
+            }
+        }
+        self.f_opt
+            .step(&mut self.f_stored, &df_stored.expect("layer 0 must produce a feature grad"));
+
+        DistEpochStats { loss: loss_out.loss, train_accuracy: loss_out.train_accuracy, timing }
+    }
+
+    pub fn ctx(&self) -> &DistContext {
+        &self.ctx
+    }
+}
+
+/// Result of a distributed run: rank-0 epoch stats (all ranks agree
+/// bitwise) plus each rank's collective-traffic ledger.
+pub struct DistRunResult {
+    pub grid: GridConfig,
+    pub epochs: Vec<DistEpochStats>,
+    pub traffic: Vec<Vec<CommEvent>>,
+}
+
+impl DistRunResult {
+    pub fn losses(&self) -> Vec<f64> {
+        self.epochs.iter().map(|e| e.loss).collect()
+    }
+}
+
+/// Preprocess `ds` and train it for `epochs` on a `grid.total()`-rank
+/// world. This is the main entry point of the engine.
+pub fn train_distributed(
+    ds: &LoadedDataset,
+    grid: GridConfig,
+    opts: &DistTrainOptions,
+    epochs: usize,
+) -> DistRunResult {
+    let gp = Arc::new(GlobalProblem::build(
+        ds,
+        grid,
+        opts.hidden_dim,
+        opts.num_layers,
+        opts.model_seed,
+        opts.permutation,
+        opts.perm_seed,
+    ));
+    let (per_rank, traffic) = run_world_with(grid.total(), |comm| {
+        // Duplicate the world communicator so the context can own it.
+        let world = comm.split(0, comm.rank() as u64, "world");
+        let ctx = DistContext::new(world, grid);
+        let mut rt = RankTrainer::new(&gp, ctx, opts);
+        (0..epochs).map(|_| rt.train_epoch()).collect::<Vec<_>>()
+    });
+
+    // Every rank must report identical losses (deterministic collectives).
+    let reference: Vec<f64> = per_rank[0].iter().map(|e| e.loss).collect();
+    for (rank, stats) in per_rank.iter().enumerate().skip(1) {
+        for (e, (s, &r)) in stats.iter().zip(&reference).enumerate() {
+            assert!(
+                (s.loss - r).abs() < 1e-12,
+                "rank {} epoch {} loss {} differs from rank 0's {}",
+                rank,
+                e,
+                s.loss,
+                r
+            );
+        }
+    }
+    DistRunResult { grid, epochs: per_rank.into_iter().next().unwrap(), traffic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_gnn::{SerialTrainer, TrainConfig};
+    use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+
+    fn tiny_ds(nodes: usize, seed: u64) -> LoadedDataset {
+        let spec = DatasetSpec {
+            kind: DatasetKind::OgbnProducts,
+            name: "tiny",
+            nodes,
+            edges: nodes * 8,
+            nonzeros: nodes * 17,
+            features: 12,
+            classes: 6,
+        };
+        LoadedDataset::generate(spec, nodes, Some(12), seed)
+    }
+
+    fn serial_losses(ds: &LoadedDataset, hidden: usize, epochs: usize, seed: u64) -> Vec<f64> {
+        let cfg = TrainConfig { hidden_dim: hidden, num_layers: 3, seed, ..Default::default() };
+        let mut t = SerialTrainer::new(ds, &cfg);
+        t.train(epochs).iter().map(|s| s.loss).collect()
+    }
+
+    fn assert_losses_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (e, (x, y)) in a.iter().zip(b).enumerate() {
+            let denom = x.abs().max(y.abs()).max(1e-9);
+            assert!(
+                ((x - y) / denom).abs() < tol,
+                "{}: epoch {} loss {} vs {} (rel {:.2e})",
+                what,
+                e,
+                x,
+                y,
+                ((x - y) / denom).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_grid_matches_serial_exactly() {
+        let ds = tiny_ds(96, 5);
+        let serial = serial_losses(&ds, 8, 4, 7);
+        let opts = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 7,
+            permutation: PermutationMode::None,
+            ..Default::default()
+        };
+        let dist = train_distributed(&ds, GridConfig::new(1, 1, 1), &opts, 4);
+        assert_losses_close(&dist.losses(), &serial, 1e-6, "1x1x1 vs serial");
+    }
+
+    #[test]
+    fn full_3d_grid_matches_serial() {
+        // The Fig. 7 check: a 2x2x2 grid with double permutation must
+        // produce the serial loss trajectory (up to f32 reassociation).
+        let ds = tiny_ds(128, 9);
+        let serial = serial_losses(&ds, 8, 5, 3);
+        let opts = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 3,
+            permutation: PermutationMode::Double,
+            ..Default::default()
+        };
+        let dist = train_distributed(&ds, GridConfig::new(2, 2, 2), &opts, 5);
+        assert_losses_close(&dist.losses(), &serial, 5e-3, "2x2x2 vs serial");
+    }
+
+    #[test]
+    fn anisotropic_grids_match_serial() {
+        let ds = tiny_ds(96, 11);
+        let serial = serial_losses(&ds, 8, 3, 1);
+        for (gx, gy, gz) in [(4, 1, 1), (1, 4, 1), (1, 1, 4), (2, 2, 1), (1, 2, 2)] {
+            let opts = DistTrainOptions {
+                hidden_dim: 8,
+                model_seed: 1,
+                permutation: PermutationMode::Double,
+                ..Default::default()
+            };
+            let dist = train_distributed(&ds, GridConfig::new(gx, gy, gz), &opts, 3);
+            assert_losses_close(
+                &dist.losses(),
+                &serial,
+                5e-3,
+                &format!("{}x{}x{} vs serial", gx, gy, gz),
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_aggregation_is_bitwise_identical() {
+        let ds = tiny_ds(96, 13);
+        let base = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 5,
+            permutation: PermutationMode::Double,
+            ..Default::default()
+        };
+        let unblocked = train_distributed(&ds, GridConfig::new(2, 1, 2), &base, 3);
+        let blocked_opts =
+            DistTrainOptions { aggregation: Aggregation::Blocked(4), ..base.clone() };
+        let blocked = train_distributed(&ds, GridConfig::new(2, 1, 2), &blocked_opts, 3);
+        for (a, b) in unblocked.losses().iter().zip(blocked.losses()) {
+            assert_eq!(*a, b, "blocked aggregation changed the result");
+        }
+    }
+
+    #[test]
+    fn gemm_tuning_is_bitwise_identical() {
+        let ds = tiny_ds(96, 17);
+        let base = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 5,
+            permutation: PermutationMode::Single,
+            tuning: GemmTuning::Default,
+            ..Default::default()
+        };
+        let plain = train_distributed(&ds, GridConfig::new(2, 2, 1), &base, 3);
+        let tuned_opts = DistTrainOptions { tuning: GemmTuning::Reordered, ..base.clone() };
+        let tuned = train_distributed(&ds, GridConfig::new(2, 2, 1), &tuned_opts, 3);
+        for (a, b) in plain.losses().iter().zip(tuned.losses()) {
+            // Reordered GEMM reassociates nothing: the inner loop order is
+            // identical, so results must match bitwise.
+            assert_eq!(*a, b, "GEMM tuning changed the result");
+        }
+    }
+
+    #[test]
+    fn traffic_ledger_reflects_3d_collectives() {
+        let ds = tiny_ds(96, 19);
+        let opts = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 5,
+            permutation: PermutationMode::Double,
+            ..Default::default()
+        };
+        let res = train_distributed(&ds, GridConfig::new(2, 2, 2), &opts, 1);
+        assert_eq!(res.traffic.len(), 8);
+        let groups: std::collections::HashSet<&str> =
+            res.traffic[0].iter().map(|e| e.group).collect();
+        assert!(groups.contains("x") && groups.contains("y") && groups.contains("z"));
+    }
+
+    #[test]
+    fn loss_decreases_under_3d_training() {
+        let ds = tiny_ds(128, 23);
+        let opts = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 2,
+            permutation: PermutationMode::Double,
+            ..Default::default()
+        };
+        let res = train_distributed(&ds, GridConfig::new(2, 2, 2), &opts, 30);
+        let l = res.losses();
+        assert!(
+            l.last().unwrap() < &(l[0] * 0.8),
+            "3D training did not converge: {:?}",
+            l
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! A single GCN layer: forward (paper eqs. 2.1–2.3) and backward
+//! (eqs. 2.4–2.7).
+
+use plexus_sparse::{spmm, Csr};
+use plexus_tensor::ops::{relu, relu_backward_inplace};
+use plexus_tensor::{gemm, Matrix, Trans};
+
+/// Intermediates cached by the forward pass for use in the backward pass.
+#[derive(Debug)]
+pub struct LayerCache {
+    /// Aggregation output `H = A · F` (needed by eq. 2.5).
+    pub h: Matrix,
+    /// Pre-activation `Q = H · W` (needed by eq. 2.4).
+    pub q: Matrix,
+    /// Whether σ was applied (the final layer emits raw logits).
+    pub activated: bool,
+}
+
+/// Gradients produced by a layer's backward pass.
+#[derive(Debug)]
+pub struct LayerGrads {
+    /// `∂L/∂W` (eq. 2.5).
+    pub dw: Matrix,
+    /// `∂L/∂F` (eq. 2.7) — the gradient flowing to the previous layer (or
+    /// to the trainable input features).
+    pub df: Matrix,
+}
+
+/// Forward pass of one GCN layer. Returns the layer output and the cache.
+///
+/// `activated == false` skips σ (used for the last layer, whose output
+/// feeds softmax cross-entropy directly).
+pub fn gcn_layer_forward(a: &Csr, f: &Matrix, w: &Matrix, activated: bool) -> (Matrix, LayerCache) {
+    // (1) Aggregation: H = SpMM(A, F)                            [eq. 2.1]
+    let h = spmm(a, f);
+    // (2) Combination: Q = SGEMM(H, W)                           [eq. 2.2]
+    let mut q = Matrix::zeros(h.rows(), w.cols());
+    gemm(&mut q, &h, Trans::N, w, Trans::N, 1.0, 0.0);
+    // (3) Activation: F' = σ(Q)                                  [eq. 2.3]
+    let out = if activated { relu(&q) } else { q.clone() };
+    (out, LayerCache { h, q, activated })
+}
+
+/// Backward pass of one GCN layer given `∂L/∂F'` (the gradient of the
+/// layer's output). `a_t` is `Aᵀ` — passed in pre-transposed because the
+/// trainers build it once, not per step.
+pub fn gcn_layer_backward(
+    a_t: &Csr,
+    w: &Matrix,
+    cache: &LayerCache,
+    mut dout: Matrix,
+) -> LayerGrads {
+    // (1) ∂L/∂Q = ∂L/∂F' ⊙ σ'(Q)                                 [eq. 2.4]
+    if cache.activated {
+        relu_backward_inplace(&mut dout, &cache.q);
+    }
+    let dq = dout;
+    // (2) ∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)                               [eq. 2.5]
+    let mut dw = Matrix::zeros(w.rows(), w.cols());
+    gemm(&mut dw, &cache.h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+    // (3) ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ)                               [eq. 2.6]
+    let mut dh = Matrix::zeros(cache.h.rows(), cache.h.cols());
+    gemm(&mut dh, &dq, Trans::N, w, Trans::T, 1.0, 0.0);
+    // (4) ∂L/∂F = SpMM(Aᵀ, ∂L/∂H)                                [eq. 2.7]
+    let df = spmm(a_t, &dh);
+    LayerGrads { dw, df }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_sparse::normalized_adjacency;
+    use plexus_tensor::{assert_close, uniform_matrix};
+
+    fn tiny_setup() -> (Csr, Csr, Matrix, Matrix) {
+        let a = normalized_adjacency(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        let a_t = a.transposed();
+        let f = uniform_matrix(4, 3, -1.0, 1.0, 1);
+        let w = uniform_matrix(3, 2, -1.0, 1.0, 2);
+        (a, a_t, f, w)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (a, _, f, w) = tiny_setup();
+        let (out, cache) = gcn_layer_forward(&a, &f, &w, true);
+        assert_eq!(out.shape(), (4, 2));
+        assert_eq!(cache.h.shape(), (4, 3));
+        assert_eq!(cache.q.shape(), (4, 2));
+    }
+
+    #[test]
+    fn unactivated_output_equals_preactivation() {
+        let (a, _, f, w) = tiny_setup();
+        let (out, cache) = gcn_layer_forward(&a, &f, &w, false);
+        assert_close(&out, &cache.q, 0.0, "logits == Q");
+    }
+
+    #[test]
+    fn activated_output_is_nonnegative() {
+        let (a, _, f, w) = tiny_setup();
+        let (out, _) = gcn_layer_forward(&a, &f, &w, true);
+        assert!(out.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    /// Finite-difference check of dW and dF through a single layer with a
+    /// quadratic loss L = 0.5 * ||out||².
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (a, a_t, f, w) = tiny_setup();
+        let loss_of = |f_: &Matrix, w_: &Matrix| -> f64 {
+            let (out, _) = gcn_layer_forward(&a, f_, w_, true);
+            0.5 * out.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
+        };
+        let (out, cache) = gcn_layer_forward(&a, &f, &w, true);
+        // dL/dout = out for the quadratic loss.
+        let grads = gcn_layer_backward(&a_t, &w, &cache, out.clone());
+
+        let eps = 1e-3f32;
+        // Check a sample of W entries.
+        for &(i, j) in &[(0usize, 0usize), (1, 1), (2, 0)] {
+            let mut wp = w.clone();
+            wp[(i, j)] += eps;
+            let mut wm = w.clone();
+            wm[(i, j)] -= eps;
+            let num = (loss_of(&f, &wp) - loss_of(&f, &wm)) / (2.0 * eps as f64);
+            let ana = grads.dw[(i, j)] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * num.abs().max(1.0),
+                "dW[{},{}] numeric {:.5} vs analytic {:.5}",
+                i,
+                j,
+                num,
+                ana
+            );
+        }
+        // Check a sample of F entries.
+        for &(i, j) in &[(0usize, 0usize), (3, 2), (2, 1)] {
+            let mut fp = f.clone();
+            fp[(i, j)] += eps;
+            let mut fm = f.clone();
+            fm[(i, j)] -= eps;
+            let num = (loss_of(&fp, &w) - loss_of(&fm, &w)) / (2.0 * eps as f64);
+            let ana = grads.df[(i, j)] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * num.abs().max(1.0),
+                "dF[{},{}] numeric {:.5} vs analytic {:.5}",
+                i,
+                j,
+                num,
+                ana
+            );
+        }
+    }
+}

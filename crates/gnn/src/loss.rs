@@ -1,0 +1,151 @@
+//! Masked softmax cross-entropy for node classification, plus accuracy.
+//!
+//! Only training-mask nodes contribute to the loss; the gradient of a
+//! non-training node's logits is zero. Loss is averaged over the number of
+//! training nodes, matching the convention of PyG's
+//! `F.cross_entropy(out[mask], y[mask])` that the paper validates against.
+
+use plexus_tensor::ops::{argmax_rows, logsumexp_rows, softmax_rows};
+use plexus_tensor::Matrix;
+
+/// Loss value and gradient w.r.t. the logits.
+pub struct LossOutput {
+    pub loss: f64,
+    /// `∂L/∂logits`, already divided by the number of masked nodes.
+    pub dlogits: Matrix,
+    pub num_masked: usize,
+}
+
+/// Masked softmax cross-entropy.
+///
+/// `mask[i]` selects whether node `i` contributes. Rows of `logits` beyond
+/// `mask.len()` (padding rows added by the distributed engine) never
+/// contribute.
+pub fn masked_cross_entropy(logits: &Matrix, labels: &[u32], mask: &[bool]) -> LossOutput {
+    assert!(labels.len() <= logits.rows(), "masked_cross_entropy: more labels than rows");
+    assert_eq!(labels.len(), mask.len(), "masked_cross_entropy: labels/mask length mismatch");
+    let num_masked = mask.iter().filter(|&&b| b).count();
+    assert!(num_masked > 0, "masked_cross_entropy: empty mask");
+    let lse = logsumexp_rows(logits);
+    let probs = softmax_rows(logits);
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    let inv = 1.0 / num_masked as f32;
+    let mut loss = 0.0f64;
+    for i in 0..labels.len() {
+        if !mask[i] {
+            continue;
+        }
+        let y = labels[i] as usize;
+        assert!(y < logits.cols(), "label {} out of {} classes", y, logits.cols());
+        loss += (lse[i] - logits[(i, y)]) as f64;
+        let drow = dlogits.row_mut(i);
+        drow.copy_from_slice(probs.row(i));
+        for v in drow.iter_mut() {
+            *v *= inv;
+        }
+        drow[y] -= inv;
+    }
+    LossOutput { loss: loss / num_masked as f64, dlogits, num_masked }
+}
+
+/// Fraction of masked nodes whose argmax prediction matches the label.
+pub fn accuracy(logits: &Matrix, labels: &[u32], mask: &[bool]) -> f64 {
+    let preds = argmax_rows(logits);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..labels.len().min(preds.len()) {
+        if mask[i] {
+            total += 1;
+            if preds[i] == labels[i] as usize {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_logits_give_small_loss_and_full_accuracy() {
+        let mut logits = Matrix::zeros(3, 2);
+        logits[(0, 0)] = 10.0;
+        logits[(1, 1)] = 10.0;
+        logits[(2, 0)] = 10.0;
+        let labels = vec![0, 1, 0];
+        let mask = vec![true, true, true];
+        let out = masked_cross_entropy(&logits, &labels, &mask);
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+        assert_eq!(accuracy(&logits, &labels, &mask), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Matrix::zeros(2, 4);
+        let out = masked_cross_entropy(&logits, &[1, 2], &[true, true]);
+        assert!((out.loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_nodes_have_zero_gradient() {
+        let logits = Matrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        let out = masked_cross_entropy(&logits, &[0, 1, 0], &[true, false, true]);
+        assert_eq!(out.num_masked, 2);
+        assert!(out.dlogits.row(1).iter().all(|&x| x == 0.0));
+        assert!(out.dlogits.row(0).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // d/dlogits of CE per row: softmax - onehot, which sums to 0.
+        let logits = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) as f32 * 0.37).sin());
+        let out = masked_cross_entropy(&logits, &[0, 2, 1, 1], &[true; 4]);
+        for i in 0..4 {
+            let s: f32 = out.dlogits.row(i).iter().sum();
+            assert!(s.abs() < 1e-6, "row {} grad sums to {}", i, s);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_fn(3, 4, |i, j| ((i + 2 * j) as f32 * 0.21).cos());
+        let labels = vec![1, 3, 0];
+        let mask = vec![true, true, false];
+        let out = masked_cross_entropy(&logits, &labels, &mask);
+        let eps = 1e-3f32;
+        for &(i, j) in &[(0usize, 1usize), (1, 3), (1, 0), (0, 2)] {
+            let mut lp = logits.clone();
+            lp[(i, j)] += eps;
+            let mut lm = logits.clone();
+            lm[(i, j)] -= eps;
+            let fp = masked_cross_entropy(&lp, &labels, &mask).loss;
+            let fm = masked_cross_entropy(&lm, &labels, &mask).loss;
+            let num = (fp - fm) / (2.0 * eps as f64);
+            let ana = out.dlogits[(i, j)] as f64;
+            assert!((num - ana).abs() < 1e-3, "({}, {}): {} vs {}", i, j, num, ana);
+        }
+    }
+
+    #[test]
+    fn padded_rows_are_ignored() {
+        // Logits matrix taller than labels: the extra rows (distributed
+        // padding) must not influence loss or gradient.
+        let logits = Matrix::from_fn(5, 2, |i, j| (i * 2 + j) as f32);
+        let out = masked_cross_entropy(&logits, &[0, 1, 0], &[true, true, true]);
+        assert!(out.dlogits.row(3).iter().all(|&x| x == 0.0));
+        assert!(out.dlogits.row(4).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mask")]
+    fn empty_mask_rejected() {
+        let logits = Matrix::zeros(2, 2);
+        let _ = masked_cross_entropy(&logits, &[0, 1], &[false, false]);
+    }
+}

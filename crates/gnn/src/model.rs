@@ -1,0 +1,206 @@
+//! The multi-layer GCN used throughout the evaluation: "a GNN with three
+//! GCN layers and a hidden dimension of 128" (paper §6.2). The layer count
+//! and dimensions are configurable; the last layer emits raw logits.
+
+use crate::layer::{gcn_layer_backward, gcn_layer_forward, LayerCache};
+use plexus_sparse::Csr;
+use plexus_tensor::{glorot_uniform, Matrix};
+
+/// Model hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GcnConfig {
+    pub input_dim: usize,
+    pub hidden_dim: usize,
+    pub num_classes: usize,
+    pub num_layers: usize,
+    pub seed: u64,
+}
+
+impl GcnConfig {
+    /// The paper's standard model: 3 layers, hidden 128.
+    pub fn paper_default(input_dim: usize, num_classes: usize, seed: u64) -> Self {
+        Self { input_dim, hidden_dim: 128, num_classes, num_layers: 3, seed }
+    }
+
+    /// Per-layer (in, out) dimensions.
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        assert!(self.num_layers >= 1, "GcnConfig: need at least one layer");
+        (0..self.num_layers)
+            .map(|l| {
+                let din = if l == 0 { self.input_dim } else { self.hidden_dim };
+                let dout = if l + 1 == self.num_layers { self.num_classes } else { self.hidden_dim };
+                (din, dout)
+            })
+            .collect()
+    }
+}
+
+/// A GCN: weight matrices plus the forward/backward orchestration.
+pub struct Gcn {
+    pub config: GcnConfig,
+    pub weights: Vec<Matrix>,
+}
+
+/// Caches from a full forward pass (one per layer).
+pub struct ForwardCaches {
+    pub caches: Vec<LayerCache>,
+    pub logits: Matrix,
+}
+
+/// All gradients from a full backward pass.
+pub struct Gradients {
+    pub dweights: Vec<Matrix>,
+    /// Gradient of the trainable input features.
+    pub dfeatures: Matrix,
+}
+
+impl Gcn {
+    /// Glorot-initialized model; layer `l` uses seed `config.seed + l` so
+    /// serial and distributed trainers initialize bit-identically.
+    pub fn new(config: GcnConfig) -> Self {
+        let weights = config
+            .layer_dims()
+            .iter()
+            .enumerate()
+            .map(|(l, &(din, dout))| glorot_uniform(din, dout, config.seed + l as u64))
+            .collect();
+        Self { config, weights }
+    }
+
+    /// Full forward pass over the (normalized) adjacency.
+    pub fn forward(&self, a: &Csr, features: &Matrix) -> ForwardCaches {
+        let num_layers = self.weights.len();
+        let mut caches = Vec::with_capacity(num_layers);
+        let mut x = features.clone();
+        for (l, w) in self.weights.iter().enumerate() {
+            let activated = l + 1 < num_layers;
+            let (out, cache) = gcn_layer_forward(a, &x, w, activated);
+            caches.push(cache);
+            x = out;
+        }
+        ForwardCaches { caches, logits: x }
+    }
+
+    /// Full backward pass given `∂L/∂logits`.
+    pub fn backward(&self, a_t: &Csr, caches: &ForwardCaches, dlogits: Matrix) -> Gradients {
+        let mut dweights = vec![Matrix::zeros(1, 1); self.weights.len()];
+        let mut dout = dlogits;
+        for l in (0..self.weights.len()).rev() {
+            let grads = gcn_layer_backward(a_t, &self.weights[l], &caches.caches[l], dout);
+            dweights[l] = grads.dw;
+            dout = grads.df;
+        }
+        Gradients { dweights, dfeatures: dout }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_sparse::normalized_adjacency;
+    use plexus_tensor::uniform_matrix;
+
+    fn setup() -> (Csr, Csr, Matrix, Gcn) {
+        let a = normalized_adjacency(6, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3), (4, 5), (5, 4)]);
+        let a_t = a.transposed();
+        let f = uniform_matrix(6, 5, -1.0, 1.0, 10);
+        let gcn = Gcn::new(GcnConfig {
+            input_dim: 5,
+            hidden_dim: 7,
+            num_classes: 3,
+            num_layers: 3,
+            seed: 42,
+        });
+        (a, a_t, f, gcn)
+    }
+
+    #[test]
+    fn layer_dims_chain_correctly() {
+        let cfg = GcnConfig { input_dim: 10, hidden_dim: 8, num_classes: 4, num_layers: 3, seed: 0 };
+        assert_eq!(cfg.layer_dims(), vec![(10, 8), (8, 8), (8, 4)]);
+        let one = GcnConfig { num_layers: 1, ..cfg };
+        assert_eq!(one.layer_dims(), vec![(10, 4)]);
+    }
+
+    #[test]
+    fn forward_produces_logit_shape() {
+        let (a, _, f, gcn) = setup();
+        let fwd = gcn.forward(&a, &f);
+        assert_eq!(fwd.logits.shape(), (6, 3));
+        assert_eq!(fwd.caches.len(), 3);
+        // Last layer unactivated, inner layers activated.
+        assert!(!fwd.caches[2].activated);
+        assert!(fwd.caches[0].activated && fwd.caches[1].activated);
+    }
+
+    #[test]
+    fn backward_produces_all_gradients() {
+        let (a, a_t, f, gcn) = setup();
+        let fwd = gcn.forward(&a, &f);
+        let dlogits = Matrix::full(6, 3, 0.1);
+        let grads = gcn.backward(&a_t, &fwd, dlogits);
+        assert_eq!(grads.dweights.len(), 3);
+        for (l, (dw, w)) in grads.dweights.iter().zip(&gcn.weights).enumerate() {
+            assert_eq!(dw.shape(), w.shape(), "layer {} dW shape", l);
+        }
+        assert_eq!(grads.dfeatures.shape(), f.shape());
+    }
+
+    #[test]
+    fn end_to_end_gradcheck_through_three_layers() {
+        let (a, a_t, f, gcn) = setup();
+        let loss_of = |f_: &Matrix, gcn_: &Gcn| -> f64 {
+            let fwd = gcn_.forward(&a, f_);
+            0.5 * fwd.logits.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+        };
+        let fwd = gcn.forward(&a, &f);
+        let grads = gcn.backward(&a_t, &fwd, fwd.logits.clone());
+        let eps = 1e-2f32;
+        // Feature gradient through all three layers.
+        for &(i, j) in &[(0usize, 0usize), (5, 4), (3, 2)] {
+            let mut fp = f.clone();
+            fp[(i, j)] += eps;
+            let mut fm = f.clone();
+            fm[(i, j)] -= eps;
+            let num = (loss_of(&fp, &gcn) - loss_of(&fm, &gcn)) / (2.0 * eps as f64);
+            let ana = grads.dfeatures[(i, j)] as f64;
+            assert!(
+                (num - ana).abs() < 0.05 * num.abs().max(0.5),
+                "dF[{},{}] numeric {:.4} vs analytic {:.4}",
+                i,
+                j,
+                num,
+                ana
+            );
+        }
+        // First-layer weight gradient (flows through layers 1 and 2).
+        let mut gcn2 = Gcn::new(gcn.config.clone());
+        for &(i, j) in &[(0usize, 0usize), (4, 6)] {
+            let orig = gcn2.weights[0][(i, j)];
+            gcn2.weights[0][(i, j)] = orig + eps;
+            let fp = loss_of(&f, &gcn2);
+            gcn2.weights[0][(i, j)] = orig - eps;
+            let fm = loss_of(&f, &gcn2);
+            gcn2.weights[0][(i, j)] = orig;
+            let num = (fp - fm) / (2.0 * eps as f64);
+            let ana = grads.dweights[0][(i, j)] as f64;
+            assert!(
+                (num - ana).abs() < 0.05 * num.abs().max(0.5),
+                "dW0[{},{}] numeric {:.4} vs analytic {:.4}",
+                i,
+                j,
+                num,
+                ana
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let (_, _, _, gcn) = setup();
+        let gcn2 = Gcn::new(gcn.config.clone());
+        for (w1, w2) in gcn.weights.iter().zip(&gcn2.weights) {
+            assert_eq!(w1, w2);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The in-memory graph type shared by generators, trainers and baselines.
+
+use plexus_sparse::{normalized_adjacency, Csr};
+
+/// An undirected graph stored as a directed edge list (each undirected edge
+/// appears in both directions, matching how the paper counts "nonzeros" vs
+/// "edges" in Table 4).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Build from a directed edge list. Self-loops and duplicates are
+    /// permitted (they collapse during adjacency assembly).
+    pub fn new(num_nodes: usize, edges: Vec<(u32, u32)>) -> Self {
+        debug_assert!(
+            edges.iter().all(|&(u, v)| (u as usize) < num_nodes && (v as usize) < num_nodes),
+            "Graph::new: edge endpoint out of range"
+        );
+        Self { num_nodes, edges }
+    }
+
+    /// Build from an undirected edge list: every `(u, v)` also inserts
+    /// `(v, u)`.
+    pub fn from_undirected(num_nodes: usize, undirected: &[(u32, u32)]) -> Self {
+        let mut edges = Vec::with_capacity(undirected.len() * 2);
+        for &(u, v) in undirected {
+            edges.push((u, v));
+            if u != v {
+                edges.push((v, u));
+            }
+        }
+        Self::new(num_nodes, edges)
+    }
+
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Directed edge count (== Table 4 "# Edges" convention).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Out-degree of every node.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes];
+        for &(u, _) in &self.edges {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_nodes.max(1) as f64
+    }
+
+    /// The normalized adjacency matrix `Â = D^{-1/2}(A+I)D^{-1/2}` used for
+    /// training (paper §2.1). Its nnz corresponds to Table 4 "# Non-zeros"
+    /// (edges + self-loops, deduplicated).
+    pub fn normalized_adjacency(&self) -> Csr {
+        normalized_adjacency(self.num_nodes, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = Graph::from_undirected(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degrees(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn self_loop_not_doubled() {
+        let g = Graph::from_undirected(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn adjacency_nnz_counts_self_loops() {
+        let g = Graph::from_undirected(3, &[(0, 1)]);
+        // nnz = 2 directed edges + 3 self-loops.
+        assert_eq!(g.normalized_adjacency().nnz(), 5);
+    }
+
+    #[test]
+    fn avg_degree() {
+        let g = Graph::from_undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+}

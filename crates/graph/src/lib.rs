@@ -1,0 +1,25 @@
+//! Graph datasets for the Plexus reproduction.
+//!
+//! The paper evaluates on six graphs (Table 4): Reddit, ogbn-products,
+//! Isolate-3-8M, products-14M, europe_osm and ogbn-papers100M. The raw
+//! datasets (up to 111M nodes / 1.6B edges) are not available in this
+//! environment, so this crate provides:
+//!
+//! * [`datasets::DatasetSpec`] — the exact Table 4 statistics, consumed
+//!   analytically by the performance model and the scaling benches;
+//! * synthetic [`generators`] reproducing each graph's *structure* (degree
+//!   skew, community clustering, road-network locality) at configurable
+//!   scale, used by every functional experiment;
+//! * the paper's label recipe for its synthetic-label datasets: "randomly
+//!   generated input features with a size of 128, and generated labels with
+//!   32 classes based on the distribution of node degrees" (§6.2).
+
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod labels;
+
+pub use datasets::{paper_datasets, DatasetKind, DatasetSpec, LoadedDataset};
+pub use generators::{community_graph, erdos_renyi, rmat_graph, road_network};
+pub use graph::Graph;
+pub use labels::{degree_based_labels, train_val_test_masks, Split};

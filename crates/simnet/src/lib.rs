@@ -1,0 +1,26 @@
+//! Machine and network performance models.
+//!
+//! The paper's scaling evaluation runs on Perlmutter (2048 A100 GPUs) and
+//! Frontier (1024+ MI250X GCDs). Those machines are simulated here:
+//!
+//! * [`machine`] — hardware constants for both systems (§6.1) plus the
+//!   kernel-rate models calibrated to the paper's observations (e.g.
+//!   "SpMM times on AMD GPUs were an order of magnitude higher", §7.2);
+//! * [`ring`] — ring-collective time equations (Thakur/Rabenseifner, the
+//!   paper's eq. 4.5) and the all-to-all model used for BNS-GCN;
+//! * [`regression`] — ordinary least squares via normal equations, R² and
+//!   RMSE, reproducing the §4.1 model-fitting methodology without an ML
+//!   dependency;
+//! * [`gpumem`] — a GPU memory-access simulator (CTA grid sizing, 32-byte
+//!   sector coalescing, a small LRU L2 cache) that regenerates the
+//!   *mechanism* behind Table 2's Nsight metrics.
+
+pub mod gpumem;
+pub mod machine;
+pub mod regression;
+pub mod ring;
+
+pub use gpumem::{simulate_spmm_kernel, SpmmKernelMetrics};
+pub use machine::{frontier, perlmutter, MachineSpec};
+pub use regression::{LinearModel, RegressionReport};
+pub use ring::{all_gather_time, all_reduce_time, all_to_all_time, reduce_scatter_time};

@@ -1,0 +1,130 @@
+//! Hardware models of the two supercomputers in the paper's evaluation
+//! (§6.1), expressed as effective rates rather than peaks.
+//!
+//! Calibration notes (all tied to statements in the paper):
+//!
+//! * A100 peak is 19.5 FP32 Tflop/s; SpMM on power-law graphs reaches only
+//!   a small fraction of peak (irregular access, low reuse — §1), so the
+//!   effective SpMM rate is ~1.5% of peak. Dense GEMM on the shapes in
+//!   play (tall-skinny times small square) runs at ~40% of peak.
+//! * MI250X peak is 47.9 FP32 Tflop/s *per GPU* (two GCDs), but §7.2
+//!   observes SpMM "an order of magnitude higher" latency than NVIDIA —
+//!   so the per-GCD effective SpMM rate is ~10x below the A100's.
+//! * Both systems have 4 NICs/node at 25 GB/s injection (§6.1); NVLink-
+//!   class intra-node fabric is modelled at 200 GB/s effective per GPU.
+
+/// Effective machine rates used by every analytic model in the workspace.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    /// GPUs (Perlmutter) or GCDs (Frontier) per node.
+    pub gpus_per_node: usize,
+    /// Effective intra-node bandwidth per GPU pair, bytes/s.
+    pub beta_intra: f64,
+    /// Effective inter-node injection bandwidth per NIC, bytes/s.
+    pub beta_inter: f64,
+    /// Per-collective-step latency, seconds (small but matters for
+    /// all-to-all at scale).
+    pub latency: f64,
+    /// Effective SpMM rate, flop/s.
+    pub spmm_rate: f64,
+    /// Effective dense GEMM rate, flop/s.
+    pub gemm_rate: f64,
+    /// Dimensionless coefficient of the tall-skinny SpMM penalty (paper
+    /// §4.1): multiplies `(rows_of_dense / cols_of_dense)`-shaped terms.
+    pub spmm_shape_penalty: f64,
+}
+
+/// Perlmutter GPU partition: 4x A100 per node, Slingshot 11.
+pub fn perlmutter() -> MachineSpec {
+    MachineSpec {
+        name: "Perlmutter",
+        gpus_per_node: 4,
+        beta_intra: 200.0e9,
+        beta_inter: 25.0e9,
+        latency: 12.0e-6,
+        spmm_rate: 0.3e12,  // ~1.5% of 19.5 Tflop/s
+        gemm_rate: 8.0e12,  // ~40% of peak
+        spmm_shape_penalty: 2.0e-6,
+    }
+}
+
+/// Frontier: 4x MI250X per node = 8 GCDs, Slingshot 11.
+pub fn frontier() -> MachineSpec {
+    MachineSpec {
+        name: "Frontier",
+        gpus_per_node: 8,
+        beta_intra: 150.0e9,
+        beta_inter: 25.0e9,
+        latency: 12.0e-6,
+        // §7.2: SpMM an order of magnitude slower than on A100s.
+        spmm_rate: 0.03e12,
+        gemm_rate: 10.0e12,
+        spmm_shape_penalty: 2.0e-6,
+    }
+}
+
+impl MachineSpec {
+    /// Time for `flops` of SpMM with a dense operand of shape
+    /// `common_rows x dense_cols`; the second factor is the §4.1
+    /// tall-skinny penalty (more rows per column -> worse memory behavior).
+    pub fn spmm_time(&self, flops: f64, common_rows: f64, dense_cols: f64) -> f64 {
+        let shape_penalty = 1.0 + self.spmm_shape_penalty * common_rows / dense_cols.max(1.0);
+        flops / self.spmm_rate * shape_penalty
+    }
+
+    /// Time for a dense GEMM of `flops`.
+    pub fn gemm_time(&self, flops: f64) -> f64 {
+        flops / self.gemm_rate
+    }
+
+    /// Node index of a rank under consecutive packing.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_spmm_is_order_of_magnitude_slower() {
+        let p = perlmutter();
+        let f = frontier();
+        let flops = 1.0e12;
+        let tp = p.spmm_time(flops, 1e6, 128.0);
+        let tf = f.spmm_time(flops, 1e6, 128.0);
+        assert!(
+            tf / tp > 8.0 && tf / tp < 12.0,
+            "Frontier/Perlmutter SpMM ratio {:.1} should be ~10x",
+            tf / tp
+        );
+    }
+
+    #[test]
+    fn skinny_dense_operand_is_penalized() {
+        let m = perlmutter();
+        let flops = 1.0e12;
+        let fat = m.spmm_time(flops, 1.0e6, 128.0);
+        let skinny = m.spmm_time(flops, 1.0e6, 2.0);
+        assert!(skinny > fat * 1.5, "skinny {:.4} vs fat {:.4}", skinny, fat);
+    }
+
+    #[test]
+    fn gemm_is_much_faster_than_spmm_per_flop() {
+        let m = perlmutter();
+        assert!(m.gemm_time(1e12) < m.spmm_time(1e12, 1e5, 128.0) / 5.0);
+    }
+
+    #[test]
+    fn node_packing_is_consecutive() {
+        let p = perlmutter();
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(3), 0);
+        assert_eq!(p.node_of(4), 1);
+        let f = frontier();
+        assert_eq!(f.node_of(7), 0);
+        assert_eq!(f.node_of(8), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ordinary least squares via normal equations — the paper fits its §4.1
+//! computational model with scikit-learn's LinearRegression on 67 points
+//! and reports train/test R² over 1000 random splits; this module
+//! reproduces that methodology.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A fitted linear model `y = w · x + b`.
+#[derive(Clone, Debug)]
+pub struct LinearModel {
+    pub coefficients: Vec<f64>,
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Fit by solving the normal equations `(XᵀX) w = Xᵀy` with Gaussian
+    /// elimination and partial pivoting (feature counts here are tiny).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "LinearModel::fit: no samples");
+        assert_eq!(xs.len(), ys.len(), "LinearModel::fit: X/y length mismatch");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == d), "LinearModel::fit: ragged features");
+        // Augment with a constant column for the intercept.
+        let cols = d + 1;
+        let mut xtx = vec![vec![0.0f64; cols]; cols];
+        let mut xty = vec![0.0f64; cols];
+        for (x, &y) in xs.iter().zip(ys) {
+            let aug = |i: usize| if i < d { x[i] } else { 1.0 };
+            for i in 0..cols {
+                for j in 0..cols {
+                    xtx[i][j] += aug(i) * aug(j);
+                }
+                xty[i] += aug(i) * y;
+            }
+        }
+        // Tikhonov jitter keeps the solve stable when features correlate.
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let w = solve(xtx, xty);
+        Self { coefficients: w[..d].to_vec(), intercept: w[d] }
+    }
+
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "predict: feature count mismatch");
+        self.intercept + self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r2(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
+        let ss_res: f64 =
+            xs.iter().zip(ys).map(|(x, &y)| (y - self.predict(x)).powi(2)).sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Root-mean-square error on a dataset.
+    pub fn rmse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let ss: f64 = xs.iter().zip(ys).map(|(x, &y)| (y - self.predict(x)).powi(2)).sum();
+        (ss / ys.len() as f64).sqrt()
+    }
+}
+
+/// Solve `A w = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 1e-30, "normal equations singular at column {}", col);
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut w = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * w[k];
+        }
+        w[row] = acc / a[row][row];
+    }
+    w
+}
+
+/// Repeated random train/test split evaluation, as in §4.1 ("a random
+/// train-test split of 70-30 for 1000 independent iterations").
+#[derive(Clone, Debug)]
+pub struct RegressionReport {
+    pub train_r2: f64,
+    pub test_r2: f64,
+    pub train_rmse: f64,
+    pub test_rmse: f64,
+    pub iterations: usize,
+}
+
+impl RegressionReport {
+    pub fn evaluate(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        train_fraction: f64,
+        iterations: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(xs.len() >= 5, "RegressionReport: too few samples");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        let n_train = ((xs.len() as f64) * train_fraction).round() as usize;
+        let (mut tr2, mut te2, mut trm, mut tem) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..iterations {
+            idx.shuffle(&mut rng);
+            let take = |ids: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
+                (ids.iter().map(|&i| xs[i].clone()).collect(), ids.iter().map(|&i| ys[i]).collect())
+            };
+            let (xtr, ytr) = take(&idx[..n_train]);
+            let (xte, yte) = take(&idx[n_train..]);
+            let model = LinearModel::fit(&xtr, &ytr);
+            tr2 += model.r2(&xtr, &ytr);
+            te2 += model.r2(&xte, &yte);
+            trm += model.rmse(&xtr, &ytr);
+            tem += model.rmse(&xte, &yte);
+        }
+        let k = iterations as f64;
+        Self {
+            train_r2: tr2 / k,
+            test_r2: te2 / k,
+            train_rmse: trm / k,
+            test_rmse: tem / k,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let xs: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert!((m.coefficients[0] - 3.0).abs() < 1e-6);
+        assert!((m.coefficients[1] + 2.0).abs() < 1e-6);
+        assert!((m.intercept - 5.0).abs() < 1e-6);
+        assert!(m.r2(&xs, &ys) > 0.999999);
+        assert!(m.rmse(&xs, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.random_range(0.0..10.0)]).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 2.0 * x[0] + 1.0 + rng.random_range(-0.5..0.5)).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        let r2 = m.r2(&xs, &ys);
+        assert!(r2 > 0.95, "r2 = {}", r2);
+    }
+
+    #[test]
+    fn report_averages_over_splits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Vec<f64>> =
+            (0..67).map(|_| vec![rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)]).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| x[0] + 0.5 * x[1] + rng.random_range(-0.05..0.05)).collect();
+        let rep = RegressionReport::evaluate(&xs, &ys, 0.7, 50, 1);
+        assert!(rep.train_r2 > 0.8 && rep.test_r2 > 0.6, "report: {:?}", rep);
+        assert!(rep.train_rmse < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let _ = LinearModel::fit(&[vec![1.0]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,428 @@
+//! COO and CSR sparse matrix formats.
+//!
+//! Indices are `u32` (the largest paper graph has 111M nodes, well within
+//! range) and values are `f32`, halving memory traffic against a
+//! usize/f64 layout — SpMM is bandwidth-bound, so this matters.
+
+use plexus_tensor::Matrix;
+
+/// Coordinate-format sparse matrix: the assembly format used by graph
+/// generators and the data loader before conversion to CSR.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    pub rows: usize,
+    pub cols: usize,
+    pub entries: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    pub fn push(&mut self, r: u32, c: u32, v: f32) {
+        debug_assert!(
+            (r as usize) < self.rows && (c as usize) < self.cols,
+            "Coo::push: ({}, {}) out of bounds {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
+        self.entries.push((r, c, v));
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Convert to CSR, summing duplicate coordinates.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_coo(self)
+    }
+}
+
+/// Compressed-sparse-row matrix.
+///
+/// Invariants: `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+/// `row_ptr[rows] == col_idx.len() == values.len()`, `row_ptr` is
+/// non-decreasing, and column indices are sorted and unique within a row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Empty matrix (no nonzeros) of the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Build from raw CSR arrays, validating every invariant.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "Csr::from_raw: row_ptr length");
+        assert_eq!(row_ptr[0], 0, "Csr::from_raw: row_ptr must start at 0");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "Csr::from_raw: nnz mismatch");
+        assert_eq!(col_idx.len(), values.len(), "Csr::from_raw: col/value length mismatch");
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "Csr::from_raw: row_ptr not monotone");
+        }
+        for r in 0..rows {
+            let seg = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for pair in seg.windows(2) {
+                assert!(pair[0] < pair[1], "Csr::from_raw: row {} columns not sorted/unique", r);
+            }
+            if let Some(&last) = seg.last() {
+                assert!((last as usize) < cols, "Csr::from_raw: column index out of bounds");
+            }
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Build from COO, sorting and summing duplicates.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut entries = coo.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut row_ptr = vec![0usize; coo.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(entries.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &(r, c, v) in &entries {
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("duplicate implies prior entry") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        // Per-row counts -> cumulative offsets.
+        for r in 1..=coo.rows {
+            row_ptr[r] += row_ptr[r - 1];
+        }
+        Self { rows: coo.rows, cols: coo.cols, row_ptr, col_idx, values }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of entries that are zero, as the paper reports per dataset
+    /// ("the fraction of zeros ranges from 99.79% to 99.99%").
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row_entries(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of nonzeros in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Value at `(r, c)`, or 0.0 when absent (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let (cols, vals) = self.row_entries(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transpose (CSR -> CSR of the transpose) via counting sort; O(nnz).
+    pub fn transposed(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            let (cols, vals) = self.row_entries(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dst = cursor[c as usize];
+                col_idx[dst] = r as u32;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        // Source rows are visited in order, so target columns come out sorted.
+        Csr { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Densify (tests and small references only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row_entries(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m[(r, c as usize)] = v;
+            }
+        }
+        m
+    }
+
+    /// Extract the block `[r0, r1) x [c0, c1)` as a new CSR with local
+    /// indices — the core sharding primitive.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Csr {
+        assert!(
+            r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols,
+            "Csr::block out of bounds: [{},{})x[{},{}) of {}x{}",
+            r0,
+            r1,
+            c0,
+            c1,
+            self.rows,
+            self.cols
+        );
+        let mut row_ptr = Vec::with_capacity(r1 - r0 + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in r0..r1 {
+            let (cols, vals) = self.row_entries(r);
+            // Columns are sorted: binary search the window once per row.
+            let lo = cols.partition_point(|&c| (c as usize) < c0);
+            let hi = cols.partition_point(|&c| (c as usize) < c1);
+            for k in lo..hi {
+                col_idx.push(cols[k] - c0 as u32);
+                values.push(vals[k]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows: r1 - r0, cols: c1 - c0, row_ptr, col_idx, values }
+    }
+
+    /// Count nonzeros in a block without materializing it (used by the
+    /// balance statistics and by the performance model).
+    pub fn block_nnz(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> usize {
+        let mut count = 0;
+        for r in r0..r1 {
+            let (cols, _) = self.row_entries(r);
+            let lo = cols.partition_point(|&c| (c as usize) < c0);
+            let hi = cols.partition_point(|&c| (c as usize) < c1);
+            count += hi - lo;
+        }
+        count
+    }
+
+    /// Zero-pad to a larger shape (extra rows are empty; extra column space
+    /// needs no storage change).
+    pub fn zero_padded(&self, rows: usize, cols: usize) -> Csr {
+        assert!(rows >= self.rows && cols >= self.cols, "Csr::zero_padded: target smaller");
+        let mut row_ptr = self.row_ptr.clone();
+        row_ptr.resize(rows + 1, self.nnz());
+        Csr { rows, cols, row_ptr, col_idx: self.col_idx.clone(), values: self.values.clone() }
+    }
+
+    /// Vertically concatenate row-blocks that share a column count.
+    pub fn vstack(blocks: &[Csr]) -> Csr {
+        assert!(!blocks.is_empty(), "Csr::vstack of zero blocks");
+        let cols = blocks[0].cols;
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut rows = 0;
+        for b in blocks {
+            assert_eq!(b.cols, cols, "Csr::vstack: inconsistent column counts");
+            let base = *row_ptr.last().unwrap();
+            row_ptr.extend(b.row_ptr[1..].iter().map(|&p| p + base));
+            col_idx.extend_from_slice(&b.col_idx);
+            values.extend_from_slice(&b.values);
+            rows += b.rows;
+        }
+        Csr { rows, cols, row_ptr, col_idx, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(2, 1, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_basic() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 1.0);
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn unsorted_coo_input_is_sorted() {
+        let mut coo = Coo::new(2, 3);
+        coo.push(1, 2, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        let m = coo.to_csr();
+        assert_eq!(m.row_entries(1).0, &[0, 2]);
+    }
+
+    #[test]
+    fn transpose_round_trip_and_values() {
+        let m = sample();
+        let t = m.transposed();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(1, 2), 4.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn block_extraction_local_indices() {
+        let m = sample();
+        let b = m.block(1, 3, 0, 2); // rows {1,2} x cols {0,1}
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b.nnz(), 2);
+        assert_eq!(b.get(1, 0), 3.0);
+        assert_eq!(b.get(1, 1), 4.0);
+        assert_eq!(m.block_nnz(1, 3, 0, 2), 2);
+    }
+
+    #[test]
+    fn block_nnz_matches_block() {
+        let m = sample();
+        for r0 in 0..3 {
+            for r1 in r0..=3 {
+                for c0 in 0..3 {
+                    for c1 in c0..=3 {
+                        assert_eq!(m.block_nnz(r0, r1, c0, c1), m.block(r0, r1, c0, c1).nnz());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_restores_row_split() {
+        let m = sample();
+        let top = m.block(0, 1, 0, 3);
+        let bottom = m.block(1, 3, 0, 3);
+        assert_eq!(Csr::vstack(&[top, bottom]), m);
+    }
+
+    #[test]
+    fn eye_and_padding() {
+        let i = Csr::eye(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(2, 2), 1.0);
+        let p = i.zero_padded(5, 5);
+        assert_eq!(p.shape(), (5, 5));
+        assert_eq!(p.nnz(), 3);
+        assert_eq!(p.row_nnz(4), 0);
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        let m = sample();
+        assert!((m.sparsity() - (1.0 - 4.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns not sorted")]
+    fn from_raw_rejects_unsorted() {
+        let _ = Csr::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[(2, 1)], 4.0);
+        assert_eq!(d[(1, 1)], 0.0);
+    }
+}

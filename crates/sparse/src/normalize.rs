@@ -1,0 +1,130 @@
+//! Adjacency-matrix preprocessing: self-loops and symmetric degree
+//! normalization, exactly as §2.1 of the paper prescribes.
+//!
+//! Before training, self-loops are added to `A` so each node's learned
+//! representation includes its own features, then every edge `A[u][v]` is
+//! scaled by `1/sqrt(d_u * d_v)` where `d` is the post-self-loop degree.
+//! This is the standard Kipf & Welling `Â = D^{-1/2}(A+I)D^{-1/2}`.
+
+use crate::csr::{Coo, Csr};
+
+/// Build the normalized adjacency `Â = D^{-1/2}(A+I)D^{-1/2}` from an edge
+/// list over `n` nodes.
+///
+/// Duplicate edges collapse to a single nonzero (adjacency is binary before
+/// normalization, as in the paper's datasets). Degrees count the self-loop,
+/// so no node has degree zero and the scaling is always finite.
+pub fn normalized_adjacency(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut coo = Coo::new(n, n);
+    for &(u, v) in edges {
+        coo.push(u, v, 1.0);
+    }
+    for i in 0..n as u32 {
+        coo.push(i, i, 1.0);
+    }
+    let mut a = coo.to_csr();
+    // Duplicates summed by to_csr -> clamp back to binary before normalizing.
+    for v in a.values_mut() {
+        *v = 1.0;
+    }
+    normalize_csr(&mut a);
+    a
+}
+
+/// In-place symmetric normalization of an already-assembled matrix:
+/// `A[u][v] *= 1/sqrt(d_u * d_v)` with `d` = row nonzero count.
+///
+/// Row degree is used for both endpoints, which is exact for undirected
+/// (structurally symmetric) graphs — the paper's setting ("without loss of
+/// generality, this is shown for the undirected case").
+pub fn normalize_csr(a: &mut Csr) {
+    assert_eq!(a.rows(), a.cols(), "normalize_csr: adjacency must be square");
+    let inv_sqrt_deg: Vec<f32> = (0..a.rows())
+        .map(|r| {
+            let d = a.row_nnz(r);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / (d as f32).sqrt()
+            }
+        })
+        .collect();
+    let n = a.rows();
+    let row_of = row_index_of_each_nnz(a);
+    let col_idx: Vec<u32> = a.col_idx().to_vec();
+    for (k, v) in a.values_mut().iter_mut().enumerate() {
+        let r = row_of[k] as usize;
+        let c = col_idx[k] as usize;
+        debug_assert!(r < n && c < n);
+        *v *= inv_sqrt_deg[r] * inv_sqrt_deg[c];
+    }
+}
+
+fn row_index_of_each_nnz(a: &Csr) -> Vec<u32> {
+    let mut out = vec![0u32; a.nnz()];
+    for r in 0..a.rows() {
+        let lo = a.row_ptr()[r];
+        let hi = a.row_ptr()[r + 1];
+        for slot in &mut out[lo..hi] {
+            *slot = r as u32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_are_added() {
+        // Path graph 0-1-2.
+        let a = normalized_adjacency(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(a.get(0, 0) > 0.0);
+        assert!(a.get(1, 1) > 0.0);
+        assert!(a.get(2, 2) > 0.0);
+        assert_eq!(a.nnz(), 7);
+    }
+
+    #[test]
+    fn normalization_values_match_formula() {
+        // Path 0-1-2 with self-loops: d0 = 2, d1 = 3, d2 = 2.
+        let a = normalized_adjacency(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let expect_01 = 1.0 / (2.0f32 * 3.0).sqrt();
+        let expect_00 = 1.0 / 2.0;
+        let expect_11 = 1.0 / 3.0;
+        assert!((a.get(0, 1) - expect_01).abs() < 1e-6);
+        assert!((a.get(1, 0) - expect_01).abs() < 1e-6);
+        assert!((a.get(0, 0) - expect_00).abs() < 1e-6);
+        assert!((a.get(1, 1) - expect_11).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_node_gets_self_loop_only() {
+        let a = normalized_adjacency(2, &[]);
+        assert_eq!(a.nnz(), 2);
+        assert!((a.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((a.get(1, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let a = normalized_adjacency(2, &[(0, 1), (0, 1), (1, 0)]);
+        // Both nodes have degree 2 (neighbor + self-loop).
+        assert!((a.get(0, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn rows_sum_reasonably_for_symmetric_graph() {
+        // Normalized adjacency of a k-regular graph has row sums == 1.
+        // Ring of 4 nodes: every node degree 3 after self-loop.
+        let edges = [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)];
+        let a = normalized_adjacency(4, &edges);
+        for r in 0..4 {
+            let (_, vals) = a.row_entries(r);
+            let s: f32 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {} sums to {}", r, s);
+        }
+    }
+}

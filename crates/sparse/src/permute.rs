@@ -1,0 +1,154 @@
+//! Node permutations — the substrate of the paper's §5.1 double-permutation
+//! load balancer.
+//!
+//! A permutation `p` maps *original* index to *new* index: node `i` of the
+//! input becomes node `p[i]` of the output. The §5.1 scheme applies a row
+//! permutation `P_r` and a distinct column permutation `P_c` to the
+//! adjacency matrix (`P_r A P_cᵀ`), which spreads dense communities across
+//! the 2D shard grid far more evenly than a single shared permutation.
+
+use crate::csr::{Coo, Csr};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly random permutation of `{0..n}` (Fisher–Yates, seeded).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    p.shuffle(&mut rng);
+    p
+}
+
+/// Inverse permutation: `inv[p[i]] = i`.
+pub fn inverse_permutation(p: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; p.len()];
+    for (i, &pi) in p.iter().enumerate() {
+        inv[pi as usize] = i as u32;
+    }
+    inv
+}
+
+/// Validate that `p` is a permutation of `{0..n}` (debug tool; O(n)).
+pub fn is_permutation(p: &[u32]) -> bool {
+    let mut seen = vec![false; p.len()];
+    for &x in p {
+        let x = x as usize;
+        if x >= p.len() || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+/// Apply row permutation `pr` and column permutation `pc` to a sparse
+/// matrix: output has entry `(pr[r], pc[c])` for every input entry `(r, c)`.
+/// This is exactly `P_r A P_cᵀ` in the paper's notation.
+pub fn apply_permutation(a: &Csr, pr: &[u32], pc: &[u32]) -> Csr {
+    assert_eq!(pr.len(), a.rows(), "apply_permutation: row permutation length mismatch");
+    assert_eq!(pc.len(), a.cols(), "apply_permutation: column permutation length mismatch");
+    let mut coo = Coo::new(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row_entries(r);
+        let nr = pr[r];
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(nr, pc[c as usize], v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Apply a single permutation symmetrically: `P A Pᵀ` (the naïve §5.1
+/// scheme used as the "single permutation" ablation).
+pub fn apply_symmetric_permutation(a: &Csr, p: &[u32]) -> Csr {
+    apply_permutation(a, p, p)
+}
+
+/// Permute the entries of a vector of per-node data: `out[p[i]] = data[i]`.
+pub fn permute_vec<T: Clone + Default>(data: &[T], p: &[u32]) -> Vec<T> {
+    assert_eq!(data.len(), p.len(), "permute_vec: length mismatch");
+    let mut out = vec![T::default(); data.len()];
+    for (i, &pi) in p.iter().enumerate() {
+        out[pi as usize] = data[i].clone();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        let mut coo = Coo::new(4, 4);
+        for (r, c, v) in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0), (0, 0, 5.0)] {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn random_permutation_is_valid_and_seeded() {
+        let p = random_permutation(100, 1);
+        assert!(is_permutation(&p));
+        assert_eq!(p, random_permutation(100, 1));
+        assert_ne!(p, random_permutation(100, 2));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = random_permutation(50, 9);
+        let inv = inverse_permutation(&p);
+        for i in 0..50 {
+            assert_eq!(inv[p[i] as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn permutation_moves_entries() {
+        let a = sample();
+        let p: Vec<u32> = vec![2, 0, 3, 1]; // i -> p[i]
+        let b = apply_symmetric_permutation(&a, &p);
+        // (0,1) -> (2,0); (3,0) -> (1,2); (0,0) -> (2,2)
+        assert_eq!(b.get(2, 0), 1.0);
+        assert_eq!(b.get(1, 2), 4.0);
+        assert_eq!(b.get(2, 2), 5.0);
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn distinct_row_col_permutations() {
+        let a = sample();
+        let pr: Vec<u32> = vec![1, 0, 3, 2];
+        let pc: Vec<u32> = vec![3, 2, 1, 0];
+        let b = apply_permutation(&a, &pr, &pc);
+        // (0,1) -> (pr[0], pc[1]) = (1, 2)
+        assert_eq!(b.get(1, 2), 1.0);
+        // (2,3) -> (3, 0)
+        assert_eq!(b.get(3, 0), 3.0);
+    }
+
+    #[test]
+    fn permutation_invertible_on_matrix() {
+        let a = sample();
+        let pr = random_permutation(4, 3);
+        let pc = random_permutation(4, 4);
+        let b = apply_permutation(&a, &pr, &pc);
+        let back = apply_permutation(&b, &inverse_permutation(&pr), &inverse_permutation(&pc));
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn permute_vec_matches_matrix_row_movement() {
+        let data = vec![10, 20, 30, 40];
+        let p: Vec<u32> = vec![2, 0, 3, 1];
+        assert_eq!(permute_vec(&data, &p), vec![20, 40, 10, 30]);
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_input() {
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3]));
+        assert!(is_permutation(&[]));
+    }
+}

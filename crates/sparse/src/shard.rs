@@ -1,0 +1,178 @@
+//! 2D sharding of sparse matrices — the primitive behind both the 3D
+//! algorithm's adjacency distribution (paper §3.1) and the parallel data
+//! loader's offline shard files (§5.4).
+
+use crate::csr::Csr;
+
+/// Description of one shard inside a `p x q` block grid over an `R x C`
+/// matrix. Row/column ranges are computed by even splitting; when the
+/// dimension is not divisible the remainder goes to the leading shards,
+/// matching how the engine pads matrices so that in practice splits are
+/// exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    pub row_block: usize,
+    pub col_block: usize,
+    pub r0: usize,
+    pub r1: usize,
+    pub c0: usize,
+    pub c1: usize,
+}
+
+impl ShardSpec {
+    /// Compute the spec of block `(i, j)` of a `p x q` grid over `rows x cols`.
+    pub fn new(rows: usize, cols: usize, p: usize, q: usize, i: usize, j: usize) -> Self {
+        assert!(p > 0 && q > 0, "ShardSpec: grid must be nonempty");
+        assert!(i < p && j < q, "ShardSpec: block ({}, {}) outside {}x{} grid", i, j, p, q);
+        let (r0, r1) = split_range(rows, p, i);
+        let (c0, c1) = split_range(cols, q, j);
+        Self { row_block: i, col_block: j, r0, r1, c0, c1 }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.r1 - self.r0
+    }
+
+    pub fn cols(&self) -> usize {
+        self.c1 - self.c0
+    }
+}
+
+/// Even split of `len` into `parts`; part `idx` gets `[start, end)`.
+/// Leading parts absorb the remainder so sizes differ by at most one.
+pub fn split_range(len: usize, parts: usize, idx: usize) -> (usize, usize) {
+    assert!(parts > 0 && idx < parts, "split_range: index {} of {} parts", idx, parts);
+    let base = len / parts;
+    let rem = len % parts;
+    let start = idx * base + idx.min(rem);
+    let size = base + usize::from(idx < rem);
+    (start, start + size)
+}
+
+/// Shard a sparse matrix into a `p x q` grid of local-index CSR blocks,
+/// returned in row-major grid order.
+pub fn shard_grid(a: &Csr, p: usize, q: usize) -> Vec<Csr> {
+    let mut out = Vec::with_capacity(p * q);
+    for i in 0..p {
+        for j in 0..q {
+            let s = ShardSpec::new(a.rows(), a.cols(), p, q, i, j);
+            out.push(a.block(s.r0, s.r1, s.c0, s.c1));
+        }
+    }
+    out
+}
+
+/// Reassemble a full matrix from a `p x q` grid of shards produced by
+/// [`shard_grid`] (inverse operation; used by tests and the data loader).
+pub fn unshard_grid(shards: &[Csr], p: usize, q: usize) -> Csr {
+    assert_eq!(shards.len(), p * q, "unshard_grid: expected {} shards", p * q);
+    let mut row_bands = Vec::with_capacity(p);
+    for i in 0..p {
+        let band = hstack_csr(&shards[i * q..(i + 1) * q]);
+        row_bands.push(band);
+    }
+    Csr::vstack(&row_bands)
+}
+
+/// Horizontal concatenation of CSR blocks sharing a row count.
+fn hstack_csr(blocks: &[Csr]) -> Csr {
+    assert!(!blocks.is_empty(), "hstack_csr of zero blocks");
+    let rows = blocks[0].rows();
+    let total_cols: usize = blocks.iter().map(|b| b.cols()).sum();
+    let total_nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(total_nnz);
+    let mut values = Vec::with_capacity(total_nnz);
+    for r in 0..rows {
+        let mut offset = 0u32;
+        for b in blocks {
+            assert_eq!(b.rows(), rows, "hstack_csr: inconsistent row counts");
+            let (cols, vals) = b.row_entries(r);
+            col_idx.extend(cols.iter().map(|&c| c + offset));
+            values.extend_from_slice(vals);
+            offset += b.cols() as u32;
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(rows, total_cols, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Coo;
+
+    fn random_csr(n: usize, seed: u64) -> Csr {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for _ in 0..n * 4 {
+            coo.push(rng.random_range(0..n as u32), rng.random_range(0..n as u32), 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        for len in [0usize, 1, 7, 12, 100] {
+            for parts in [1usize, 2, 3, 5] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for idx in 0..parts {
+                    let (s, e) = split_range(len, parts, idx);
+                    assert_eq!(s, prev_end, "gap at part {}", idx);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn split_range_balanced() {
+        for idx in 0..4 {
+            let (s, e) = split_range(10, 4, idx);
+            assert!(e - s == 2 || e - s == 3);
+        }
+    }
+
+    #[test]
+    fn shard_unshard_round_trip() {
+        let a = random_csr(24, 5);
+        for (p, q) in [(1, 1), (2, 2), (3, 4), (4, 3), (24, 1), (1, 24)] {
+            let shards = shard_grid(&a, p, q);
+            assert_eq!(unshard_grid(&shards, p, q), a, "round trip failed for {}x{}", p, q);
+        }
+    }
+
+    #[test]
+    fn shard_nnz_conserved() {
+        let a = random_csr(30, 6);
+        let shards = shard_grid(&a, 3, 5);
+        let total: usize = shards.iter().map(|s| s.nnz()).sum();
+        assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn shard_spec_shapes() {
+        let s = ShardSpec::new(100, 60, 4, 3, 2, 1);
+        assert_eq!((s.r0, s.r1), (50, 75));
+        assert_eq!((s.c0, s.c1), (20, 40));
+        assert_eq!(s.rows(), 25);
+        assert_eq!(s.cols(), 20);
+    }
+
+    #[test]
+    fn shard_values_match_source() {
+        let a = random_csr(16, 7);
+        let shards = shard_grid(&a, 2, 2);
+        let s = ShardSpec::new(16, 16, 2, 2, 1, 0);
+        for r in s.r0..s.r1 {
+            for c in s.c0..s.c1 {
+                assert_eq!(shards[2].get(r - s.r0, c - s.c0), a.get(r, c));
+            }
+        }
+    }
+}

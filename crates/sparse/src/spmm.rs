@@ -1,0 +1,159 @@
+//! SpMM: `C = A_sparse * B_dense` — the kernel that dominates GNN training
+//! time (paper §1: "the aggregation phase involves SpMM, which dominates
+//! the computational time").
+//!
+//! The implementation is the row-split scheme of Yang et al. that the paper
+//! cites in §4.1: each sparse row produces one dense output row by scaling
+//! and accumulating rows of `B`. Dense rows of `B` are read contiguously,
+//! which is what makes "shorter-fatter" dense operands faster — the effect
+//! the paper's computational model penalizes tall-skinny configurations for.
+
+use crate::csr::Csr;
+use plexus_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Work threshold below which the sequential kernel is used.
+const PAR_THRESHOLD: usize = 1 << 16;
+
+/// `C = A * B` (allocating). Dispatches to the parallel kernel when the
+/// flop count justifies it.
+pub fn spmm(a: &Csr, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm: inner dimensions differ: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    if a.nnz() * b.cols() >= PAR_THRESHOLD {
+        spmm_par_into(a, b, &mut c);
+    } else {
+        spmm_seq_into(a, b, &mut c);
+    }
+    c
+}
+
+/// Sequential SpMM into a preallocated output (`C` is overwritten).
+pub fn spmm_seq(a: &Csr, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    spmm_seq_into(a, b, &mut c);
+    c
+}
+
+fn spmm_seq_into(a: &Csr, b: &Matrix, c: &mut Matrix) {
+    let n = b.cols();
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row_entries(r);
+        let crow = c.row_mut(r);
+        for (&col, &v) in cols.iter().zip(vals) {
+            let brow = b.row(col as usize);
+            for j in 0..n {
+                crow[j] += v * brow[j];
+            }
+        }
+    }
+}
+
+fn spmm_par_into(a: &Csr, b: &Matrix, c: &mut Matrix) {
+    let n = b.cols();
+    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, crow)| {
+        let (cols, vals) = a.row_entries(r);
+        for (&col, &v) in cols.iter().zip(vals) {
+            let brow = b.row(col as usize);
+            for j in 0..n {
+                crow[j] += v * brow[j];
+            }
+        }
+    });
+}
+
+/// `C += A * B` into an existing accumulator (used by blocked aggregation
+/// when partial row-blocks land in a shared output).
+pub fn spmm_acc(a: &Csr, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "spmm_acc: inner dimension mismatch");
+    assert_eq!(c.shape(), (a.rows(), b.cols()), "spmm_acc: output shape mismatch");
+    let n = b.cols();
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row_entries(r);
+        let crow = c.row_mut(r);
+        for (&col, &v) in cols.iter().zip(vals) {
+            let brow = b.row(col as usize);
+            for j in 0..n {
+                crow[j] += v * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Coo;
+    use plexus_tensor::{assert_close, gemm, Trans};
+
+    fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(rows, cols);
+        for r in 0..rows {
+            for _ in 0..nnz_per_row {
+                let c = rng.random_range(0..cols as u32);
+                coo.push(r as u32, c, rng.random_range(-1.0f32..1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let a = random_csr(23, 17, 4, 1);
+        let b = Matrix::from_fn(17, 9, |i, j| ((i * 3 + j) as f32 * 0.1).cos());
+        let sparse_result = spmm(&a, &b);
+        let mut dense_result = Matrix::zeros(23, 9);
+        gemm(&mut dense_result, &a.to_dense(), Trans::N, &b, Trans::N, 1.0, 0.0);
+        assert_close(&sparse_result, &dense_result, 1e-5, "spmm vs gemm");
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // Big enough to exceed PAR_THRESHOLD.
+        let a = random_csr(500, 400, 20, 2);
+        let b = Matrix::from_fn(400, 16, |i, j| ((i + j) as f32 * 0.01).sin());
+        assert_close(&spmm(&a, &b), &spmm_seq(&a, &b), 1e-5, "par vs seq spmm");
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_rows() {
+        let a = Csr::empty(3, 3);
+        let b = Matrix::full(3, 2, 1.0);
+        let c = spmm(&a, &b);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let b = Matrix::from_fn(5, 4, |i, j| (i * 4 + j) as f32);
+        let c = spmm(&Csr::eye(5), &b);
+        assert_close(&c, &b, 0.0, "identity spmm");
+    }
+
+    #[test]
+    fn spmm_acc_accumulates() {
+        let a = Csr::eye(3);
+        let b = Matrix::full(3, 2, 2.0);
+        let mut c = Matrix::full(3, 2, 1.0);
+        spmm_acc(&a, &b, &mut c);
+        assert!(c.as_slice().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_panics() {
+        let a = Csr::empty(3, 4);
+        let b = Matrix::zeros(5, 2);
+        let _ = spmm(&a, &b);
+    }
+}

@@ -1,0 +1,312 @@
+//! SGEMM: `C = alpha * op(A) * op(B) + beta * C` with all transpose modes.
+//!
+//! The NN and NT modes use cache-friendly loop orders (ikj / row-dot) and
+//! run row-parallel under rayon. The TN and TT modes intentionally use the
+//! straightforward strided kernels: on GPUs the analogous generic kernels
+//! are what makes the paper's `dW = SGEMM(Hᵀ, dQ)` slow on Frontier (§5.3),
+//! and the tuning in `plexus-core` — replacing the TN GEMM with an explicit
+//! transpose + fast NN GEMM — is only an honest experiment if the TN path
+//! here really is slower.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Transpose flag for a GEMM operand, named after the BLAS convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    N,
+    /// Use the transpose of the operand.
+    T,
+}
+
+impl Trans {
+    /// Logical shape of `op(M)`.
+    #[inline]
+    pub fn shape_of(self, m: &Matrix) -> (usize, usize) {
+        match self {
+            Trans::N => (m.rows(), m.cols()),
+            Trans::T => (m.cols(), m.rows()),
+        }
+    }
+}
+
+/// Minimum work (in multiply-adds) before the parallel kernel is used;
+/// below this the rayon fork/join overhead dominates.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `C = alpha * op(A) * op(B) + beta * C`. Dispatches to the parallel kernel
+/// for large problems and the sequential one otherwise.
+pub fn gemm(c: &mut Matrix, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, alpha: f32, beta: f32) {
+    let (m, k) = ta.shape_of(a);
+    let (k2, n) = tb.shape_of(b);
+    assert_eq!(k, k2, "gemm: inner dimensions differ: op(A) is {}x{}, op(B) is {}x{}", m, k, k2, n);
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm: output shape {:?} does not match op(A)*op(B) = {}x{}",
+        c.shape(),
+        m,
+        n
+    );
+    if m * n * k >= PAR_THRESHOLD {
+        gemm_par_impl(c, a, ta, b, tb, alpha, beta);
+    } else {
+        gemm_seq(c, a, ta, b, tb, alpha, beta);
+    }
+}
+
+/// Convenience wrapper: allocate and return `op(A) * op(B)`.
+pub fn matmul(a: &Matrix, ta: Trans, b: &Matrix, tb: Trans) -> Matrix {
+    let (m, _) = ta.shape_of(a);
+    let (_, n) = tb.shape_of(b);
+    let mut c = Matrix::zeros(m, n);
+    gemm(&mut c, a, ta, b, tb, 1.0, 0.0);
+    c
+}
+
+/// Sequential GEMM, all modes. Public so benches can compare against the
+/// parallel path directly.
+pub fn gemm_seq(
+    c: &mut Matrix,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    alpha: f32,
+    beta: f32,
+) {
+    let (m, k) = ta.shape_of(a);
+    let (_, n) = tb.shape_of(b);
+    scale_output(c, beta);
+    match (ta, tb) {
+        (Trans::N, Trans::N) => {
+            // ikj: stream rows of B, accumulate into the C row — fully
+            // sequential memory access on both B and C.
+            for i in 0..m {
+                let arow = a.row(i);
+                for kk in 0..k {
+                    let aik = alpha * arow[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(kk);
+                    let crow = c.row_mut(i);
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+        (Trans::N, Trans::T) => {
+            // Row-dot: C[i][j] = A.row(i) . B.row(j) — both contiguous.
+            for i in 0..m {
+                let arow = a.row(i);
+                for j in 0..n {
+                    let brow = b.row(j);
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += arow[kk] * brow[kk];
+                    }
+                    c.row_mut(i)[j] += alpha * acc;
+                }
+            }
+        }
+        (Trans::T, Trans::N) => {
+            // Generic strided kernel: A is read down a column (stride =
+            // a.cols()). Deliberately not restructured — see module docs.
+            let lda = a.cols();
+            let adata = a.as_slice();
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += adata[kk * lda + i] * b.row(kk)[j];
+                    }
+                    c.row_mut(i)[j] += alpha * acc;
+                }
+            }
+        }
+        (Trans::T, Trans::T) => {
+            let lda = a.cols();
+            let ldb = b.cols();
+            let adata = a.as_slice();
+            let bdata = b.as_slice();
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += adata[kk * lda + i] * bdata[j * ldb + kk];
+                    }
+                    c.row_mut(i)[j] += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// Parallel GEMM: rows of C are independent, so split the output buffer into
+/// per-row mutable chunks (rayon guarantees disjointness — no unsafe needed).
+fn gemm_par_impl(
+    c: &mut Matrix,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    alpha: f32,
+    beta: f32,
+) {
+    let (m, k) = ta.shape_of(a);
+    let (_, n) = tb.shape_of(b);
+    let lda = a.cols();
+    let adata = a.as_slice();
+    debug_assert_eq!(c.shape(), (m, n));
+    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        if beta == 0.0 {
+            crow.fill(0.0);
+        } else if beta != 1.0 {
+            for x in crow.iter_mut() {
+                *x *= beta;
+            }
+        }
+        match (ta, tb) {
+            (Trans::N, Trans::N) => {
+                let arow = a.row(i);
+                for kk in 0..k {
+                    let aik = alpha * arow[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(kk);
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+            (Trans::N, Trans::T) => {
+                let arow = a.row(i);
+                for j in 0..n {
+                    let brow = b.row(j);
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += arow[kk] * brow[kk];
+                    }
+                    crow[j] += alpha * acc;
+                }
+            }
+            (Trans::T, Trans::N) => {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += adata[kk * lda + i] * b.row(kk)[j];
+                    }
+                    crow[j] += alpha * acc;
+                }
+            }
+            (Trans::T, Trans::T) => {
+                let ldb = b.cols();
+                let bdata = b.as_slice();
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += adata[kk * lda + i] * bdata[j * ldb + kk];
+                    }
+                    crow[j] += alpha * acc;
+                }
+            }
+        }
+    });
+}
+
+fn scale_output(c: &mut Matrix, beta: f32) {
+    if beta == 0.0 {
+        c.as_mut_slice().fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.as_mut_slice() {
+            *x *= beta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::assert_close;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for kk in 0..a.cols() {
+                    acc += a[(i, kk)] * b[(kk, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) as f32 * 0.01 + seed).sin())
+    }
+
+    #[test]
+    fn all_transpose_modes_agree_with_naive() {
+        let a = test_mat(13, 9, 0.1);
+        let b = test_mat(9, 11, 0.2);
+        let reference = naive(&a, &b);
+        let at = a.transposed();
+        let bt = b.transposed();
+        assert_close(&matmul(&a, Trans::N, &b, Trans::N), &reference, 1e-5, "NN");
+        assert_close(&matmul(&a, Trans::N, &bt, Trans::T), &reference, 1e-5, "NT");
+        assert_close(&matmul(&at, Trans::T, &b, Trans::N), &reference, 1e-5, "TN");
+        assert_close(&matmul(&at, Trans::T, &bt, Trans::T), &reference, 1e-5, "TT");
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // 80^3 > PAR_THRESHOLD so gemm() takes the parallel path.
+        let a = test_mat(80, 80, 0.3);
+        let b = test_mat(80, 80, 0.4);
+        let mut c_par = Matrix::zeros(80, 80);
+        gemm(&mut c_par, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
+        let mut c_seq = Matrix::zeros(80, 80);
+        gemm_seq(&mut c_seq, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
+        assert_close(&c_par, &c_seq, 1e-6, "par vs seq");
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = test_mat(4, 5, 0.5);
+        let b = test_mat(5, 3, 0.6);
+        let mut c = Matrix::full(4, 3, 2.0);
+        gemm(&mut c, &a, Trans::N, &b, Trans::N, 0.5, 3.0);
+        let mut expected = naive(&a, &b);
+        for i in 0..4 {
+            for j in 0..3 {
+                expected[(i, j)] = 0.5 * expected[(i, j)] + 3.0 * 2.0;
+            }
+        }
+        assert_close(&c, &expected, 1e-5, "alpha-beta");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 2);
+        let _ = matmul(&a, Trans::N, &b, Trans::N);
+    }
+
+    #[test]
+    fn rectangular_shapes_all_modes() {
+        // (2x7)·(7x3) through every mode with distinct dims to catch
+        // row/col swaps.
+        let a = test_mat(2, 7, 0.7);
+        let b = test_mat(7, 3, 0.8);
+        let reference = naive(&a, &b);
+        let got = matmul(&b.transposed(), Trans::N, &a.transposed(), Trans::N).transposed();
+        assert_close(&got, &reference, 1e-5, "(BᵀAᵀ)ᵀ = AB");
+    }
+}

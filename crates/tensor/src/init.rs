@@ -1,0 +1,76 @@
+//! Seeded random initialization for weights and features.
+//!
+//! Every initializer takes an explicit seed: the Fig. 7 validation requires
+//! the serial and 3D-parallel trainers to start from bit-identical
+//! parameters, and the scaling benches must be reproducible run-to-run.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform `[lo, hi)` matrix.
+pub fn uniform_matrix(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Matrix {
+    assert!(lo < hi, "uniform_matrix: empty range [{}, {})", lo, hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Standard-normal matrix via Box-Muller (avoids a rand_distr dependency).
+pub fn randn_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = move || -> f32 {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0f32..1.0);
+        (-2.0f32 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    };
+    Matrix::from_fn(rows, cols, |_, _| next())
+}
+
+/// Glorot/Xavier uniform initialization, the standard for GCN weights
+/// (Kipf & Welling use it in the reference implementation).
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_matrix(fan_in, fan_out, -limit, limit, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let a = uniform_matrix(10, 10, -1.0, 1.0, 42);
+        let b = uniform_matrix(10, 10, -1.0, 1.0, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_matrix() {
+        let a = uniform_matrix(10, 10, -1.0, 1.0, 42);
+        let b = uniform_matrix(10, 10, -1.0, 1.0, 43);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = uniform_matrix(50, 50, -0.25, 0.25, 7);
+        assert!(m.as_slice().iter().all(|&x| (-0.25..0.25).contains(&x)));
+    }
+
+    #[test]
+    fn randn_has_plausible_moments() {
+        let m = randn_matrix(200, 200, 11);
+        let n = m.len() as f64;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean {} too far from 0", mean);
+        assert!((var - 1.0).abs() < 0.05, "variance {} too far from 1", var);
+    }
+
+    #[test]
+    fn glorot_limit_scales_with_fans() {
+        let m = glorot_uniform(128, 128, 3);
+        let limit = (6.0f32 / 256.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+}

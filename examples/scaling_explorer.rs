@@ -1,0 +1,75 @@
+//! Scaling explorer: project epoch times for any Table 4 dataset across
+//! GPU counts and machines, the way a user would size an allocation
+//! before queueing a job.
+//!
+//! Usage: `cargo run --release --example scaling_explorer [dataset]`
+//! where `dataset` is one of: reddit, products, isolate, products14m,
+//! europe, papers (default: papers).
+
+use plexus::perfmodel::{rank_configs, Workload};
+use plexus_graph::{paper_datasets, DatasetSpec};
+use plexus_simnet::{frontier, perlmutter};
+
+fn pick_dataset(arg: Option<&str>) -> DatasetSpec {
+    let all = paper_datasets();
+    match arg.unwrap_or("papers") {
+        "reddit" => all[0],
+        "products" => all[1],
+        "isolate" => all[2],
+        "products14m" => all[3],
+        "europe" => all[4],
+        _ => all[5],
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let spec = pick_dataset(arg.as_deref());
+    let w = Workload::new(spec.nodes, spec.nonzeros, spec.features, 128, spec.classes, 3);
+    println!(
+        "{}: {} nodes, {} nonzeros, {} features, {} classes",
+        spec.name, spec.nodes, spec.nonzeros, spec.features, spec.classes
+    );
+
+    for machine in [perlmutter(), frontier()] {
+        println!("\n--- {} ---", machine.name);
+        println!(
+            "{:>6}  {:>12}  {:>10}  {:>10}  {:>10}  {:>9}",
+            "GPUs", "best config", "comp (ms)", "comm (ms)", "total (ms)", "speedup"
+        );
+        let mut base: Option<f64> = None;
+        let mut base_gpus = 0usize;
+        for g in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024, 2048] {
+            // Memory gate: the paper needed 80 GB GPUs for papers100M at
+            // 64-128 GPUs; below that the graph simply does not fit.
+            if spec.nonzeros / g > 450_000_000 {
+                continue;
+            }
+            let ranked = rank_configs(&w, g, &machine);
+            let (cfg, pred) = ranked[0];
+            let total = pred.total();
+            let speedup = match base {
+                None => {
+                    base = Some(total);
+                    base_gpus = g;
+                    1.0
+                }
+                Some(b) => b / total,
+            };
+            println!(
+                "{:>6}  {:>12}  {:>10.1}  {:>10.1}  {:>10.1}  {:>8.1}x",
+                g,
+                cfg.label(),
+                pred.comp_s * 1e3,
+                pred.comm_s * 1e3,
+                total * 1e3,
+                speedup
+            );
+        }
+        if let Some(b) = base {
+            println!("(speedups relative to {} GPUs at {:.1} ms)", base_gpus, b * 1e3);
+        }
+    }
+    println!("\nNote: times come from the calibrated machine models (DESIGN.md §1);");
+    println!("shapes — who wins, where scaling flattens — mirror the paper's Fig. 10.");
+}

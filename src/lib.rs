@@ -1,0 +1,17 @@
+//! # plexus-suite — workspace root
+//!
+//! Umbrella crate for the Plexus reproduction (SC '25: *Plexus: Taming
+//! Billion-edge Graphs with 3D Parallel Full-graph GNN Training*). It
+//! re-exports every subsystem and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! Start with [`plexus`] (the 3D engine) and the `examples/` directory.
+
+pub use plexus;
+pub use plexus_baselines as baselines;
+pub use plexus_comm as comm;
+pub use plexus_gnn as gnn;
+pub use plexus_graph as graph;
+pub use plexus_simnet as simnet;
+pub use plexus_sparse as sparse;
+pub use plexus_tensor as tensor;

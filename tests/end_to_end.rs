@@ -1,0 +1,95 @@
+//! End-to-end pipeline test: generate a dataset, shard it to disk with the
+//! §5.4 loader, read a rank's window back, select a grid with the §4
+//! model, train with the 3D engine, and check the model actually learned.
+
+use plexus::grid::GridConfig;
+use plexus::loader::ShardStore;
+use plexus::perfmodel::{choose_config, rank_configs, Workload};
+use plexus::setup::PermutationMode;
+use plexus::trainer::{train_distributed, DistTrainOptions};
+use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+use plexus_simnet::perlmutter;
+
+#[test]
+fn full_pipeline_from_disk_to_trained_model() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 512, Some(16), 77);
+    let n = ds.num_nodes();
+
+    // Offline preprocessing: write 4x4 shard files.
+    let dir = std::env::temp_dir().join(format!("plexus_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ShardStore::create(&dir, &ds.adjacency, &ds.features, 4, 4).unwrap();
+
+    // A rank's window comes back exactly equal to the in-memory block.
+    let (window, bytes) = store.load_adjacency_window(0, n / 2, n / 4, n).unwrap();
+    assert_eq!(window, ds.adjacency.block(0, n / 2, n / 4, n));
+    assert!(bytes > 0 && bytes < store.total_bytes().unwrap());
+
+    // Model-driven config choice for 8 ranks.
+    let w = Workload::new(n, ds.adjacency.nnz(), 16, 16, ds.num_classes, 3);
+    let grid = choose_config(&w, 8, &perlmutter());
+    assert_eq!(grid.total(), 8);
+
+    // Train on the chosen grid. 47 classes on 512 nodes converges slowly,
+    // so give it a higher learning rate and enough epochs.
+    let opts = DistTrainOptions {
+        hidden_dim: 16,
+        model_seed: 2,
+        permutation: PermutationMode::Double,
+        adam: plexus_gnn::AdamConfig { lr: 0.03, ..Default::default() },
+        ..Default::default()
+    };
+    let res = train_distributed(&ds, grid, &opts, 60);
+    let losses = res.losses();
+    assert!(
+        losses.last().unwrap() < &(losses[0] * 0.8),
+        "model failed to learn on the chosen grid {}: {:?}",
+        grid.label(),
+        losses
+    );
+    let final_acc = res.epochs.last().unwrap().train_accuracy;
+    assert!(final_acc > 0.2, "final accuracy {:.3} too low", final_acc);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn model_ranking_is_total_and_finite() {
+    let w = Workload::new(1_000_000, 20_000_000, 128, 128, 32, 3);
+    for g in [8usize, 64, 512] {
+        let ranked = rank_configs(&w, g, &perlmutter());
+        assert!(!ranked.is_empty());
+        for (cfg, pred) in &ranked {
+            assert_eq!(cfg.total(), g);
+            assert!(pred.total().is_finite() && pred.total() > 0.0);
+        }
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1.total() <= pair[1].1.total(), "ranking not sorted");
+        }
+    }
+}
+
+#[test]
+fn traffic_volumes_match_ring_model_accounting() {
+    // The functional run's ledger and the analytic comm model must agree
+    // on per-collective byte counts (the model is derived from the same
+    // algorithm).
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 256, Some(16), 3);
+    let grid = GridConfig::new(2, 2, 2);
+    let opts = DistTrainOptions {
+        hidden_dim: 16,
+        model_seed: 1,
+        permutation: PermutationMode::Double,
+        ..Default::default()
+    };
+    let res = train_distributed(&ds, grid, &opts, 1);
+    // Every rank logs the same number of collectives (SPMD symmetry).
+    let counts: Vec<usize> = res.traffic.iter().map(|t| t.len()).collect();
+    assert!(counts.iter().all(|&c| c == counts[0]), "asymmetric collective counts: {:?}", counts);
+    // All three axis groups appear, plus the world group from setup.
+    let groups: std::collections::HashSet<&str> =
+        res.traffic[0].iter().map(|e| e.group).collect();
+    for g in ["x", "y", "z"] {
+        assert!(groups.contains(g), "missing {} group traffic", g);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * SpMM against a dense reference on arbitrary sparse matrices;
+//! * permutation round-trips and nnz conservation;
+//! * shard/unshard identity for arbitrary grids;
+//! * collective semantics for arbitrary world sizes and payloads;
+//! * 3D-parallel == serial training on random graphs and random grids.
+
+use plexus::grid::GridConfig;
+use plexus::setup::PermutationMode;
+use plexus::trainer::{train_distributed, DistTrainOptions};
+use plexus_comm::{run_world, ReduceOp};
+use plexus_gnn::{SerialTrainer, TrainConfig};
+use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+use plexus_sparse::permute::{apply_permutation, inverse_permutation, random_permutation};
+use plexus_sparse::shard::{shard_grid, unshard_grid};
+use plexus_sparse::{spmm, Coo, Csr};
+use plexus_tensor::{assert_close, gemm, Matrix, Trans};
+use proptest::prelude::*;
+
+fn arb_csr(max_dim: usize) -> impl Strategy<Value = Csr> {
+    (2..max_dim, 2..max_dim, 0usize..200, any::<u64>()).prop_map(|(r, c, nnz, seed)| {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(r, c);
+        for _ in 0..nnz {
+            coo.push(
+                rng.random_range(0..r as u32),
+                rng.random_range(0..c as u32),
+                rng.random_range(-2.0f32..2.0),
+            );
+        }
+        coo.to_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spmm_equals_dense_gemm(a in arb_csr(40), cols in 1usize..12) {
+        let b = Matrix::from_fn(a.cols(), cols, |i, j| ((i * 7 + j * 3) as f32 * 0.13).sin());
+        let sparse = spmm(&a, &b);
+        let mut dense = Matrix::zeros(a.rows(), cols);
+        gemm(&mut dense, &a.to_dense(), Trans::N, &b, Trans::N, 1.0, 0.0);
+        assert_close(&sparse, &dense, 1e-4, "spmm vs dense");
+    }
+
+    #[test]
+    fn transpose_is_involution(a in arb_csr(40)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn permutation_round_trips(a in arb_csr(30), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(a.rows() == a.cols());
+        let pr = random_permutation(a.rows(), s1);
+        let pc = random_permutation(a.cols(), s2);
+        let b = apply_permutation(&a, &pr, &pc);
+        prop_assert_eq!(b.nnz(), a.nnz());
+        let back = apply_permutation(&b, &inverse_permutation(&pr), &inverse_permutation(&pc));
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn shard_unshard_identity(a in arb_csr(36), p in 1usize..5, q in 1usize..5) {
+        prop_assume!(p <= a.rows() && q <= a.cols());
+        let shards = shard_grid(&a, p, q);
+        prop_assert_eq!(unshard_grid(&shards, p, q), a);
+    }
+
+    #[test]
+    fn all_reduce_is_sum_of_contributions(
+        ranks in 1usize..5,
+        len in 1usize..64,
+        seed in any::<u64>()
+    ) {
+        let results = run_world(ranks, move |comm| {
+            use rand::{rngs::StdRng, RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(comm.rank() as u64));
+            let mut buf: Vec<f64> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let mine = buf.clone();
+            comm.all_reduce(&mut buf, ReduceOp::Sum);
+            (mine, buf)
+        });
+        // Reference sum of all contributions.
+        let mut expect = vec![0.0f64; len];
+        for (mine, _) in &results {
+            for (e, &x) in expect.iter_mut().zip(mine) {
+                *e += x;
+            }
+        }
+        for (rank, (_, reduced)) in results.iter().enumerate() {
+            for (i, (&got, &want)) in reduced.iter().zip(&expect).enumerate() {
+                prop_assert!((got - want).abs() < 1e-9,
+                    "rank {} elem {}: {} vs {}", rank, i, got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_concat_equals_all_reduce(ranks in 1usize..5, chunk in 1usize..16) {
+        let results = run_world(ranks, move |comm| {
+            let len = chunk * comm.size();
+            let buf: Vec<f64> = (0..len).map(|i| (i + comm.rank()) as f64).collect();
+            let mut reduced = buf.clone();
+            comm.all_reduce(&mut reduced, ReduceOp::Sum);
+            let scattered = comm.reduce_scatter(&buf, ReduceOp::Sum);
+            (reduced, scattered)
+        });
+        for (rank, (reduced, scattered)) in results.iter().enumerate() {
+            let lo = rank * chunk;
+            prop_assert_eq!(&reduced[lo..lo + chunk], &scattered[..]);
+        }
+    }
+}
+
+proptest! {
+    // Training runs are slow; keep the case count small but meaningful.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn distributed_training_matches_serial_on_random_problems(
+        seed in 0u64..1000,
+        grid_idx in 0usize..5,
+        hidden in 4usize..12,
+    ) {
+        let grids = [
+            GridConfig::new(2, 2, 2),
+            GridConfig::new(4, 1, 2),
+            GridConfig::new(1, 4, 2),
+            GridConfig::new(2, 4, 1),
+            GridConfig::new(1, 1, 8),
+        ];
+        let grid = grids[grid_idx];
+        let spec = DatasetSpec {
+            kind: DatasetKind::OgbnProducts,
+            name: "prop",
+            nodes: 96,
+            edges: 700,
+            nonzeros: 1500,
+            features: 8,
+            classes: 4,
+        };
+        let ds = LoadedDataset::generate(spec, 96, Some(8), seed);
+        let cfg = TrainConfig { hidden_dim: hidden, num_layers: 3, seed, ..Default::default() };
+        let serial: Vec<f64> =
+            SerialTrainer::new(&ds, &cfg).train(3).iter().map(|s| s.loss).collect();
+        let opts = DistTrainOptions {
+            hidden_dim: hidden,
+            model_seed: seed,
+            permutation: PermutationMode::Double,
+            perm_seed: seed ^ 0xabcd,
+            ..Default::default()
+        };
+        let dist = train_distributed(&ds, grid, &opts, 3);
+        for (e, (a, b)) in serial.iter().zip(dist.losses()).enumerate() {
+            let rel = ((a - b) / a.abs().max(1e-9)).abs();
+            prop_assert!(rel < 1e-2,
+                "seed {} grid {} epoch {}: serial {} vs dist {}", seed, grid.label(), e, a, b);
+        }
+    }
+}
