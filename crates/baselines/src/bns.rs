@@ -46,8 +46,7 @@ struct RankSetup {
 fn build_rank(ds: &LoadedDataset, info: &PartitionInfo, p: usize) -> RankSetup {
     let own = &info.members[p];
     let halo = &info.halo[p];
-    let own_index: HashMap<u32, usize> =
-        own.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let own_index: HashMap<u32, usize> = own.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let halo_index: HashMap<u32, usize> =
         halo.iter().enumerate().map(|(i, &v)| (v, own.len() + i)).collect();
 
@@ -108,12 +107,7 @@ fn build_rank(ds: &LoadedDataset, info: &PartitionInfo, p: usize) -> RankSetup {
 /// Exchange boundary rows: sends `x[send_rows[q]]` to each q, scatters the
 /// replies into the halo section of the returned `ext x d` matrix whose
 /// first rows are `x` itself.
-fn exchange_boundary(
-    comm: &ThreadComm,
-    setup: &RankSetup,
-    x: &Matrix,
-    forward: bool,
-) -> Matrix {
+fn exchange_boundary(comm: &ThreadComm, setup: &RankSetup, x: &Matrix, forward: bool) -> Matrix {
     let d = x.cols();
     let k = comm.size();
     if forward {
@@ -184,7 +178,6 @@ pub fn train_bns(
     let info = Arc::new(partition_graph(&ds.graph, num_parts));
     let total_train = ds.split.num_train();
     assert!(total_train > 0, "train_bns: no training nodes");
-    let ds = ds;
     let info_for_run = Arc::clone(&info);
 
     let (per_rank, traffic) = run_world_with(num_parts, move |comm| {
@@ -325,10 +318,8 @@ mod tests {
     fn bns_traffic_is_all_to_all_heavy() {
         let ds = tiny_ds(120, 11);
         let res = train_bns(&ds, 4, 8, 3, AdamConfig::default(), 2, 1);
-        let a2a = res.traffic[0]
-            .iter()
-            .filter(|e| matches!(e.op, plexus_comm::CollOp::AllToAll))
-            .count();
+        let a2a =
+            res.traffic[0].iter().filter(|e| matches!(e.op, plexus_comm::CollOp::AllToAll)).count();
         // 3 layers x (fwd exchange + bwd return) = 6 all-to-alls per epoch.
         assert_eq!(a2a, 6);
     }

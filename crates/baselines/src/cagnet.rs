@@ -48,8 +48,7 @@ pub fn train_cagnet_1d(
         let mut features = f_pad.row_block(r0, r1);
         let labels: Vec<u32> =
             (r0..r1).map(|i| if i < n_real { ds.labels[i] } else { 0 }).collect();
-        let mask: Vec<bool> =
-            (r0..r1).map(|i| i < n_real && ds.split.train[i]).collect();
+        let mask: Vec<bool> = (r0..r1).map(|i| i < n_real && ds.split.train[i]).collect();
 
         let mut model = Gcn::new(GcnConfig {
             input_dim: ds.feature_dim(),

@@ -20,10 +20,6 @@
 use plexus::perfmodel::{EpochPrediction, Workload};
 use plexus_simnet::{all_gather_time, all_reduce_time, all_to_all_time, MachineSpec};
 
-/// BNS-GCN epoch model on `g` GPUs.
-///
-/// * `boundary_frac` — average halo size as a fraction of partition size
-///   at this `g` (from [`crate::partition::PartitionInfo::boundary_fraction`]).
 /// Partition-parallel SpMM pays a gather/scatter penalty over the blocked
 /// tensor-parallel kernel: halo features are assembled row-by-row, local
 /// matrices are small and launch-bound at scale, and every layer
@@ -64,11 +60,8 @@ pub fn bns_epoch_time_skewed(
     let n_ext = n_own * (1.0 + boundary_frac);
     let beta_a2a = a2a_bandwidth(g, m);
     // Ring collectives (the weight all-reduce) see the plain NIC share.
-    let beta_ring = if g <= m.gpus_per_node {
-        m.beta_intra
-    } else {
-        m.beta_inter / m.gpus_per_node as f64
-    };
+    let beta_ring =
+        if g <= m.gpus_per_node { m.beta_intra } else { m.beta_inter / m.gpus_per_node as f64 };
 
     let mut comp = 0.0f64;
     let mut comm = 0.0f64;
@@ -127,19 +120,11 @@ pub fn cagnet_1d_epoch_time(w: &Workload, g: usize, m: &MachineSpec) -> EpochPre
 /// volume per ring by `c` at the cost of a final `c`-way reduction — the
 /// lower-constant middle ground the paper notes "scales better" than
 /// CAGNET's own 2D/3D variants.
-pub fn cagnet_15d_epoch_time(
-    w: &Workload,
-    g: usize,
-    c: usize,
-    m: &MachineSpec,
-) -> EpochPrediction {
-    assert!(c >= 1 && g % c == 0, "1.5D: replication factor must divide G");
+pub fn cagnet_15d_epoch_time(w: &Workload, g: usize, c: usize, m: &MachineSpec) -> EpochPrediction {
+    assert!(c >= 1 && g.is_multiple_of(c), "1.5D: replication factor must divide G");
     let base = sa_epoch_time(w, g / c, m, 1.0);
-    let beta = if g <= m.gpus_per_node {
-        m.beta_intra
-    } else {
-        m.beta_inter / m.gpus_per_node as f64
-    };
+    let beta =
+        if g <= m.gpus_per_node { m.beta_intra } else { m.beta_inter / m.gpus_per_node as f64 };
     // Volume per ring shrinks by c; add the cross-replica reduction of the
     // aggregated rows.
     let reduce_bytes = (w.nodes / (g / c) as f64) * w.dims[0] as f64 * 4.0;
@@ -160,11 +145,8 @@ pub fn sa_epoch_time(
 ) -> EpochPrediction {
     assert!((0.0..=1.0).contains(&needed_fraction), "needed_fraction out of range");
     let gf = g as f64;
-    let beta = if g <= m.gpus_per_node {
-        m.beta_intra
-    } else {
-        m.beta_inter / m.gpus_per_node as f64
-    };
+    let beta =
+        if g <= m.gpus_per_node { m.beta_intra } else { m.beta_inter / m.gpus_per_node as f64 };
     let mut comp = 0.0f64;
     let mut comm = 0.0f64;
     for l in 0..w.num_layers() {

@@ -67,13 +67,7 @@ pub fn train_sa(
 
         // Request plan: which of my needed rows each owner holds.
         let wanted_from: Vec<Vec<u32>> = (0..g)
-            .map(|q| {
-                needed
-                    .iter()
-                    .copied()
-                    .filter(|&c| (c as usize) / rows_per == q)
-                    .collect()
-            })
+            .map(|q| needed.iter().copied().filter(|&c| (c as usize) / rows_per == q).collect())
             .collect();
         // Tell every owner which rows I need (static: once, not per epoch).
         let requests = comm.all_to_all(wanted_from.clone());
@@ -216,11 +210,7 @@ pub fn train_sa(
     }
     let avg_needed: f64 =
         per_rank.iter().map(|(_, n)| *n as f64).sum::<f64>() / per_rank.len() as f64;
-    SaRunResult {
-        losses: reference,
-        traffic,
-        volume_fraction: avg_needed / n_pad as f64,
-    }
+    SaRunResult { losses: reference, traffic, volume_fraction: avg_needed / n_pad as f64 }
 }
 
 #[cfg(test)]

@@ -37,9 +37,8 @@ fn sweep(machine: &MachineSpec, unit: &str) -> Table {
             // at different GPU counts: adjacency shards (CSR + transpose,
             // ~16 B/nnz) plus ~10 activation/gradient copies of the node
             // block must fit a 40 GB A100 (with headroom).
-            let per_gpu_bytes =
-                spec.nonzeros as f64 / g as f64 * 16.0
-                    + 10.0 * (spec.nodes as f64 / g as f64) * 128.0 * 4.0;
+            let per_gpu_bytes = spec.nonzeros as f64 / g as f64 * 16.0
+                + 10.0 * (spec.nodes as f64 / g as f64) * 128.0 * 4.0;
             if per_gpu_bytes > 35.0e9 {
                 row.push("-".into());
                 continue;
@@ -54,10 +53,7 @@ fn sweep(machine: &MachineSpec, unit: &str) -> Table {
 
 fn column(t: &Table, name: &str) -> Vec<f64> {
     let idx = t.headers.iter().position(|h| h == name).expect("dataset column");
-    t.rows
-        .iter()
-        .filter_map(|r| r[idx].parse::<f64>().ok())
-        .collect()
+    t.rows.iter().filter_map(|r| r[idx].parse::<f64>().ok()).collect()
 }
 
 fn parallel_efficiency(series: &[f64]) -> f64 {

@@ -46,10 +46,11 @@ fn main() {
     let mut rows: Vec<(GridConfig, f64, f64)> = Vec::new();
     for g in GridConfig::enumerate(64) {
         // Layer-0 shard grid is (rows=Z, cols=X); use its measured balance.
-        let imb = nnz_balance(&a_perm, g.gz.min(a_perm.rows()), g.gx.min(a_perm.cols()))
-            .max_over_mean;
+        let imb =
+            nnz_balance(&a_perm, g.gz.min(a_perm.rows()), g.gx.min(a_perm.cols())).max_over_mean;
         let p = epoch_time(&w, g, &m, 1.0).total() * 1e3;
-        let o = epoch_time(&w, g, &m, imb).total() * 1e3
+        let o = epoch_time(&w, g, &m, imb).total()
+            * 1e3
             * jitter((g.gx * 1000 + g.gy * 100 + g.gz) as u64, 0.12);
         pred.push(p);
         obs.push(o);

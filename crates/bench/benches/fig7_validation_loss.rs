@@ -16,26 +16,14 @@ use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
 fn main() {
     let epochs = 8;
     let ds = LoadedDataset::generate(OGBN_PRODUCTS, 1 << 10, Some(32), 21);
-    println!(
-        "ogbn-products (scaled): {} nodes, {} nonzeros",
-        ds.num_nodes(),
-        ds.adjacency.nnz()
-    );
+    println!("ogbn-products (scaled): {} nodes, {} nonzeros", ds.num_nodes(), ds.adjacency.nnz());
 
     let serial_cfg = TrainConfig { hidden_dim: 32, num_layers: 3, seed: 9, ..Default::default() };
     let mut serial = SerialTrainer::new(&ds, &serial_cfg);
     let serial_losses: Vec<f64> = serial.train(epochs).iter().map(|s| s.loss).collect();
 
     // The paper's Fig. 7 sweeps seven 16-GPU configs; same set here.
-    let configs = [
-        (1, 2, 8),
-        (1, 16, 1),
-        (2, 8, 1),
-        (2, 4, 2),
-        (4, 1, 4),
-        (1, 1, 16),
-        (8, 1, 2),
-    ];
+    let configs = [(1, 2, 8), (1, 16, 1), (2, 8, 1), (2, 4, 2), (4, 1, 4), (1, 1, 16), (8, 1, 2)];
 
     let mut t = Table::new(
         "Fig. 7: training loss per epoch, serial (PyG role) vs 16-rank Plexus configs",
@@ -78,11 +66,7 @@ fn main() {
     t.write_csv("fig7_validation_loss");
 
     println!("\nWorst relative deviation from serial across all configs/epochs: {:.2e}", worst_rel);
-    assert!(
-        worst_rel < 5e-3,
-        "a 3D config diverged from the serial baseline: {:.2e}",
-        worst_rel
-    );
+    assert!(worst_rel < 5e-3, "a 3D config diverged from the serial baseline: {:.2e}", worst_rel);
     assert!(
         serial_losses.last().unwrap() < &serial_losses[0],
         "loss should descend over the validation run"

@@ -13,8 +13,8 @@ use plexus::perfmodel::comp_cost_features;
 use plexus::perfmodel::Workload;
 use plexus_bench::Table;
 use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
-use plexus_simnet::RegressionReport;
 use plexus_simnet::LinearModel;
+use plexus_simnet::RegressionReport;
 use plexus_sparse::spmm;
 use plexus_tensor::uniform_matrix;
 use std::time::Instant;
@@ -63,9 +63,8 @@ fn main() {
 
                 let nnz_shard = ds.adjacency.nnz() as f64 / (cfg.gz * cfg.gx) as f64;
                 let flops = 2.0 * nnz_shard * (d / cfg.gy) as f64;
-                ys_gpu.push(
-                    machine.spmm_time(flops, (n / cfg.gx) as f64, (d / cfg.gy) as f64) * 1e3,
-                );
+                ys_gpu
+                    .push(machine.spmm_time(flops, (n / cfg.gx) as f64, (d / cfg.gy) as f64) * 1e3);
 
                 let w = Workload {
                     nodes: n as f64,
@@ -95,8 +94,11 @@ fn main() {
     t.row(vec!["Train RMSE (ms)".into(), format!("{:.2}", report.train_rmse), "16.8".into()]);
     t.row(vec!["Test RMSE (ms)".into(), format!("{:.2}", report.test_rmse), "20.1".into()]);
     for (i, c) in model.coefficients.iter().enumerate() {
-        t.row(vec![format!("coef[{}]", i), format!("{:.3e}", c),
-            ["7.8e-4", "7.8e-10", "-2.6e-10"][i].into()]);
+        t.row(vec![
+            format!("coef[{}]", i),
+            format!("{:.3e}", c),
+            ["7.8e-4", "7.8e-10", "-2.6e-10"][i].into(),
+        ]);
     }
     t.row(vec![
         "GPU-kernel-model fit R^2 (info)".into(),

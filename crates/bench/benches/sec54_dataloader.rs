@@ -21,8 +21,12 @@ fn main() {
 
     let t0 = Instant::now();
     let store = ShardStore::create(&dir, &ds.adjacency, &ds.features, 16, 16).unwrap();
-    println!("Sharded {} nodes / {} nnz into 16x16 files in {:.2}s", n, ds.adjacency.nnz(),
-        t0.elapsed().as_secs_f64());
+    println!(
+        "Sharded {} nodes / {} nnz into 16x16 files in {:.2}s",
+        n,
+        ds.adjacency.nnz(),
+        t0.elapsed().as_secs_f64()
+    );
     let total = store.total_bytes().unwrap();
 
     // Naive loader: every rank reads the whole store.
@@ -43,7 +47,10 @@ fn main() {
         let (_, bytes) =
             store.load_adjacency_window(r0, r0 + n / grid.gz, c0, c0 + n / grid.gx).unwrap();
         let (_, fbytes) = store
-            .load_feature_rows(c0 + c.z * (n / grid.gx / grid.gz), c0 + (c.z + 1) * (n / grid.gx / grid.gz))
+            .load_feature_rows(
+                c0 + c.z * (n / grid.gx / grid.gz),
+                c0 + (c.z + 1) * (n / grid.gx / grid.gz),
+            )
             .unwrap();
         max_rank_bytes = max_rank_bytes.max(bytes + fbytes);
         max_rank_secs = max_rank_secs.max(t0.elapsed().as_secs_f64());

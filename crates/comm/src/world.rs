@@ -72,8 +72,7 @@ where
                 let f = &f;
                 s.spawn(move || {
                     let ledger = Arc::new(TrafficLedger::new(true));
-                    let comm =
-                        ThreadComm::new(rank, root, Arc::clone(&world), Arc::clone(&ledger));
+                    let comm = ThreadComm::new(rank, root, Arc::clone(&world), Arc::clone(&ledger));
                     let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     match result {
                         Ok(r) => Ok((r, ledger.take())),
@@ -85,7 +84,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread died outside catch_unwind")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread died outside catch_unwind"))
+            .collect()
     });
 
     // Prefer re-raising an original panic over a downstream poison panic.
@@ -170,8 +172,7 @@ mod tests {
         });
         // Sum over ranks of (i + rank) = 4*i + 6.
         for (rank, r) in results.iter().enumerate() {
-            let expect: Vec<f32> =
-                (2 * rank..2 * rank + 2).map(|i| 4.0 * i as f32 + 6.0).collect();
+            let expect: Vec<f32> = (2 * rank..2 * rank + 2).map(|i| 4.0 * i as f32 + 6.0).collect();
             assert_eq!(r, &expect, "rank {} chunk", rank);
         }
     }

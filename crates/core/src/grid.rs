@@ -89,12 +89,12 @@ impl GridConfig {
     pub fn enumerate(g: usize) -> Vec<GridConfig> {
         let mut out = Vec::new();
         for gx in 1..=g {
-            if g % gx != 0 {
+            if !g.is_multiple_of(gx) {
                 continue;
             }
             let rest = g / gx;
             for gy in 1..=rest {
-                if rest % gy != 0 {
+                if !rest.is_multiple_of(gy) {
                     continue;
                 }
                 out.push(GridConfig::new(gx, gy, rest / gy));

@@ -52,4 +52,6 @@ pub use dist::DistContext;
 pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, LayerRoles};
 pub use layer::{Aggregation, DistLayer, GemmTuning, TimeSplit};
 pub use setup::{GlobalProblem, PermutationMode, RankData};
-pub use trainer::{train_distributed, DistEpochStats, DistRunResult, DistTrainOptions, RankTrainer};
+pub use trainer::{
+    train_distributed, DistEpochStats, DistRunResult, DistTrainOptions, RankTrainer,
+};

@@ -169,8 +169,11 @@ impl ShardStore {
             let band = read_matrix(&path)?;
             blocks.push(band.row_block(r0.max(sr0) - sr0, r1.min(sr1) - sr0));
         }
-        let merged =
-            if blocks.is_empty() { Matrix::zeros(0, self.feat_dim) } else { Matrix::vstack(&blocks) };
+        let merged = if blocks.is_empty() {
+            Matrix::zeros(0, self.feat_dim)
+        } else {
+            Matrix::vstack(&blocks)
+        };
         Ok((merged, bytes))
     }
 }
@@ -284,7 +287,8 @@ mod tests {
     use plexus_tensor::uniform_matrix;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("plexus_loader_{}_{}", tag, std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("plexus_loader_{}_{}", tag, std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -322,7 +326,8 @@ mod tests {
         let a = random_csr(48, 3);
         let f = uniform_matrix(48, 4, -1.0, 1.0, 4);
         let store = ShardStore::create(&dir, &a, &f, 4, 4).unwrap();
-        for (r0, r1, c0, c1) in [(0, 12, 0, 48), (12, 24, 24, 48), (5, 43, 7, 29), (24, 36, 0, 12)] {
+        for (r0, r1, c0, c1) in [(0, 12, 0, 48), (12, 24, 24, 48), (5, 43, 7, 29), (24, 36, 0, 12)]
+        {
             let (blk, _) = store.load_adjacency_window(r0, r1, c0, c1).unwrap();
             assert_eq!(blk, a.block(r0, r1, c0, c1), "window {:?}", (r0, r1, c0, c1));
         }

@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn effective_bandwidth_follows_eq_4_6() {
         let m = perlmutter(); // 4 GPUs/node
-        // 2x2x1 grid fits in one node along every axis.
+                              // 2x2x1 grid fits in one node along every axis.
         let g = GridConfig::new(2, 2, 1);
         assert_eq!(effective_bandwidth(g, Axis::Y, &m), m.beta_intra);
         assert_eq!(effective_bandwidth(g, Axis::X, &m), m.beta_intra);

@@ -8,9 +8,7 @@
 use crate::grid::{roles_for_layer, GridConfig};
 use plexus_gnn::{Gcn, GcnConfig};
 use plexus_graph::LoadedDataset;
-use plexus_sparse::permute::{
-    apply_permutation, inverse_permutation, random_permutation,
-};
+use plexus_sparse::permute::{apply_permutation, inverse_permutation, random_permutation};
 use plexus_sparse::Csr;
 use plexus_tensor::Matrix;
 
@@ -110,7 +108,8 @@ impl GlobalProblem {
             dims_real.push(dout);
         }
         let pad_unit = lcm3(grid);
-        let dims_pad: Vec<usize> = dims_real.iter().map(|&d| pad_to_multiple(d, pad_unit)).collect();
+        let dims_pad: Vec<usize> =
+            dims_real.iter().map(|&d| pad_to_multiple(d, pad_unit)).collect();
 
         // Weights: identical to the serial model, zero-padded.
         let model = Gcn::new(cfg);
@@ -124,11 +123,10 @@ impl GlobalProblem {
         // Input features: row-permute by P_c (even-layer input order), pad.
         let inv_pc = inverse_permutation(&pc);
         let perm_rows: Vec<usize> = inv_pc.iter().map(|&i| i as usize).collect();
-        let features_perm =
-            ds.features.gather_rows(&perm_rows).zero_padded(n_pad, dims_pad[0]);
+        let features_perm = ds.features.gather_rows(&perm_rows).zero_padded(n_pad, dims_pad[0]);
 
         // Labels/mask in the final-layer output order.
-        let final_perm = if (num_layers - 1) % 2 == 0 { &pr } else { &pc };
+        let final_perm = if (num_layers - 1).is_multiple_of(2) { &pr } else { &pc };
         let mut labels_final = vec![0u32; n_pad];
         let mut train_mask_final = vec![false; n_pad];
         for i in 0..n_real {
@@ -209,8 +207,7 @@ impl RankData {
         let fr0 = c.along(roles0.contract) * crows + c.along(roles0.rows) * subrows;
         let fcols = d0 / grid.dim(roles0.feat);
         let fc0 = c.along(roles0.feat) * fcols;
-        let f_stored =
-            gp.features_perm.block(fr0, fr0 + subrows, fc0, fc0 + fcols);
+        let f_stored = gp.features_perm.block(fr0, fr0 + subrows, fc0, fc0 + fcols);
 
         // W_l stored shards.
         let mut w_stored = Vec::with_capacity(gp.num_layers);

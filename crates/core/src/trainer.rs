@@ -87,8 +87,7 @@ impl RankTrainer {
                 DistLayer::new(l, roles_for_layer(l), a, at, opts.aggregation, opts.tuning)
             })
             .collect();
-        let w_opts =
-            w_stored.iter().map(|w| Adam::new(w.rows(), w.cols(), opts.adam)).collect();
+        let w_opts = w_stored.iter().map(|w| Adam::new(w.rows(), w.cols(), opts.adam)).collect();
         let f_opt = Adam::new(f_stored.rows(), f_stored.cols(), opts.adam);
         Self {
             ctx,
@@ -381,10 +380,6 @@ mod tests {
         };
         let res = train_distributed(&ds, GridConfig::new(2, 2, 2), &opts, 30);
         let l = res.losses();
-        assert!(
-            l.last().unwrap() < &(l[0] * 0.8),
-            "3D training did not converge: {:?}",
-            l
-        );
+        assert!(l.last().unwrap() < &(l[0] * 0.8), "3D training did not converge: {:?}", l);
     }
 }

@@ -28,7 +28,8 @@ impl GcnConfig {
         (0..self.num_layers)
             .map(|l| {
                 let din = if l == 0 { self.input_dim } else { self.hidden_dim };
-                let dout = if l + 1 == self.num_layers { self.num_classes } else { self.hidden_dim };
+                let dout =
+                    if l + 1 == self.num_layers { self.num_classes } else { self.hidden_dim };
                 (din, dout)
             })
             .collect()
@@ -101,7 +102,10 @@ mod tests {
     use plexus_tensor::uniform_matrix;
 
     fn setup() -> (Csr, Csr, Matrix, Gcn) {
-        let a = normalized_adjacency(6, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3), (4, 5), (5, 4)]);
+        let a = normalized_adjacency(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3), (4, 5), (5, 4)],
+        );
         let a_t = a.transposed();
         let f = uniform_matrix(6, 5, -1.0, 1.0, 10);
         let gcn = Gcn::new(GcnConfig {
@@ -116,7 +120,8 @@ mod tests {
 
     #[test]
     fn layer_dims_chain_correctly() {
-        let cfg = GcnConfig { input_dim: 10, hidden_dim: 8, num_classes: 4, num_layers: 3, seed: 0 };
+        let cfg =
+            GcnConfig { input_dim: 10, hidden_dim: 8, num_classes: 4, num_layers: 3, seed: 0 };
         assert_eq!(cfg.layer_dims(), vec![(10, 8), (8, 8), (8, 4)]);
         let one = GcnConfig { num_layers: 1, ..cfg };
         assert_eq!(one.layer_dims(), vec![(10, 4)]);

@@ -83,13 +83,19 @@ impl SerialTrainer {
         assert_eq!(adjacency.rows(), features.rows(), "trainer: A and F row mismatch");
         assert_eq!(labels.len(), features.rows(), "trainer: labels length mismatch");
         let adjacency_t = adjacency.transposed();
-        let weight_opts = model
-            .weights
-            .iter()
-            .map(|w| Adam::new(w.rows(), w.cols(), adam))
-            .collect();
+        let weight_opts =
+            model.weights.iter().map(|w| Adam::new(w.rows(), w.cols(), adam)).collect();
         let feature_opt = Adam::new(features.rows(), features.cols(), adam);
-        Self { model, features, adjacency, adjacency_t, labels, train_mask, weight_opts, feature_opt }
+        Self {
+            model,
+            features,
+            adjacency,
+            adjacency_t,
+            labels,
+            train_mask,
+            weight_opts,
+            feature_opt,
+        }
     }
 
     /// One full-graph training epoch. Returns loss/accuracy *before* the

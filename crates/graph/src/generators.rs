@@ -32,7 +32,7 @@ pub fn rmat_with_probs(
     (a, b, c, _d): (f64, f64, f64, f64),
     seed: u64,
 ) -> Graph {
-    assert!(scale >= 1 && scale < 32, "rmat: scale {} out of range", scale);
+    assert!((1..32).contains(&scale), "rmat: scale {} out of range", scale);
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -176,12 +176,7 @@ mod tests {
         deg.sort_unstable_by(|a, b| b.cmp(a));
         let max = deg[0] as f64;
         let mean = g.avg_degree();
-        assert!(
-            max / mean > 10.0,
-            "rmat should be heavy-tailed: max {} vs mean {:.1}",
-            max,
-            mean
-        );
+        assert!(max / mean > 10.0, "rmat should be heavy-tailed: max {} vs mean {:.1}", max, mean);
     }
 
     #[test]

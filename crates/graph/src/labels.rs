@@ -84,7 +84,7 @@ mod tests {
     fn labels_cover_all_classes() {
         let g = rmat_graph(10, 8, 1);
         let labels = degree_based_labels(&g, 32);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for &l in &labels {
             seen[l as usize] = true;
         }
@@ -99,14 +99,13 @@ mod tests {
         // A strictly higher-degree node never gets a lower class... within
         // quantile rounding; check the aggregate: mean degree per class is
         // non-decreasing.
-        let mut sums = vec![0.0f64; 8];
-        let mut counts = vec![0usize; 8];
+        let mut sums = [0.0f64; 8];
+        let mut counts = [0usize; 8];
         for i in 0..g.num_nodes() {
             sums[labels[i] as usize] += deg[i] as f64;
             counts[labels[i] as usize] += 1;
         }
-        let means: Vec<f64> =
-            sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect();
+        let means: Vec<f64> = sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect();
         for w in means.windows(2) {
             assert!(w[0] <= w[1] + 1e-9, "class mean degrees must be monotone: {:?}", means);
         }

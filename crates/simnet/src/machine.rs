@@ -43,8 +43,8 @@ pub fn perlmutter() -> MachineSpec {
         beta_intra: 200.0e9,
         beta_inter: 25.0e9,
         latency: 12.0e-6,
-        spmm_rate: 0.3e12,  // ~1.5% of 19.5 Tflop/s
-        gemm_rate: 8.0e12,  // ~40% of peak
+        spmm_rate: 0.3e12, // ~1.5% of 19.5 Tflop/s
+        gemm_rate: 8.0e12, // ~40% of peak
         spmm_shape_penalty: 2.0e-6,
     }
 }

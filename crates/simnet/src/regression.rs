@@ -52,8 +52,7 @@ impl LinearModel {
     pub fn r2(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         let ss_tot: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
-        let ss_res: f64 =
-            xs.iter().zip(ys).map(|(x, &y)| (y - self.predict(x)).powi(2)).sum();
+        let ss_res: f64 = xs.iter().zip(ys).map(|(x, &y)| (y - self.predict(x)).powi(2)).sum();
         if ss_tot == 0.0 {
             1.0
         } else {
@@ -157,8 +156,7 @@ mod tests {
 
     #[test]
     fn recovers_exact_linear_relationship() {
-        let xs: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
         let m = LinearModel::fit(&xs, &ys);
         assert!((m.coefficients[0] - 3.0).abs() < 1e-6);

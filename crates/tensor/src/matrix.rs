@@ -189,7 +189,8 @@ impl Matrix {
             self.cols
         );
         for i in 0..src.rows {
-            let dst = &mut self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + src.cols];
+            let dst =
+                &mut self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + src.cols];
             dst.copy_from_slice(src.row(i));
         }
     }
@@ -297,8 +298,7 @@ impl fmt::Debug for Matrix {
         let show_rows = self.rows.min(6);
         for i in 0..show_rows {
             let row = self.row(i);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|x| format!("{:10.4}", x)).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|x| format!("{:10.4}", x)).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }

@@ -23,7 +23,10 @@ fn main() {
 
     for machine in [perlmutter(), frontier()] {
         println!("\n=== {}: ranked 64-GPU configurations for {} ===", machine.name, spec.name);
-        println!("{:<12} {:>6} {:>12} {:>12} {:>12}", "config", "class", "comp (ms)", "comm (ms)", "total (ms)");
+        println!(
+            "{:<12} {:>6} {:>12} {:>12} {:>12}",
+            "config", "class", "comp (ms)", "comm (ms)", "total (ms)"
+        );
         for (g, pred) in rank_configs(&w, 64, &machine) {
             println!(
                 "{:<12} {:>5}D {:>12.1} {:>12.1} {:>12.1}",

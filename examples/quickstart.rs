@@ -42,10 +42,7 @@ fn main() {
     println!("\nepoch |   serial loss |  3D(2x2x2) loss |  3D accuracy");
     println!("------+---------------+-----------------+-------------");
     for (e, (s, d)) in serial_stats.iter().zip(&dist.epochs).enumerate() {
-        println!(
-            "{:>5} | {:>13.6} | {:>15.6} | {:>11.3}",
-            e, s.loss, d.loss, d.train_accuracy
-        );
+        println!("{:>5} | {:>13.6} | {:>15.6} | {:>11.3}", e, s.loss, d.loss, d.train_accuracy);
         let rel = ((s.loss - d.loss) / s.loss.abs().max(1e-9)).abs();
         assert!(rel < 5e-3, "serial and 3D training diverged at epoch {}: {:.2e}", e, rel);
     }

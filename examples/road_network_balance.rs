@@ -53,8 +53,7 @@ fn main() {
     let m = perlmutter();
     let grid = GridConfig::new(4, 4, 4);
     println!("\npredicted epoch time on 64 GPUs of Perlmutter ({}):", grid.label());
-    for (label, imb) in
-        [("original", b_orig), ("single perm", b_single), ("double perm", b_double)]
+    for (label, imb) in [("original", b_orig), ("single perm", b_single), ("double perm", b_double)]
     {
         let p = epoch_time(&w, grid, &m, imb);
         println!("  {:<12} {:>8.1} ms (SpMM stragglers x{:.2})", label, p.total() * 1e3, imb);

@@ -87,8 +87,7 @@ fn traffic_volumes_match_ring_model_accounting() {
     let counts: Vec<usize> = res.traffic.iter().map(|t| t.len()).collect();
     assert!(counts.iter().all(|&c| c == counts[0]), "asymmetric collective counts: {:?}", counts);
     // All three axis groups appear, plus the world group from setup.
-    let groups: std::collections::HashSet<&str> =
-        res.traffic[0].iter().map(|e| e.group).collect();
+    let groups: std::collections::HashSet<&str> = res.traffic[0].iter().map(|e| e.group).collect();
     for g in ["x", "y", "z"] {
         assert!(groups.contains(g), "missing {} group traffic", g);
     }

@@ -1,0 +1,54 @@
+//! CI smoke test: the `examples/quickstart.rs` flow end-to-end — generate a
+//! synthetic ogbn-products instance, train it serially and 3D-parallel on a
+//! 2x2x2 grid, and require the two loss trajectories to agree (the paper's
+//! Fig. 7 validation property).
+//!
+//! This exists so CI exercises the trainer entry point
+//! ([`plexus::trainer::train_distributed`]) on every push, not just the
+//! per-crate unit tests. Budget: well under 30 s — the instance is 2^10
+//! nodes and the whole run takes a few seconds in debug mode.
+
+use plexus::grid::GridConfig;
+use plexus::setup::PermutationMode;
+use plexus::trainer::{train_distributed, DistTrainOptions};
+use plexus_gnn::{SerialTrainer, TrainConfig};
+use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+
+#[test]
+fn quickstart_trains_end_to_end_and_matches_serial() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 1 << 10, Some(32), 42);
+    assert_eq!(ds.num_nodes(), 1 << 10);
+    assert!(ds.graph.num_edges() > 0, "generator produced an empty graph");
+
+    let epochs = 10;
+    let cfg = TrainConfig { hidden_dim: 32, num_layers: 3, seed: 7, ..Default::default() };
+    let serial_stats = SerialTrainer::new(&ds, &cfg).train(epochs);
+    assert_eq!(serial_stats.len(), epochs);
+
+    let opts = DistTrainOptions {
+        hidden_dim: 32,
+        model_seed: 7,
+        permutation: PermutationMode::Double,
+        ..Default::default()
+    };
+    let dist = train_distributed(&ds, GridConfig::new(2, 2, 2), &opts, epochs);
+    assert_eq!(dist.epochs.len(), epochs);
+
+    for (e, (s, d)) in serial_stats.iter().zip(&dist.epochs).enumerate() {
+        let rel = ((s.loss - d.loss) / s.loss.abs().max(1e-9)).abs();
+        assert!(
+            rel < 5e-3,
+            "serial and 3D training diverged at epoch {}: serial {} vs dist {} (rel {:.2e})",
+            e,
+            s.loss,
+            d.loss,
+            rel
+        );
+        assert!(d.loss.is_finite(), "non-finite loss at epoch {}", e);
+    }
+
+    // Training must actually learn, not just agree: loss should drop.
+    let first = serial_stats.first().unwrap().loss;
+    let last = serial_stats.last().unwrap().loss;
+    assert!(last < first, "loss did not decrease over {} epochs: {} -> {}", epochs, first, last);
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the surface `tests/properties.rs` uses: the `proptest!` macro
+//! (with `#![proptest_config(..)]` and `arg in strategy` parameters),
+//! `Strategy` over ranges / tuples / `prop_map`, `any::<T>()`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed; rerun
+//!   with `PROPTEST_SEED=<seed>` to reproduce exactly.
+//! * **Deterministic by default.** The per-case RNG is seeded from the test
+//!   name and case index, so CI failures reproduce locally with no extra
+//!   state. Set `PROPTEST_SEED` to explore a different universe.
+//! * `prop_assume!` rejections just skip the case (with a global cap so a
+//!   strategy that always rejects still fails loudly).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRunner};
+    // Macros are exported at the crate root via #[macro_export]; re-listing
+    // them here lets `use proptest::prelude::*` resolve them like upstream.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runtime configuration; only `cases` is meaningful to the stub, the rest
+/// exist so `ProptestConfig { cases: N, ..Default::default() }` compiles.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_global_rejects: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_global_rejects: 65_536, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// A source of random values of one type.
+///
+/// Unlike upstream there is no `ValueTree`: `sample` draws a value directly
+/// and nothing shrinks.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// `strategy.prop_map(f)` adapter.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "whole domain" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy over `T`'s whole domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Drives the cases of one `#[test]` inside `proptest! {}`.
+pub struct TestRunner {
+    config: ProptestConfig,
+    test_name: &'static str,
+    universe: u64,
+    rejects: u32,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &'static str) -> Self {
+        let universe = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => 0,
+        };
+        Self { config, test_name, universe, rejects: 0 }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Deterministic per-case RNG: hash of (test name, universe, case).
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        self.rng_for(case, 0)
+    }
+
+    /// Per-(case, attempt) RNG; `attempt` advances when `prop_assume!`
+    /// rejects a draw so the case slot can be resampled.
+    pub fn rng_for(&self, case: u32, attempt: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in self
+            .test_name
+            .bytes()
+            .chain(self.universe.to_le_bytes())
+            .chain(case.to_le_bytes())
+            .chain(attempt.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Record one attempt's outcome. `true` means the case is done (it
+    /// passed); `false` means the inputs were rejected and the caller must
+    /// resample — matching real proptest, where `prop_assume!` redraws
+    /// instead of consuming the case budget (otherwise an assume-heavy
+    /// property would silently run almost no real cases). Failures panic.
+    #[must_use]
+    pub fn record(&mut self, case: u32, result: Result<(), TestCaseError>) -> bool {
+        match result {
+            Ok(()) => true,
+            Err(TestCaseError::Reject(_)) => {
+                self.rejects += 1;
+                if self.rejects > self.config.max_global_rejects {
+                    panic!(
+                        "proptest {}: too many prop_assume! rejections ({})",
+                        self.test_name, self.rejects
+                    );
+                }
+                false
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {} failed at case {} (universe {}): {}\n\
+                     reproduce with PROPTEST_SEED={}",
+                    self.test_name, case, self.universe, msg, self.universe
+                );
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block: a config line plus `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::new($cfg, ::std::stringify!($name));
+                for case in 0..runner.cases() {
+                    // prop_assume! rejections resample the same case slot
+                    // (fresh attempt seed) rather than consuming the budget;
+                    // the global reject cap inside record() bounds the loop.
+                    let mut attempt = 0u32;
+                    loop {
+                        let mut rng = runner.rng_for(case, attempt);
+                        $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                        let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        if runner.record(case, outcome) {
+                            break;
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn tuples_and_prop_map_compose(v in (1usize..5, 1usize..5).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..25).contains(&v));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let runner = TestRunner::new(ProptestConfig::default(), "det");
+        let a = any::<u64>().sample(&mut runner.rng_for_case(7));
+        let b = any::<u64>().sample(&mut runner.rng_for_case(7));
+        let c = any::<u64>().sample(&mut runner.rng_for_case(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendored
+//! crate provides exactly the API surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator;
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion, so every
+//!   seed yields a well-mixed state even for small integers;
+//! * [`RngExt::random_range`] — uniform sampling from half-open ranges of
+//!   the integer and float types the workspace draws (`u32`, `u64`, `usize`,
+//!   `i32`, `i64`, `f32`, `f64`);
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Determinism is load-bearing: seed tests and the permutation-balance
+//! benches compare runs across processes, so the generator must be stable
+//! across platforms and versions. Do not swap the algorithm without
+//! re-baselining.
+
+use std::ops::Range;
+
+/// Minimal core trait: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds. Only `seed_from_u64` is used in-tree.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling from a half-open range, one impl per sampled type.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                // Widen through u128 so i64/u64 spans cannot overflow.
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, far below anything the test suite can observe.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($t:ty, $mantissa_bits:expr) => {
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                let unit = (rng.next_u64() >> (64 - $mantissa_bits)) as $t
+                    / (1u64 << $mantissa_bits) as $t;
+                let v = range.start + (range.end - range.start) * unit;
+                // For very narrow ranges the affine map can round up onto
+                // `end`; keep the half-open contract.
+                if v >= range.end {
+                    range.end.next_down().max(range.start)
+                } else {
+                    v
+                }
+            }
+        }
+    };
+}
+
+impl_sample_float!(f32, 24);
+impl_sample_float!(f64, 53);
+
+/// Convenience sampling methods, auto-implemented for every [`RngCore`].
+///
+/// (The real `rand` calls this `Rng`; the workspace imports it as `RngExt`.)
+pub trait RngExt: RngCore {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0f64..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (Blackman & Vigna).
+    ///
+    /// Not the same stream as upstream `rand::rngs::StdRng` (ChaCha12) —
+    /// irrelevant here, since nothing in-tree depends on upstream streams,
+    /// only on internal reproducibility.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice shuffling (Fisher–Yates), matching `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn int_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..10u32);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0f64;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let v = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / N as f64).abs() < 0.02, "mean drifted: {}", sum / N as f64);
+    }
+
+    #[test]
+    fn narrow_float_range_stays_half_open() {
+        // One ulp wide: the affine map rounds onto `end` for most draws
+        // unless clamped back inside the range.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (start, end) = (3.0f32, 3.0000002f32);
+        for _ in 0..1000 {
+            let v = rng.random_range(start..end);
+            assert!(v >= start && v < end, "escaped [start, end): {v}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left slice unchanged");
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one primitive the compute kernels use —
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — with real
+//! parallelism: chunks are dealt round-robin to `available_parallelism()`
+//! scoped threads. No work stealing, which is fine here because every caller
+//! produces uniformly sized row-block chunks. Threads are spawned per call
+//! rather than kept in a persistent pool — a known simplification that adds
+//! per-kernel-invocation overhead on multi-core machines; swap in the real
+//! rayon (one line in the root manifest) or add a pool before drawing
+//! multi-core perf conclusions from microbenchmarks.
+//!
+//! Single-threaded machines degrade to a plain sequential loop with no
+//! thread spawns, so the kernels stay deterministic and cheap under test.
+
+use std::thread;
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// How many worker threads a `for_each` may use.
+fn max_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel equivalent of `chunks_mut`: the returned adapter's
+    /// `for_each` distributes chunks across threads.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut { inner: self }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| op(chunk));
+    }
+}
+
+pub struct EnumeratedParChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let chunks: Vec<(usize, &mut [T])> =
+            self.inner.slice.chunks_mut(chunk_size).enumerate().collect();
+        let workers = max_threads().min(chunks.len());
+        if workers <= 1 {
+            for item in chunks {
+                op(item);
+            }
+            return;
+        }
+        // Round-robin deal so neighbouring (cache-warm, similarly sized)
+        // chunks spread across workers.
+        let mut queues: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (pos, item) in chunks.into_iter().enumerate() {
+            queues[pos % workers].push(item);
+        }
+        let op = &op;
+        thread::scope(|s| {
+            for queue in queues {
+                s.spawn(move || {
+                    for item in queue {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let mut data = vec![0u32; 1003]; // non-multiple length → ragged tail
+        data.as_mut_slice().par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (idx, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (idx / 10) as u32, "element {idx}");
+        }
+    }
+
+    #[test]
+    fn plain_for_each_matches_sequential() {
+        let mut par = vec![1.0f32; 64];
+        let mut seq = par.clone();
+        par.as_mut_slice().par_chunks_mut(8).for_each(|c| c.iter_mut().for_each(|v| *v *= 2.0));
+        seq.chunks_mut(8).for_each(|c| c.iter_mut().for_each(|v| *v *= 2.0));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chunk_count() {
+        let mut data = vec![0u8; 25];
+        assert_eq!(data.as_mut_slice().par_chunks_mut(10).len(), 3);
+    }
+}
