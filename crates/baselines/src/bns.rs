@@ -13,7 +13,7 @@
 //! against the serial trainer like the 3D engine is.
 
 use crate::partition::{partition_graph, PartitionInfo};
-use plexus_comm::{run_world_with, CommEvent, ReduceOp, ThreadComm};
+use plexus_comm::{run_world_with, CommEvent, Communicator, ReduceOp, ThreadComm};
 use plexus_gnn::{Adam, AdamConfig, Gcn, GcnConfig};
 use plexus_graph::LoadedDataset;
 use plexus_sparse::{Coo, Csr};

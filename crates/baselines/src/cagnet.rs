@@ -8,7 +8,7 @@
 //! exactly why 1D stops scaling — Fig. 8's SA curves flatten while Plexus
 //! keeps descending.
 
-use plexus_comm::{run_world_with, CommEvent, ReduceOp};
+use plexus_comm::{run_world_with, CommEvent, Communicator, ReduceOp};
 use plexus_gnn::{Adam, AdamConfig, Gcn, GcnConfig};
 use plexus_graph::LoadedDataset;
 use plexus_sparse::Csr;

@@ -10,7 +10,7 @@
 //! fraction; as ranks multiply, each block still touches most hub rows and
 //! the advantage fades — the scaling behaviour Fig. 8 shows for SA.
 
-use plexus_comm::{run_world_with, CommEvent, ReduceOp};
+use plexus_comm::{run_world_with, CommEvent, Communicator, ReduceOp};
 use plexus_gnn::{Adam, AdamConfig, Gcn, GcnConfig};
 use plexus_graph::LoadedDataset;
 use plexus_sparse::{Coo, Csr};

@@ -15,7 +15,7 @@
 //! machine for the exact per-rank shard shapes.
 
 use plexus::grid::GridConfig;
-use plexus::layer::{Aggregation, GemmTuning};
+use plexus::layer::{Aggregation, CommOverlap, GemmTuning};
 use plexus::setup::PermutationMode;
 use plexus::trainer::{train_distributed, DistTrainOptions};
 use plexus_bench::Table;
@@ -41,6 +41,10 @@ fn left_panel() {
                 hidden_dim: 32,
                 permutation: PermutationMode::Double,
                 aggregation: mode,
+                // Fig. 6 isolates aggregation granularity on the blocking
+                // engine; the overlapped engine is measured separately by
+                // the overlap_allreduce bench.
+                overlap: CommOverlap::Blocking,
                 ..Default::default()
             };
             let res = train_distributed(&ds, grid, &opts, 3);

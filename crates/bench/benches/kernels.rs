@@ -3,7 +3,7 @@
 //! permutation application, and the thread-world collectives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use plexus_comm::{run_world, ReduceOp};
+use plexus_comm::{run_world, Communicator, ReduceOp};
 use plexus_graph::rmat_graph;
 use plexus_sparse::permute::{apply_permutation, random_permutation};
 use plexus_sparse::spmm;

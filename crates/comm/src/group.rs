@@ -1,4 +1,4 @@
-//! Process groups and collectives.
+//! Process groups and the thread-backed [`Communicator`] implementation.
 //!
 //! [`ThreadComm`] is the per-rank handle onto a process group. Collectives
 //! follow a post / barrier / read-all / barrier / clear-own protocol over a
@@ -12,12 +12,20 @@
 //!    reading;
 //! 5. each rank clears its own slot, ready for the next collective.
 //!
+//! The nonblocking `start_*` collectives split the protocol at the obvious
+//! seam: the *start* call runs step 1 (post) and returns immediately, and
+//! [`PendingCollective::wait`] runs steps 2–5 — so a rank that posted early
+//! keeps computing instead of idling in the barrier while stragglers
+//! arrive. Results are bitwise identical to the blocking forms (the
+//! blocking forms are literally `start_*(..).wait()`).
+//!
 //! This is O(G·M) per rank instead of a ring's O(M), which is irrelevant
 //! for correctness runs (G ≤ 64 threads) — the *cost* of the real ring
 //! algorithm is accounted separately by the performance model from the
 //! traffic ledger.
 
 use crate::barrier::PoisonBarrier;
+use crate::communicator::{Communicator, PendingCollective};
 use crate::types::{CollOp, CommElem, CommEvent, ReduceOp, TrafficLedger};
 use crate::world::WorldState;
 use parking_lot::Mutex;
@@ -52,12 +60,14 @@ impl GroupShared {
     }
 }
 
-/// Per-rank communicator handle for one process group.
+/// Per-rank handle for one process group of the thread-world backend:
+/// every rank is an OS thread and collectives move real data through
+/// shared memory.
 ///
-/// All collectives must be called by **every** rank of the group, in the
-/// same order, with compatible arguments — the usual SPMD contract. Misuse
-/// (mismatched element types or buffer lengths) panics with a descriptive
-/// message and poisons the world so sibling ranks unwind too.
+/// The SPMD calling contract is documented once, on [`Communicator`].
+/// Misuse (mismatched element types or buffer lengths) panics with a
+/// descriptive message; [`run_world`](crate::run_world) then poisons the
+/// world so sibling ranks unwind too.
 pub struct ThreadComm {
     rank: usize,
     size: usize,
@@ -80,29 +90,6 @@ impl ThreadComm {
         Self { rank, size: shared.size, shared, world, ledger, split_seq: Cell::new(0) }
     }
 
-    /// Rank within this group.
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// Number of ranks in this group.
-    #[inline]
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Label given at creation ("world") or `split` time ("x", "y", "z"...).
-    pub fn label(&self) -> &'static str {
-        self.shared.label
-    }
-
-    /// The rank's traffic ledger (shared across all groups derived on this
-    /// rank).
-    pub fn ledger(&self) -> &TrafficLedger {
-        &self.ledger
-    }
-
     fn record(&self, op: CollOp, bytes: usize) {
         self.ledger.record(CommEvent {
             op,
@@ -112,18 +99,13 @@ impl ThreadComm {
         });
     }
 
-    /// Synchronize all ranks of the group.
-    pub fn barrier(&self) {
-        self.record(CollOp::Barrier, 0);
-        self.shared.barrier.wait();
-    }
-
     fn post(&self, value: Box<dyn Any + Send>) {
         let mut slots = self.shared.slots.lock();
         assert!(
             slots[self.rank].is_none(),
             "collective protocol violation on rank {} of group '{}': slot still occupied \
-             (mismatched collective sequence across ranks?)",
+             (mismatched collective sequence across ranks, or a PendingCollective that was \
+             never waited?)",
             self.rank,
             self.shared.label
         );
@@ -158,182 +140,115 @@ impl ThreadComm {
             .collect()
     }
 
-    /// All-reduce in place: after the call every rank's `buf` holds the
-    /// elementwise reduction over all ranks' inputs (bitwise identical on
-    /// every rank).
-    pub fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp) {
-        self.record(CollOp::AllReduce, buf.len() * T::BYTES);
-        self.post(Box::new(buf.to_vec()));
+    /// Steps 2–5 of the protocol for the equal-length collectives: barrier,
+    /// feed every rank's posted `Vec<T>` to `sink` in ascending rank order
+    /// (after a uniform type/length check), barrier, clear own slot. All
+    /// reduction/gather variants share this loop so the deterministic order
+    /// and the diagnostics cannot drift apart.
+    fn consume_slots<T: CommElem>(
+        &self,
+        what: &str,
+        len: usize,
+        mut sink: impl FnMut(usize, &[T]),
+    ) {
         self.shared.barrier.wait();
         {
             let slots = self.shared.slots.lock();
             for r in 0..self.size {
                 let v = slots[r]
                     .as_ref()
-                    .expect("all_reduce: missing contribution")
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{} on group '{}': rank {} posted nothing (mismatched calls)",
+                            what, self.shared.label, r
+                        )
+                    })
                     .downcast_ref::<Vec<T>>()
                     .unwrap_or_else(|| {
                         panic!(
-                            "all_reduce type mismatch on group '{}' (rank {})",
-                            self.shared.label, r
+                            "{} type mismatch on group '{}' (rank {})",
+                            what, self.shared.label, r
                         )
                     });
                 assert_eq!(
                     v.len(),
-                    buf.len(),
-                    "all_reduce length mismatch on group '{}': rank {} sent {}, rank {} sent {}",
+                    len,
+                    "{} length mismatch on group '{}': rank {} sent {}, rank {} sent {}",
+                    what,
                     self.shared.label,
                     r,
                     v.len(),
                     self.rank,
-                    buf.len()
+                    len
                 );
-                if r == 0 {
-                    buf.copy_from_slice(v);
-                } else {
-                    for (acc, &x) in buf.iter_mut().zip(v.iter()) {
-                        *acc = T::reduce(op, *acc, x);
-                    }
+                sink(r, v);
+            }
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+    }
+
+    /// Completion of an in-flight all-reduce, folding into `out` (which
+    /// already holds this rank's contribution — overwritten by rank 0's).
+    fn finish_all_reduce_into<T: CommElem>(&self, out: &mut [T], op: ReduceOp) {
+        self.consume_slots::<T>("all_reduce", out.len(), |r, v| {
+            if r == 0 {
+                out.copy_from_slice(v);
+            } else {
+                for (acc, &x) in out.iter_mut().zip(v.iter()) {
+                    *acc = T::reduce(op, *acc, x);
                 }
             }
-        }
-        self.shared.barrier.wait();
-        self.clear_own_slot();
+        });
     }
 
-    /// All-gather equal-size shards: returns the concatenation of every
-    /// rank's `src` in rank order (length `src.len() * group size`).
-    pub fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T> {
-        self.record(CollOp::AllGather, src.len() * T::BYTES);
-        self.post(Box::new(src.to_vec()));
-        self.shared.barrier.wait();
-        let mut out = Vec::with_capacity(src.len() * self.size);
-        {
-            let slots = self.shared.slots.lock();
-            for r in 0..self.size {
-                let v = slots[r]
-                    .as_ref()
-                    .expect("all_gather: missing contribution")
-                    .downcast_ref::<Vec<T>>()
-                    .expect("all_gather type mismatch");
-                assert_eq!(
-                    v.len(),
-                    src.len(),
-                    "all_gather: unequal shard sizes (rank {} sent {}, rank {} sent {}); \
-                     use all_gather_varlen for ragged data",
-                    r,
-                    v.len(),
-                    self.rank,
-                    src.len()
-                );
+    /// Completion of an in-flight all-reduce, building the result vector.
+    fn finish_all_reduce<T: CommElem>(&self, len: usize, op: ReduceOp) -> Vec<T> {
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        self.consume_slots::<T>("all_reduce", len, |r, v| {
+            if r == 0 {
                 out.extend_from_slice(v);
+            } else {
+                for (acc, &x) in out.iter_mut().zip(v.iter()) {
+                    *acc = T::reduce(op, *acc, x);
+                }
             }
-        }
-        self.shared.barrier.wait();
-        self.clear_own_slot();
+        });
         out
     }
 
-    /// All-gather with per-rank sizes preserved (ragged).
-    pub fn all_gather_varlen<T: CommElem>(&self, src: &[T]) -> Vec<Vec<T>> {
-        self.record(CollOp::AllGather, src.len() * T::BYTES);
-        self.post(Box::new(src.to_vec()));
-        self.shared.barrier.wait();
-        let out = self.read_all::<Vec<T>, Vec<T>>(|_, v| v.clone());
-        self.shared.barrier.wait();
-        self.clear_own_slot();
+    /// Completion of an in-flight all-gather.
+    fn finish_all_gather<T: CommElem>(&self, len: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(len * self.size);
+        self.consume_slots::<T>("all_gather", len, |_, v| out.extend_from_slice(v));
         out
     }
 
-    /// Reduce-scatter: reduce all ranks' equal-length buffers elementwise,
-    /// then return this rank's 1/G chunk of the result. `buf.len()` must be
-    /// divisible by the group size.
-    pub fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
-        assert_eq!(
-            buf.len() % self.size,
-            0,
-            "reduce_scatter: buffer length {} not divisible by group size {}",
-            buf.len(),
-            self.size
-        );
-        self.record(CollOp::ReduceScatter, buf.len() * T::BYTES);
-        self.post(Box::new(buf.to_vec()));
-        self.shared.barrier.wait();
-        let chunk = buf.len() / self.size;
+    /// Completion of an in-flight reduce-scatter.
+    fn finish_reduce_scatter<T: CommElem>(&self, len: usize, op: ReduceOp) -> Vec<T> {
+        let chunk = len / self.size;
         let lo = self.rank * chunk;
         let hi = lo + chunk;
-        let mut out = vec![buf[0]; chunk];
-        {
-            let slots = self.shared.slots.lock();
-            for r in 0..self.size {
-                let v = slots[r]
-                    .as_ref()
-                    .expect("reduce_scatter: missing contribution")
-                    .downcast_ref::<Vec<T>>()
-                    .expect("reduce_scatter type mismatch");
-                assert_eq!(v.len(), buf.len(), "reduce_scatter: length mismatch");
-                if r == 0 {
-                    out.copy_from_slice(&v[lo..hi]);
-                } else {
-                    for (acc, &x) in out.iter_mut().zip(&v[lo..hi]) {
-                        *acc = T::reduce(op, *acc, x);
-                    }
+        let mut out: Vec<T> = Vec::with_capacity(chunk);
+        self.consume_slots::<T>("reduce_scatter", len, |r, v| {
+            if r == 0 {
+                out.extend_from_slice(&v[lo..hi]);
+            } else {
+                for (acc, &x) in out.iter_mut().zip(&v[lo..hi]) {
+                    *acc = T::reduce(op, *acc, x);
                 }
             }
-        }
-        self.shared.barrier.wait();
-        self.clear_own_slot();
+        });
         out
     }
 
-    /// Broadcast `buf` from `root` to every rank.
-    pub fn broadcast<T: CommElem>(&self, buf: &mut Vec<T>, root: usize) {
-        assert!(root < self.size, "broadcast: root {} out of {}", root, self.size);
-        self.record(CollOp::Broadcast, buf.len() * T::BYTES);
-        if self.rank == root {
-            self.post(Box::new(buf.clone()));
-        }
-        self.shared.barrier.wait();
-        if self.rank != root {
-            let slots = self.shared.slots.lock();
-            let v = slots[root]
-                .as_ref()
-                .expect("broadcast: root posted nothing")
-                .downcast_ref::<Vec<T>>()
-                .expect("broadcast type mismatch");
-            buf.clear();
-            buf.extend_from_slice(v);
-        }
-        self.shared.barrier.wait();
-        if self.rank == root {
-            self.clear_own_slot();
-        }
-    }
-
-    /// All-to-all: `sends[d]` goes to rank `d`; returns `recv` where
-    /// `recv[s]` came from rank `s`. Chunks may be ragged (BNS-GCN boundary
-    /// exchange needs that).
-    pub fn all_to_all<T: CommElem>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(
-            sends.len(),
-            self.size,
-            "all_to_all: expected {} destination chunks, got {}",
-            self.size,
-            sends.len()
-        );
-        let bytes: usize = sends.iter().map(|s| s.len() * T::BYTES).sum();
-        self.record(CollOp::AllToAll, bytes);
-        self.post(Box::new(sends));
-        self.shared.barrier.wait();
-        let out = self.read_all::<Vec<Vec<T>>, Vec<T>>(|_, per_dest| per_dest[self.rank].clone());
-        self.shared.barrier.wait();
-        self.clear_own_slot();
-        out
-    }
-
-    /// MPI_Comm_split: ranks with equal `color` form a new group, ordered
-    /// by `(key, parent rank)`. Must be called collectively. The returned
-    /// communicator shares this rank's traffic ledger.
+    /// MPI_Comm_split with this rank's concrete color/key pair: ranks with
+    /// equal `color` form a new group, ordered by `(key, parent rank)`.
+    /// Must be called collectively. The returned communicator shares this
+    /// rank's traffic ledger.
+    ///
+    /// This is the exchange-based primitive; [`Communicator::split_by`]
+    /// delegates here with `f(self.rank())`.
     pub fn split(&self, color: u64, key: u64, label: &'static str) -> ThreadComm {
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
@@ -369,5 +284,143 @@ impl ThreadComm {
         self.shared.barrier.wait();
         self.clear_own_slot();
         ThreadComm::new(group_rank, child, Arc::clone(&self.world), Arc::clone(&self.ledger))
+    }
+}
+
+impl Communicator for ThreadComm {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn label(&self) -> &'static str {
+        self.shared.label
+    }
+
+    fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    fn barrier(&self) {
+        self.record(CollOp::Barrier, 0);
+        self.shared.barrier.wait();
+    }
+
+    fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp) {
+        // In-place twin of `start_all_reduce(..).wait()`: same protocol,
+        // same reduction order, but reduces into the caller's buffer
+        // instead of allocating a result vector — this is the trainer's
+        // hottest collective.
+        self.record(CollOp::AllReduce, buf.len() * T::BYTES);
+        self.post(Box::new(buf.to_vec()));
+        self.finish_all_reduce_into(buf, op);
+    }
+
+    fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T> {
+        self.start_all_gather(src).wait()
+    }
+
+    fn all_gather_varlen<T: CommElem>(&self, src: &[T]) -> Vec<Vec<T>> {
+        self.record(CollOp::AllGather, src.len() * T::BYTES);
+        self.post(Box::new(src.to_vec()));
+        self.shared.barrier.wait();
+        let out = self.read_all::<Vec<T>, Vec<T>>(|_, v| v.clone());
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
+        self.start_reduce_scatter(buf, op).wait()
+    }
+
+    fn broadcast<T: CommElem>(&self, buf: &mut Vec<T>, root: usize) {
+        assert!(root < self.size, "broadcast: root {} out of {}", root, self.size);
+        self.record(CollOp::Broadcast, buf.len() * T::BYTES);
+        if self.rank == root {
+            self.post(Box::new(buf.clone()));
+        }
+        self.shared.barrier.wait();
+        if self.rank != root {
+            let slots = self.shared.slots.lock();
+            let v = slots[root]
+                .as_ref()
+                .expect("broadcast: root posted nothing")
+                .downcast_ref::<Vec<T>>()
+                .expect("broadcast type mismatch");
+            buf.clear();
+            buf.extend_from_slice(v);
+        }
+        self.shared.barrier.wait();
+        if self.rank == root {
+            self.clear_own_slot();
+        }
+    }
+
+    fn all_to_all<T: CommElem>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(
+            sends.len(),
+            self.size,
+            "all_to_all: expected {} destination chunks, got {}",
+            self.size,
+            sends.len()
+        );
+        let bytes: usize = sends.iter().map(|s| s.len() * T::BYTES).sum();
+        self.record(CollOp::AllToAll, bytes);
+        self.post(Box::new(sends));
+        self.shared.barrier.wait();
+        let out = self.read_all::<Vec<Vec<T>>, Vec<T>>(|_, per_dest| per_dest[self.rank].clone());
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    fn split_by<F>(&self, f: F, label: &'static str) -> Self
+    where
+        F: Fn(usize) -> (u64, u64),
+    {
+        let (color, key) = f(self.rank);
+        self.split(color, key, label)
+    }
+
+    fn start_all_reduce<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        op: ReduceOp,
+    ) -> PendingCollective<'c, T> {
+        self.record(CollOp::AllReduce, src.len() * T::BYTES);
+        self.post(Box::new(src.to_vec()));
+        let len = src.len();
+        PendingCollective::deferred(move || self.finish_all_reduce(len, op))
+    }
+
+    fn start_all_gather<'c, T: CommElem>(&'c self, src: &[T]) -> PendingCollective<'c, T> {
+        self.record(CollOp::AllGather, src.len() * T::BYTES);
+        self.post(Box::new(src.to_vec()));
+        let len = src.len();
+        PendingCollective::deferred(move || self.finish_all_gather(len))
+    }
+
+    fn start_reduce_scatter<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        op: ReduceOp,
+    ) -> PendingCollective<'c, T> {
+        assert_eq!(
+            src.len() % self.size,
+            0,
+            "reduce_scatter: buffer length {} not divisible by group size {}",
+            src.len(),
+            self.size
+        );
+        self.record(CollOp::ReduceScatter, src.len() * T::BYTES);
+        self.post(Box::new(src.to_vec()));
+        let len = src.len();
+        PendingCollective::deferred(move || self.finish_reduce_scatter(len, op))
     }
 }

@@ -1,14 +1,24 @@
 //! Collective-communication runtime for the Plexus reproduction.
 //!
 //! The paper runs on NCCL/RCCL process groups spanning up to 2048 GPUs.
-//! Here every *rank is an OS thread* and collectives move real data through
-//! shared memory, but the programming model is kept identical to
-//! `torch.distributed`: a world communicator, MPI-style `split(color, key)`
-//! to build the X/Y/Z process groups of the 3D grid, and the collective set
-//! the algorithms in the paper use (all-gather, all-reduce, reduce-scatter,
-//! broadcast, all-to-all, barrier).
+//! Here the programming model is kept identical to `torch.distributed` —
+//! a world communicator, MPI-style splits to build the X/Y/Z process
+//! groups of the 3D grid, and the collective set the paper's algorithms
+//! use — but the *backend* is pluggable behind the [`Communicator`] trait:
 //!
-//! Design notes:
+//! * [`ThreadComm`] — every rank is an OS thread and collectives move real
+//!   data through shared memory; [`run_world`] is its `mpirun`;
+//! * `SimComm` (in `plexus-simnet`) — a single-process, cost-only world
+//!   that charges the §4 ring-cost equations instead of moving data, so
+//!   thousand-rank grids run as perf-model studies without a thousand
+//!   threads.
+//!
+//! The SPMD calling contract, the nonblocking `start_*` /
+//! [`PendingCollective`] rules and the determinism requirement are
+//! documented once, on the [`communicator`] module and the
+//! [`Communicator`] trait — they bind every backend.
+//!
+//! Backend-specific design notes for the thread world:
 //!
 //! * **Determinism** — every rank reduces contributions in ascending rank
 //!   order, so an all-reduce produces *bitwise identical* results on all
@@ -24,10 +34,12 @@
 //!   at scales this machine cannot execute.
 
 pub mod barrier;
+pub mod communicator;
 pub mod group;
 pub mod types;
 pub mod world;
 
+pub use communicator::{Communicator, PendingCollective};
 pub use group::ThreadComm;
 pub use types::{CollOp, CommElem, CommEvent, ReduceOp, TrafficLedger};
 pub use world::{run_world, run_world_with};

@@ -128,6 +128,7 @@ fn is_poison_panic(payload: &Box<dyn std::any::Any + Send>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::communicator::Communicator;
     use crate::types::ReduceOp;
 
     #[test]
@@ -286,6 +287,76 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("injected failure"), "got panic message: {}", msg);
+    }
+
+    #[test]
+    fn panic_in_axis_subgroup_unwinds_other_axis_groups() {
+        // Satellite for the 3D grid: a 2x2 grid split into row ("x") and
+        // column ("y") groups. Rank 3 panics *inside its x group's
+        // collective* while ranks 0 and 1 are blocked in a collective of a
+        // *different* group (their y groups, which rank 3 is not a member
+        // of). Without world-wide poisoning those y-group barriers would
+        // never release: the whole world must unwind instead.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_world(4, |comm| {
+                let row = comm.split((comm.rank() / 2) as u64, comm.rank() as u64, "x");
+                let col = comm.split((comm.rank() % 2) as u64, comm.rank() as u64, "y");
+                if comm.rank() == 3 {
+                    panic!("injected failure inside x group");
+                }
+                if comm.rank() == 2 {
+                    // Rank 2 waits for rank 3 in their shared x group.
+                    row.barrier();
+                }
+                // Ranks 0 and 1 block in y groups {0,2} and {1,3}, whose
+                // missing member is stuck (2) or dead (3).
+                let mut v = vec![comm.rank() as f32];
+                col.all_reduce(&mut v, ReduceOp::Sum);
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate, not deadlock");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected failure"), "got panic message: {}", msg);
+    }
+
+    #[test]
+    fn nonblocking_matches_blocking_with_overlap() {
+        // Start an all-reduce, run "local compute", gather on a *different*
+        // group while it is pending, then wait: the deferred result must
+        // equal the blocking one bitwise.
+        let results = run_world(4, |comm| {
+            let sub = comm.split((comm.rank() % 2) as u64, comm.rank() as u64, "sub");
+            let src: Vec<f32> = (0..64).map(|i| (i + comm.rank()) as f32 * 0.1).collect();
+            let pending = comm.start_all_reduce(&src, ReduceOp::Sum);
+            let local: f32 = src.iter().sum(); // overlapped local compute
+            let gathered = sub.all_gather(&[comm.rank() as u32]);
+            let nonblocking = pending.wait();
+            let mut blocking = src.clone();
+            comm.all_reduce(&mut blocking, ReduceOp::Sum);
+            (nonblocking, blocking, local, gathered)
+        });
+        for (nonblocking, blocking, _, _) in &results {
+            assert_eq!(nonblocking, blocking);
+        }
+        assert_eq!(results[0].3, vec![0, 2]);
+    }
+
+    #[test]
+    fn start_reduce_scatter_matches_blocking() {
+        let results = run_world(4, |comm| {
+            let buf: Vec<f32> = (0..8).map(|i| (i * (comm.rank() + 1)) as f32).collect();
+            let pending = comm.start_reduce_scatter(&buf, ReduceOp::Sum);
+            let nonblocking = pending.wait();
+            let blocking = comm.reduce_scatter(&buf, ReduceOp::Sum);
+            (nonblocking, blocking)
+        });
+        for (nonblocking, blocking) in &results {
+            assert_eq!(nonblocking, blocking);
+        }
     }
 
     #[test]

@@ -1,25 +1,38 @@
 //! Per-rank distributed context: the X/Y/Z process groups plus
 //! matrix-shaped wrappers over the raw collectives.
+//!
+//! [`DistContext`] is generic over the [`Communicator`] backend: the
+//! thread world ([`plexus_comm::ThreadComm`], the default) moves real
+//! data for correctness runs, while `plexus_simnet::SimComm` runs the same
+//! per-rank program as a single-process cost study at grid sizes no one
+//! machine can execute.
 
 use crate::grid::{Axis, GridConfig, GridCoords};
-use plexus_comm::{ReduceOp, ThreadComm};
+use plexus_comm::{Communicator, ReduceOp, ThreadComm};
 use plexus_tensor::Matrix;
 
 /// Everything a rank needs to communicate inside the 3D grid.
-pub struct DistContext {
+///
+/// The default backend is the thread world; `DistContext<SimComm>` is the
+/// cost-only variant.
+pub struct DistContext<C: Communicator = ThreadComm> {
     pub grid: GridConfig,
     pub coords: GridCoords,
-    pub world: ThreadComm,
-    x_group: ThreadComm,
-    y_group: ThreadComm,
-    z_group: ThreadComm,
+    pub world: C,
+    x_group: C,
+    y_group: C,
+    z_group: C,
 }
 
-impl DistContext {
+/// The cost-only variant of [`DistContext`], for perf-model studies on
+/// simulated grids (see [`plexus_simnet::SimComm`]).
+pub type SimDistContext = DistContext<plexus_simnet::SimComm>;
+
+impl<C: Communicator> DistContext<C> {
     /// Build the three axis groups from the world communicator. Must be
     /// called collectively by every rank. Panics if the world size does not
     /// match the grid.
-    pub fn new(world: ThreadComm, grid: GridConfig) -> Self {
+    pub fn new(world: C, grid: GridConfig) -> Self {
         assert_eq!(
             world.size(),
             grid.total(),
@@ -30,9 +43,29 @@ impl DistContext {
         );
         let c = grid.coords(world.rank());
         // A group along an axis = ranks sharing the other two coordinates.
-        let x_group = world.split((c.y + c.z * grid.gy) as u64, c.x as u64, "x");
-        let y_group = world.split((c.x + c.z * grid.gx) as u64, c.y as u64, "y");
-        let z_group = world.split((c.x + c.y * grid.gx) as u64, c.z as u64, "z");
+        // The color/key maps are pure functions of the world rank, which
+        // lets single-process backends compute exact memberships.
+        let x_group = world.split_by(
+            |r| {
+                let rc = grid.coords(r);
+                ((rc.y + rc.z * grid.gy) as u64, rc.x as u64)
+            },
+            "x",
+        );
+        let y_group = world.split_by(
+            |r| {
+                let rc = grid.coords(r);
+                ((rc.x + rc.z * grid.gx) as u64, rc.y as u64)
+            },
+            "y",
+        );
+        let z_group = world.split_by(
+            |r| {
+                let rc = grid.coords(r);
+                ((rc.x + rc.y * grid.gx) as u64, rc.z as u64)
+            },
+            "z",
+        );
         debug_assert_eq!(x_group.size(), grid.gx);
         debug_assert_eq!(y_group.size(), grid.gy);
         debug_assert_eq!(z_group.size(), grid.gz);
@@ -43,7 +76,7 @@ impl DistContext {
     }
 
     /// The process group along `axis`.
-    pub fn group(&self, axis: Axis) -> &ThreadComm {
+    pub fn group(&self, axis: Axis) -> &C {
         match axis {
             Axis::X => &self.x_group,
             Axis::Y => &self.y_group,
@@ -68,13 +101,15 @@ impl DistContext {
     /// rank's columns side by side in group-rank order.
     pub fn all_gather_cols(&self, m: &Matrix, axis: Axis) -> Matrix {
         let group = self.group(axis);
-        let parts = group.all_gather_varlen(m.as_slice());
+        // Column shards of one logical matrix are equal-shaped by
+        // construction, so the fixed-size gather applies (no per-shard
+        // boxing, length checked inside the collective).
+        let data = group.all_gather(m.as_slice());
         let g = group.size();
-        debug_assert_eq!(parts.len(), g);
-        let total_cols: usize = m.cols() * g;
-        let mut out = Matrix::zeros(m.rows(), total_cols);
-        for (gr, part) in parts.iter().enumerate() {
-            assert_eq!(part.len(), m.rows() * m.cols(), "all_gather_cols: ragged shard");
+        let shard = m.rows() * m.cols();
+        let mut out = Matrix::zeros(m.rows(), m.cols() * g);
+        for gr in 0..g {
+            let part = &data[gr * shard..(gr + 1) * shard];
             for r in 0..m.rows() {
                 let src = &part[r * m.cols()..(r + 1) * m.cols()];
                 out.row_mut(r)[gr * m.cols()..(gr + 1) * m.cols()].copy_from_slice(src);
@@ -103,6 +138,7 @@ impl DistContext {
 mod tests {
     use super::*;
     use plexus_comm::run_world;
+    use plexus_simnet::{SimComm, SimCostModel};
 
     #[test]
     fn groups_have_grid_shapes() {
@@ -162,5 +198,36 @@ mod tests {
         // Sum over both ranks of row i = 2*i + 1.
         assert_eq!(results[0].as_slice(), &[1.0, 1.0, 3.0, 3.0]);
         assert_eq!(results[1].as_slice(), &[5.0, 5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn sim_backend_builds_exact_axis_groups_at_scale() {
+        // 16x8x8 = 1024 simulated ranks: the axis groups must have the
+        // true grid sizes and ranks even though only one rank executes.
+        let grid = GridConfig::new(16, 8, 8);
+        let world = SimComm::world_rank(
+            1024,
+            grid.rank_of(GridCoords { x: 3, y: 5, z: 6 }),
+            SimCostModel::new(25e9, 1e-6),
+        );
+        let ctx: SimDistContext = DistContext::new(world, grid);
+        assert_eq!(ctx.group(Axis::X).size(), 16);
+        assert_eq!(ctx.group(Axis::Y).size(), 8);
+        assert_eq!(ctx.group(Axis::Z).size(), 8);
+        assert_eq!(ctx.coords, GridCoords { x: 3, y: 5, z: 6 });
+        assert_eq!(ctx.group(Axis::X).rank(), 3);
+        assert_eq!(ctx.group(Axis::Y).rank(), 5);
+        assert_eq!(ctx.group(Axis::Z).rank(), 6);
+    }
+
+    #[test]
+    fn sim_backend_matrix_collectives_are_shape_faithful() {
+        let grid = GridConfig::new(4, 2, 1);
+        let ctx = DistContext::new(SimComm::world(8, SimCostModel::new(25e9, 1e-6)), grid);
+        let m = Matrix::full(4, 3, 1.0);
+        assert_eq!(ctx.all_gather_rows(&m, Axis::X).shape(), (16, 3));
+        assert_eq!(ctx.all_gather_cols(&m, Axis::Y).shape(), (4, 6));
+        assert_eq!(ctx.reduce_scatter_rows(&m, Axis::X).shape(), (1, 3));
+        assert!(ctx.world.elapsed() > 0.0, "collectives must charge the clock");
     }
 }

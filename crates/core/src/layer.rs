@@ -6,9 +6,28 @@
 //! exactly like the paper's pseudocode: all-gather F across Z, SpMM,
 //! all-reduce H across X, all-gather W across Z, SGEMM, all-reduce Q across
 //! Y; backward mirrors it with the reduce-scatters across Z.
+//!
+//! With [`CommOverlap::Overlapped`] the layer uses the nonblocking
+//! collectives ([`Communicator::start_all_reduce`] /
+//! [`PendingCollective`]) to hide communication behind compute:
+//!
+//! * blocked aggregation pipelines each row block's C-axis all-reduce
+//!   behind the next block's SpMM (§5.2);
+//! * the combination GEMM is row-tiled and each tile's K-axis all-reduce
+//!   is launched before the next tile's GEMM finishes;
+//! * backward launches the R-axis reduce-scatter of `∂L/∂W` and overlaps
+//!   it with the `∂L/∂H` GEMM and the `∂L/∂F` SpMM.
+//!
+//! Overlapped results are **bitwise identical** to blocking: every element
+//! is reduced over the same contributions in the same ascending-rank
+//! order. The collective *granularity* can differ — the tiled combination
+//! path records `Q_TILES` per-tile all-reduce events where blocking
+//! records one — so ledger event counts (not byte totals) depend on the
+//! mode.
 
 use crate::dist::DistContext;
 use crate::grid::LayerRoles;
+use plexus_comm::{Communicator, PendingCollective, ReduceOp};
 use plexus_sparse::blocked::RowBlocks;
 use plexus_sparse::{spmm, Csr};
 use plexus_tensor::ops::{relu, relu_backward_inplace};
@@ -35,9 +54,25 @@ pub enum Aggregation {
     /// One SpMM over the whole shard, one all-reduce of the whole H.
     Unblocked,
     /// Split the shard into `n` row blocks; all-reduce each block right
-    /// after its SpMM. Bitwise identical results, smoother per-op sizes.
+    /// after its SpMM. Bitwise identical results, smoother per-op sizes —
+    /// and under [`CommOverlap::Overlapped`] each block's all-reduce hides
+    /// behind the next block's SpMM.
     Blocked(usize),
 }
+
+/// Whether collectives block inline or overlap with compute (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommOverlap {
+    /// Every collective completes before the next kernel starts.
+    Blocking,
+    /// Reductions are launched nonblocking and waited as late as the data
+    /// dependences allow. Bitwise identical to `Blocking`.
+    Overlapped,
+}
+
+/// Row-tile count for the overlapped combination GEMM: enough tiles to
+/// pipeline, few enough that per-tile collectives stay large.
+const Q_TILES: usize = 4;
 
 /// Wall-time split of an operation sequence, used for the Fig. 9-style
 /// communication/computation breakdowns.
@@ -58,6 +93,28 @@ impl TimeSplit {
     }
 }
 
+/// An in-flight all-reduce of one matrix tile: the pending handle plus the
+/// shape needed to rebuild the [`Matrix`] on completion.
+struct PendingTile<'c> {
+    pending: PendingCollective<'c, f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'c> PendingTile<'c> {
+    fn start<C: Communicator>(group: &'c C, tile: &Matrix, op: ReduceOp) -> Self {
+        Self {
+            pending: group.start_all_reduce(tile.as_slice(), op),
+            rows: tile.rows(),
+            cols: tile.cols(),
+        }
+    }
+
+    fn wait(self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.pending.wait())
+    }
+}
+
 /// One rank's share of one GCN layer.
 pub struct DistLayer {
     pub layer_idx: usize,
@@ -67,6 +124,7 @@ pub struct DistLayer {
     /// Row-blocked view of `a_shard` when blocked aggregation is on.
     blocks: Option<RowBlocks>,
     pub tuning: GemmTuning,
+    pub overlap: CommOverlap,
 }
 
 /// Forward-pass cache (post-all-reduce H and Q, plus the gathered W).
@@ -92,6 +150,7 @@ impl DistLayer {
         a_shard_t: Csr,
         aggregation: Aggregation,
         tuning: GemmTuning,
+        overlap: CommOverlap,
     ) -> Self {
         let blocks = match aggregation {
             Aggregation::Unblocked => None,
@@ -100,16 +159,16 @@ impl DistLayer {
                 Some(RowBlocks::split(&a_shard, n.min(a_shard.rows().max(1))))
             }
         };
-        Self { layer_idx, roles, a_shard, a_shard_t, blocks, tuning }
+        Self { layer_idx, roles, a_shard, a_shard_t, blocks, tuning, overlap }
     }
 
     /// Algorithm 1, lines 2–12, for this layer's roles. `f_full` is the
     /// layer input after any required all-gather (the trainer performs the
     /// layer-0 gather of the Z-sharded trainable features). `w_stored` is
     /// the R-axis shard of W. Returns (output, cache, timing).
-    pub fn forward(
+    pub fn forward<C: Communicator>(
         &self,
-        ctx: &DistContext,
+        ctx: &DistContext<C>,
         f_full: &Matrix,
         w_stored: &Matrix,
         activated: bool,
@@ -128,17 +187,35 @@ impl DistLayer {
                 h
             }
             Some(blocks) => {
-                // §5.2: per-block SpMM + immediate all-reduce of the block.
+                // §5.2: per-block SpMM + all-reduce of the block. With
+                // overlap on, block i's all-reduce is in flight while
+                // block i+1's SpMM runs.
+                let group = ctx.group(self.roles.contract);
+                // A size-1 group has nothing to hide the reduce behind.
+                let overlapped = self.overlap == CommOverlap::Overlapped && group.size() > 1;
                 let mut outs = Vec::with_capacity(blocks.num_blocks());
+                let mut pending: Option<PendingTile<'_>> = None;
                 for (blk, _) in blocks.iter() {
                     let t0 = Instant::now();
                     let mut partial = spmm(blk, f_full);
                     t.compute_s += t0.elapsed().as_secs_f64();
                     let t1 = Instant::now();
-                    ctx.all_reduce_sum(&mut partial, self.roles.contract);
+                    if overlapped {
+                        if let Some(p) = pending.take() {
+                            outs.push(p.wait());
+                        }
+                        pending = Some(PendingTile::start(group, &partial, ReduceOp::Sum));
+                    } else {
+                        ctx.all_reduce_sum(&mut partial, self.roles.contract);
+                        outs.push(partial);
+                    }
                     t.comm_s += t1.elapsed().as_secs_f64();
-                    outs.push(partial);
                 }
+                let t1 = Instant::now();
+                if let Some(p) = pending.take() {
+                    outs.push(p.wait());
+                }
+                t.comm_s += t1.elapsed().as_secs_f64();
                 Matrix::vstack(&outs)
             }
         };
@@ -149,14 +226,47 @@ impl DistLayer {
         let w_full = ctx.all_gather_rows(w_stored, self.roles.rows);
         t.comm_s += t1.elapsed().as_secs_f64();
 
-        let t0 = Instant::now();
-        let mut q = Matrix::zeros(h.rows(), w_full.cols());
-        gemm(&mut q, &h, Trans::N, &w_full, Trans::N, 1.0, 0.0);
-        t.compute_s += t0.elapsed().as_secs_f64();
+        // Tiling only pays when there is a K-axis reduction to hide; on a
+        // size-1 feat group fall through to the single in-place GEMM.
+        let q = if self.overlap == CommOverlap::Overlapped
+            && h.rows() >= Q_TILES
+            && ctx.group(self.roles.feat).size() > 1
+        {
+            // Row-tile the GEMM; each tile's K-axis all-reduce is launched
+            // before the next tile's GEMM finishes. Same contributions,
+            // same reduction order per element: bitwise identical.
+            let group = ctx.group(self.roles.feat);
+            let bounds = tile_bounds(h.rows(), Q_TILES);
+            let mut tiles = Vec::with_capacity(Q_TILES);
+            let mut pending: Option<PendingTile<'_>> = None;
+            for &(r0, r1) in &bounds {
+                let t0 = Instant::now();
+                let h_tile = h.row_block(r0, r1);
+                let mut q_tile = Matrix::zeros(r1 - r0, w_full.cols());
+                gemm(&mut q_tile, &h_tile, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+                t.compute_s += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                if let Some(p) = pending.take() {
+                    tiles.push(p.wait());
+                }
+                pending = Some(PendingTile::start(group, &q_tile, ReduceOp::Sum));
+                t.comm_s += t1.elapsed().as_secs_f64();
+            }
+            let t1 = Instant::now();
+            tiles.push(pending.take().expect("at least one tile").wait());
+            t.comm_s += t1.elapsed().as_secs_f64();
+            Matrix::vstack(&tiles)
+        } else {
+            let t0 = Instant::now();
+            let mut q = Matrix::zeros(h.rows(), w_full.cols());
+            gemm(&mut q, &h, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+            t.compute_s += t0.elapsed().as_secs_f64();
 
-        let t1 = Instant::now();
-        ctx.all_reduce_sum(&mut q, self.roles.feat);
-        t.comm_s += t1.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            ctx.all_reduce_sum(&mut q, self.roles.feat);
+            t.comm_s += t1.elapsed().as_secs_f64();
+            q
+        };
 
         // Step 3: activation.
         let t0 = Instant::now();
@@ -170,14 +280,17 @@ impl DistLayer {
     /// in this rank's block layout. `df_scatter` selects the final step for
     /// `∂L/∂F`: `true` = reduce-scatter across R (layer 0, where F is
     /// stored Z-sharded), `false` = all-reduce across R (all other layers).
-    pub fn backward(
+    pub fn backward<C: Communicator>(
         &self,
-        ctx: &DistContext,
+        ctx: &DistContext<C>,
         cache: &DistLayerCache,
         mut dout: Matrix,
         df_scatter: bool,
     ) -> (DistLayerGrads, TimeSplit) {
         let mut t = TimeSplit::default();
+        let r_group = ctx.group(self.roles.rows);
+        // A size-1 R group reduces to a copy; nothing to overlap.
+        let overlapped = self.overlap == CommOverlap::Overlapped && r_group.size() > 1;
 
         // ∂L/∂Q = ∂L/∂F' ⊙ σ'(Q).
         let t0 = Instant::now();
@@ -199,9 +312,27 @@ impl DistLayer {
         }
         t.compute_s += t0.elapsed().as_secs_f64();
 
-        // Reduce-scatter ∂L/∂W across R onto the stored shard.
+        // Reduce-scatter ∂L/∂W across R onto the stored shard. With
+        // overlap on, it stays in flight through the ∂L/∂H GEMM, its
+        // C-axis all-reduce and the ∂L/∂F SpMM; it must be waited before
+        // the ∂L/∂F collective because that runs on the same R group.
         let t1 = Instant::now();
-        let dw_stored = ctx.reduce_scatter_rows(&dw_full, self.roles.rows);
+        let mut dw_pending: Option<PendingCollective<'_, f32>> = None;
+        let mut dw_stored = Matrix::zeros(0, 0);
+        if overlapped {
+            // The raw collective only checks flat-length divisibility;
+            // whole rows must land on each rank for the shard reassembly.
+            assert_eq!(
+                dw_full.rows() % r_group.size(),
+                0,
+                "backward: {} dW rows not divisible by R group size {}",
+                dw_full.rows(),
+                r_group.size()
+            );
+            dw_pending = Some(r_group.start_reduce_scatter(dw_full.as_slice(), ReduceOp::Sum));
+        } else {
+            dw_stored = ctx.reduce_scatter_rows(&dw_full, self.roles.rows);
+        }
         t.comm_s += t1.elapsed().as_secs_f64();
 
         // ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ); all-reduce across C.
@@ -220,6 +351,9 @@ impl DistLayer {
         t.compute_s += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
+        if let Some(p) = dw_pending.take() {
+            dw_stored = Matrix::from_vec(dw_full.rows() / r_group.size(), dw_full.cols(), p.wait());
+        }
         let df = if df_scatter {
             ctx.reduce_scatter_rows(&df_partial, self.roles.rows)
         } else {
@@ -230,5 +364,38 @@ impl DistLayer {
         t.comm_s += t1.elapsed().as_secs_f64();
 
         (DistLayerGrads { df, dw_stored }, t)
+    }
+}
+
+/// Split `rows` into `n` contiguous tiles (first tiles one row larger when
+/// `rows % n != 0`). Identical on every rank of a group, as the SPMD
+/// contract requires.
+fn tile_bounds(rows: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = rows / n;
+    let extra = rows % n;
+    let mut bounds = Vec::with_capacity(n);
+    let mut r0 = 0;
+    for i in 0..n {
+        let r1 = r0 + base + usize::from(i < extra);
+        bounds.push((r0, r1));
+        r0 = r1;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_bounds_cover_exactly() {
+        assert_eq!(tile_bounds(8, 4), vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+        assert_eq!(tile_bounds(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        let b = tile_bounds(7, 4);
+        assert_eq!(b.first().unwrap().0, 0);
+        assert_eq!(b.last().unwrap().1, 7);
+        for w in b.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
     }
 }

@@ -11,12 +11,16 @@
 //!   axis-role rotation of §3.2 (adjacency planes ZX → YZ → XY);
 //! * [`setup`] — padding, the §5.1 single/double permutation schemes, and
 //!   per-rank shard extraction;
-//! * [`dist`] — the X/Y/Z process groups plus matrix-shaped collectives;
+//! * [`dist`] — the X/Y/Z process groups plus matrix-shaped collectives,
+//!   generic over the [`plexus_comm::Communicator`] backend (thread world
+//!   or the cost-only `SimComm`);
 //! * [`layer`] — Algorithms 1 and 2 (distributed forward/backward),
-//!   blocked aggregation (§5.2) and GEMM-order tuning (§5.3);
+//!   blocked aggregation and comm/compute overlap via nonblocking
+//!   collectives (§5.2), GEMM-order tuning (§5.3);
 //! * [`loss`] — distributed masked cross-entropy;
-//! * [`trainer`] — per-rank state, the epoch loop and
-//!   [`trainer::train_distributed`], the engine's main entry point;
+//! * [`trainer`] — per-rank state, the epoch loop,
+//!   [`trainer::train_distributed`] (the engine's main entry point) and
+//!   [`trainer::simulate_epochs`] (the same program on simulated grids);
 //! * [`perfmodel`] — the §4 performance model (computation, communication,
 //!   unified) and grid-configuration selection;
 //! * [`loader`] — the §5.4 parallel data loader over 2D shard files.
@@ -48,10 +52,11 @@ pub mod perfmodel;
 pub mod setup;
 pub mod trainer;
 
-pub use dist::DistContext;
+pub use dist::{DistContext, SimDistContext};
 pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, LayerRoles};
-pub use layer::{Aggregation, DistLayer, GemmTuning, TimeSplit};
+pub use layer::{Aggregation, CommOverlap, DistLayer, GemmTuning, TimeSplit};
 pub use setup::{GlobalProblem, PermutationMode, RankData};
 pub use trainer::{
-    train_distributed, DistEpochStats, DistRunResult, DistTrainOptions, RankTrainer,
+    simulate_epochs, train_distributed, DistEpochStats, DistRunResult, DistTrainOptions,
+    RankTrainer, SimRunReport,
 };

@@ -9,7 +9,7 @@
 
 use crate::dist::DistContext;
 use crate::grid::LayerRoles;
-use plexus_comm::ReduceOp;
+use plexus_comm::{Communicator, ReduceOp};
 use plexus_tensor::ops::{logsumexp_rows, softmax_rows};
 use plexus_tensor::Matrix;
 
@@ -32,8 +32,8 @@ const NEG_FILL: f32 = -1.0e30;
 ///   node order as the logits rows.
 /// * `num_classes_real`: classes beyond this index are padding.
 /// * `total_train`: global training-node count (the averaging denominator).
-pub fn dist_masked_cross_entropy(
-    ctx: &DistContext,
+pub fn dist_masked_cross_entropy<C: Communicator>(
+    ctx: &DistContext<C>,
     roles_last: LayerRoles,
     logits_local: &Matrix,
     labels: &[u32],

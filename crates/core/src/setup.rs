@@ -71,9 +71,7 @@ impl GlobalProblem {
         perm_seed: u64,
     ) -> Self {
         let n_real = ds.num_nodes();
-        let g = grid.total().max(grid.gx * grid.gy).max(grid.gx * grid.gz).max(grid.gy * grid.gz);
         let n_pad = pad_to_multiple(n_real, lcm3(grid));
-        let _ = g;
 
         // Permutations over the real nodes; padding rows stay at the end.
         let (pr, pc) = match mode {

@@ -1,14 +1,17 @@
 //! The distributed trainer: per-rank state, the epoch loop, and the
-//! `run_world` orchestration entry point.
+//! orchestration entry points — [`train_distributed`] executes for real on
+//! the thread world, [`simulate_epochs`] runs the same per-rank program on
+//! the cost-only [`SimComm`] backend at grid sizes no machine can run.
 
 use crate::dist::DistContext;
 use crate::grid::{roles_for_layer, GridConfig};
-use crate::layer::{Aggregation, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
+use crate::layer::{Aggregation, CommOverlap, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
 use crate::loss::dist_masked_cross_entropy;
 use crate::setup::{GlobalProblem, PermutationMode, RankData};
-use plexus_comm::{run_world_with, CommEvent};
+use plexus_comm::{run_world_with, CommEvent, Communicator, ThreadComm};
 use plexus_gnn::{Adam, AdamConfig};
 use plexus_graph::LoadedDataset;
+use plexus_simnet::{SimComm, SimCostModel};
 use plexus_tensor::Matrix;
 use std::sync::Arc;
 
@@ -25,6 +28,9 @@ pub struct DistTrainOptions {
     pub perm_seed: u64,
     pub aggregation: Aggregation,
     pub tuning: GemmTuning,
+    /// §5.2 comm/compute overlap via nonblocking collectives. Bitwise
+    /// identical to `Blocking`; only the waiting moves.
+    pub overlap: CommOverlap,
 }
 
 impl Default for DistTrainOptions {
@@ -38,6 +44,7 @@ impl Default for DistTrainOptions {
             perm_seed: 0x5eed,
             aggregation: Aggregation::Unblocked,
             tuning: GemmTuning::Reordered,
+            overlap: CommOverlap::Overlapped,
         }
     }
 }
@@ -50,9 +57,10 @@ pub struct DistEpochStats {
     pub timing: TimeSplit,
 }
 
-/// One rank's training state.
-pub struct RankTrainer {
-    ctx: DistContext,
+/// One rank's training state, generic over the communication backend (the
+/// thread world by default; `RankTrainer<SimComm>` for cost-only runs).
+pub struct RankTrainer<C: Communicator = ThreadComm> {
+    ctx: DistContext<C>,
     layers: Vec<DistLayer>,
     w_stored: Vec<Matrix>,
     w_opts: Vec<Adam>,
@@ -65,16 +73,16 @@ pub struct RankTrainer {
     num_layers: usize,
 }
 
-impl RankTrainer {
+impl<C: Communicator> RankTrainer<C> {
     /// Assemble this rank's trainer from the shared preprocessed problem.
-    pub fn new(gp: &GlobalProblem, ctx: DistContext, opts: &DistTrainOptions) -> Self {
+    pub fn new(gp: &GlobalProblem, ctx: DistContext<C>, opts: &DistTrainOptions) -> Self {
         let rd = RankData::extract(gp, ctx.world.rank());
         Self::from_parts(gp, ctx, rd, opts)
     }
 
     pub fn from_parts(
         gp: &GlobalProblem,
-        ctx: DistContext,
+        ctx: DistContext<C>,
         rd: RankData,
         opts: &DistTrainOptions,
     ) -> Self {
@@ -84,7 +92,15 @@ impl RankTrainer {
             .zip(a_shards_t)
             .enumerate()
             .map(|(l, (a, at))| {
-                DistLayer::new(l, roles_for_layer(l), a, at, opts.aggregation, opts.tuning)
+                DistLayer::new(
+                    l,
+                    roles_for_layer(l),
+                    a,
+                    at,
+                    opts.aggregation,
+                    opts.tuning,
+                    opts.overlap,
+                )
             })
             .collect();
         let w_opts = w_stored.iter().map(|w| Adam::new(w.rows(), w.cols(), opts.adam)).collect();
@@ -162,7 +178,7 @@ impl RankTrainer {
         DistEpochStats { loss: loss_out.loss, train_accuracy: loss_out.train_accuracy, timing }
     }
 
-    pub fn ctx(&self) -> &DistContext {
+    pub fn ctx(&self) -> &DistContext<C> {
         &self.ctx
     }
 }
@@ -221,6 +237,54 @@ pub fn train_distributed(
         }
     }
     DistRunResult { grid, epochs: per_rank.into_iter().next().unwrap(), traffic }
+}
+
+/// Result of a cost-only simulated run (see [`simulate_epochs`]).
+pub struct SimRunReport {
+    pub grid: GridConfig,
+    /// Wall-clock stats of the simulated rank's local compute. Loss and
+    /// accuracy values are **not meaningful** under SimComm's mirror
+    /// semantics; the shapes and the schedule are.
+    pub epochs: Vec<DistEpochStats>,
+    /// Simulated communication seconds charged by the §4 ring equations.
+    pub sim_comm_s: f64,
+    /// The simulated rank's collective-traffic events.
+    pub traffic: Vec<CommEvent>,
+}
+
+/// Run `epochs` of the per-rank training program on the cost-only
+/// [`SimComm`] backend: one representative rank (rank 0) executes with its
+/// true shard shapes while every collective charges the §4 ring-cost
+/// equations at `cost`'s bandwidths. This makes grids far beyond one
+/// machine — `GridConfig::new(16, 8, 8)`, 1024 "GPUs" — runnable as
+/// perf-model studies in milliseconds.
+///
+/// The returned losses are not meaningful (peers don't execute; see the
+/// `plexus_simnet::simcomm` docs); `sim_comm_s` and `traffic` are the
+/// outputs that matter.
+pub fn simulate_epochs(
+    ds: &LoadedDataset,
+    grid: GridConfig,
+    opts: &DistTrainOptions,
+    epochs: usize,
+    cost: SimCostModel,
+) -> SimRunReport {
+    let gp = GlobalProblem::build(
+        ds,
+        grid,
+        opts.hidden_dim,
+        opts.num_layers,
+        opts.model_seed,
+        opts.permutation,
+        opts.perm_seed,
+    );
+    let world = SimComm::world(grid.total(), cost);
+    let clock = world.clock();
+    let ctx = DistContext::new(world, grid);
+    let mut rt = RankTrainer::new(&gp, ctx, opts);
+    let stats: Vec<DistEpochStats> = (0..epochs).map(|_| rt.train_epoch()).collect();
+    let traffic = rt.ctx().world.ledger().snapshot();
+    SimRunReport { grid, epochs: stats, sim_comm_s: clock.elapsed(), traffic }
 }
 
 #[cfg(test)]
@@ -350,6 +414,50 @@ mod tests {
             // Reordered GEMM reassociates nothing: the inner loop order is
             // identical, so results must match bitwise.
             assert_eq!(*a, b, "GEMM tuning changed the result");
+        }
+    }
+
+    #[test]
+    fn overlapped_collectives_are_bitwise_identical() {
+        // The §5.2 overlap moves waiting, not data: Blocking and
+        // Overlapped must agree bitwise, with and without blocked
+        // aggregation.
+        let ds = tiny_ds(96, 29);
+        for aggregation in [Aggregation::Unblocked, Aggregation::Blocked(4)] {
+            let base = DistTrainOptions {
+                hidden_dim: 8,
+                model_seed: 5,
+                permutation: PermutationMode::Double,
+                aggregation,
+                overlap: CommOverlap::Blocking,
+                ..Default::default()
+            };
+            let blocking = train_distributed(&ds, GridConfig::new(2, 2, 2), &base, 3);
+            let overlapped_opts =
+                DistTrainOptions { overlap: CommOverlap::Overlapped, ..base.clone() };
+            let overlapped = train_distributed(&ds, GridConfig::new(2, 2, 2), &overlapped_opts, 3);
+            for (a, b) in blocking.losses().iter().zip(overlapped.losses()) {
+                assert_eq!(*a, b, "overlap changed the result under {:?}", aggregation);
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_512_rank_grid_runs_fast() {
+        // The cost-only backend's headline: an 8x8x8 grid (512 simulated
+        // GPUs) runs the full per-rank epoch program in one thread. The
+        // test budget itself enforces "under a few seconds".
+        let ds = tiny_ds(256, 31);
+        let opts = DistTrainOptions { hidden_dim: 8, ..Default::default() };
+        let report =
+            simulate_epochs(&ds, GridConfig::new(8, 8, 8), &opts, 1, SimCostModel::new(25e9, 1e-6));
+        assert!(report.sim_comm_s > 0.0, "ring equations must charge time");
+        let groups: std::collections::HashSet<&str> =
+            report.traffic.iter().map(|e| e.group).collect();
+        assert!(groups.contains("x") && groups.contains("y") && groups.contains("z"));
+        // Every recorded group size must be a grid axis (8) or the world.
+        for e in &report.traffic {
+            assert!(e.group_size == 8 || e.group_size == 512, "unexpected group {:?}", e);
         }
     }
 

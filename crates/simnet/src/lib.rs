@@ -8,6 +8,11 @@
 //!   "SpMM times on AMD GPUs were an order of magnitude higher", §7.2);
 //! * [`ring`] — ring-collective time equations (Thakur/Rabenseifner, the
 //!   paper's eq. 4.5) and the all-to-all model used for BNS-GCN;
+//! * [`simcomm`] — [`SimComm`], the single-process, cost-only
+//!   [`plexus_comm::Communicator`] backend: collectives complete logically
+//!   on this rank's data shapes while the ring equations charge a virtual
+//!   clock, so thousand-rank grids run as perf-model studies without a
+//!   thousand threads;
 //! * [`regression`] — ordinary least squares via normal equations, R² and
 //!   RMSE, reproducing the §4.1 model-fitting methodology without an ML
 //!   dependency;
@@ -19,8 +24,12 @@ pub mod gpumem;
 pub mod machine;
 pub mod regression;
 pub mod ring;
+pub mod simcomm;
 
 pub use gpumem::{simulate_spmm_kernel, SpmmKernelMetrics};
 pub use machine::{frontier, perlmutter, MachineSpec};
 pub use regression::{LinearModel, RegressionReport};
-pub use ring::{all_gather_time, all_reduce_time, all_to_all_time, reduce_scatter_time};
+pub use ring::{
+    all_gather_time, all_reduce_time, all_to_all_time, broadcast_time, reduce_scatter_time,
+};
+pub use simcomm::{SimClock, SimComm, SimCostModel};

@@ -2,7 +2,8 @@
 //!
 //! The paper's combination step and its backward pass (eqs. 2.2, 2.5, 2.6)
 //! are dense SGEMMs executed by cuBLAS on the GPU. This crate provides the
-//! CPU equivalent: a row-major [`Matrix`] of `f32` and a [`gemm`] kernel
+//! CPU equivalent: a row-major [`Matrix`] of `f32` and a
+//! [`gemm`](gemm::gemm) kernel
 //! supporting all four transpose modes (NN/NT/TN/TT), with a cache-friendly
 //! fast path for NN/NT and deliberately strided generic paths for TN/TT —
 //! mirroring the GPU reality that motivates the paper's §5.3 GEMM-order

@@ -1,0 +1,82 @@
+//! What-if grid studies on the cost-only `SimComm` backend: run the real
+//! per-rank training program on simulated worlds of 512 and 1024 "GPUs"
+//! (far beyond what the thread backend can spawn) and compare the
+//! ring-equation communication costs the schedule actually incurs against
+//! the closed-form §4 performance model.
+//!
+//! Usage: `cargo run --release --example simulated_scale`
+
+use plexus::grid::{Axis, GridConfig};
+use plexus::perfmodel::{comm_time, effective_bandwidth, Workload};
+use plexus::setup::PermutationMode;
+use plexus::trainer::{simulate_epochs, DistTrainOptions};
+use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+use plexus_simnet::{perlmutter, SimCostModel};
+
+fn main() {
+    // A small synthetic instance supplies the shapes; the *grids* are the
+    // experiment. Only one simulated rank executes per study, so 1024-GPU
+    // worlds cost milliseconds.
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 1 << 9, Some(32), 42);
+    let machine = perlmutter();
+    let opts = DistTrainOptions {
+        hidden_dim: 32,
+        model_seed: 7,
+        permutation: PermutationMode::Double,
+        ..Default::default()
+    };
+
+    // The closed-form model for the same (unpadded) problem shapes.
+    let w = Workload::new(
+        ds.num_nodes(),
+        ds.adjacency.nnz(),
+        ds.feature_dim(),
+        opts.hidden_dim,
+        ds.num_classes,
+        opts.num_layers,
+    );
+
+    let grids = [
+        GridConfig::new(512, 1, 1),
+        GridConfig::new(1, 512, 1),
+        GridConfig::new(64, 8, 1),
+        GridConfig::new(8, 8, 8),
+        GridConfig::new(16, 8, 4),
+        GridConfig::new(16, 8, 8), // 1024 "GPUs"
+    ];
+
+    println!("machine: {} (eq. 4.6 effective bandwidths per axis)", machine.name);
+    println!(
+        "{:>10}  {:>6}  {:>13}  {:>13}  {:>10}  {:>8}",
+        "config", "GPUs", "sim comm (ms)", "eq. 4.5 (ms)", "traffic", "events"
+    );
+    for grid in grids {
+        // Charge each axis group at its eq. 4.6 effective bandwidth — the
+        // piece of the paper's model that depends on grid placement.
+        let cost = SimCostModel::new(machine.beta_inter, 2e-6)
+            .with_group_beta("x", effective_bandwidth(grid, Axis::X, &machine))
+            .with_group_beta("y", effective_bandwidth(grid, Axis::Y, &machine))
+            .with_group_beta("z", effective_bandwidth(grid, Axis::Z, &machine));
+        let report = simulate_epochs(&ds, grid, &opts, 1, cost);
+
+        let analytic = comm_time(&w, grid, &machine);
+
+        let bytes: usize = report.traffic.iter().map(|e| e.bytes).sum();
+        println!(
+            "{:>10}  {:>6}  {:>13.3}  {:>13.3}  {:>7.1} MB  {:>8}",
+            grid.label(),
+            grid.total(),
+            report.sim_comm_s * 1e3,
+            analytic * 1e3,
+            bytes as f64 / 1e6,
+            report.traffic.len()
+        );
+    }
+
+    println!();
+    println!("The simulated schedule and the closed form track each other: both charge");
+    println!("the Thakur/Rabenseifner ring equations, but the simulation replays the");
+    println!("*actual* collective sequence of Algorithms 1-2 (including padding, the");
+    println!("W gathers and the layer-role rotation) instead of a summed formula, and");
+    println!("it scales to any grid without spawning a thread per rank.");
+}

@@ -9,7 +9,7 @@
 use plexus::grid::GridConfig;
 use plexus::setup::PermutationMode;
 use plexus::trainer::{train_distributed, DistTrainOptions};
-use plexus_comm::{run_world, ReduceOp};
+use plexus_comm::{run_world, Communicator, ReduceOp};
 use plexus_gnn::{SerialTrainer, TrainConfig};
 use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
 use plexus_sparse::permute::{apply_permutation, inverse_permutation, random_permutation};
