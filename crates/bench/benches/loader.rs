@@ -1,0 +1,72 @@
+//! Loader throughput: store creation (the streaming `preprocess_to_store`
+//! write path) and per-rank window loads, in MB/s, across shard grid
+//! sizes.
+//!
+//! Complements `sec54_dataloader` (which reproduces the paper's
+//! bytes-reduction claim): this bench tracks the *speed* of the two store
+//! operations the ingest pipeline performs, so regressions in the binary
+//! encoding, checksumming, or window merge show up as MB/s drops.
+
+use plexus::loader::{preprocess_to_store, ShardStore};
+use plexus::setup::PermutationMode;
+use plexus_bench::Table;
+use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+use std::time::Instant;
+
+fn main() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 1 << 13, Some(32), 7);
+    let n = ds.num_nodes();
+    let mut t = Table::new(
+        "Loader throughput: streaming store creation + window loads",
+        &["Shard grid", "Create (MB/s)", "Full load (MB/s)", "1/16 window (MB/s)", "Skip ratio"],
+    );
+
+    for pq in [4usize, 8, 16] {
+        let dir =
+            std::env::temp_dir().join(format!("plexus_loader_bench_{}_{}", pq, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let t0 = Instant::now();
+        let store =
+            preprocess_to_store(&ds, &dir, PermutationMode::Double, 0x5eed, pq, pq).unwrap();
+        let create_secs = t0.elapsed().as_secs_f64();
+        let total = store.total_bytes().unwrap() as f64;
+
+        let t0 = Instant::now();
+        let (_, full) = store.load_adjacency_window(0, n, 0, n).unwrap();
+        let full_secs = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let (_, win) = store.load_adjacency_window(0, n / 4, 0, n / 4).unwrap();
+        let win_secs = t0.elapsed().as_secs_f64();
+
+        let mbs = |bytes: f64, secs: f64| bytes / (1024.0 * 1024.0) / secs.max(1e-9);
+        t.row(vec![
+            format!("{}x{}", pq, pq),
+            format!("{:.1}", mbs(total, create_secs)),
+            format!("{:.1}", mbs(full.bytes_read as f64, full_secs)),
+            format!("{:.1}", mbs(win.bytes_read as f64, win_secs)),
+            format!(
+                "{:.2}",
+                win.bytes_skipped as f64 / (win.bytes_read + win.bytes_skipped).max(1) as f64
+            ),
+        ]);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Sanity: a quarter-area window must not read more than the full
+        // load, and with more shards it should skip a larger fraction.
+        assert!(win.bytes_read < full.bytes_read, "window read more than the full store");
+    }
+
+    t.print();
+    t.write_csv("loader");
+    println!("\nLoader bench complete: window loads skip unopened files via the manifest.");
+
+    // Reopen sanity so the bench doubles as a cold-open check.
+    let dir = std::env::temp_dir().join(format!("plexus_loader_bench_open_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    preprocess_to_store(&ds, &dir, PermutationMode::Double, 1, 4, 4).unwrap();
+    let reopened = ShardStore::open(&dir).unwrap();
+    reopened.validate_files().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -19,11 +19,16 @@
 //!   collectives (§5.2), GEMM-order tuning (§5.3);
 //! * [`loss`] — distributed masked cross-entropy;
 //! * [`trainer`] — per-rank state, the epoch loop,
-//!   [`trainer::train_distributed`] (the engine's main entry point) and
-//!   [`trainer::simulate_epochs`] (the same program on simulated grids);
+//!   [`trainer::train_distributed`] (the engine's main entry point),
+//!   [`trainer::train_from_source`] (the same loop fed from RAM or from a
+//!   §5.4 shard store) and [`trainer::simulate_epochs`] (the same program
+//!   on simulated grids);
 //! * [`perfmodel`] — the §4 performance model (computation, communication,
 //!   unified) and grid-configuration selection;
-//! * [`loader`] — the §5.4 parallel data loader over 2D shard files.
+//! * [`loader`] — the §5.4 parallel data loader and out-of-core ingest:
+//!   versioned, checksummed 2D shard files written streaming by
+//!   [`loader::preprocess_to_store`], read back per rank with a
+//!   [`loader::MemoryLedger`] accounting every byte.
 //!
 //! ## Quickstart
 //!
@@ -55,8 +60,11 @@ pub mod trainer;
 pub use dist::{DistContext, SimDistContext};
 pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, LayerRoles};
 pub use layer::{Aggregation, CommOverlap, DistLayer, GemmTuning, TimeSplit};
-pub use setup::{GlobalProblem, PermutationMode, RankData};
+pub use loader::{
+    preprocess_to_store, LoadStats, LoaderError, LoaderResult, MemoryLedger, Parity, ShardStore,
+};
+pub use setup::{build_permutations, GlobalProblem, PermutationMode, ProblemMeta, RankData};
 pub use trainer::{
-    simulate_epochs, train_distributed, DistEpochStats, DistRunResult, DistTrainOptions,
-    RankTrainer, SimRunReport,
+    simulate_epochs, train_distributed, train_from_source, DistEpochStats, DistRunResult,
+    DistTrainOptions, ProblemSource, RankTrainer, SimRunReport,
 };

@@ -1,4 +1,4 @@
-//! The §5.4 parallel data loader.
+//! The §5.4 parallel data loader and the out-of-core ingest pipeline.
 //!
 //! "Plexus implements a parallel data loader ... It shards processed data
 //! into 2D files offline (e.g., 8x8), and the data loader for each GPU
@@ -6,23 +6,218 @@
 //! ogbn-papers100M on 64 GPUs this cut CPU memory from 146 GB to 9 GB and
 //! load time from 139 s to 7 s.
 //!
-//! [`ShardStore`] is that mechanism over real files: `create` writes a
-//! `p x q` grid of adjacency shard files (plus `p` feature row-band
-//! files) in a simple length-prefixed little-endian binary format;
-//! `load_adjacency_window`/`load_feature_rows` read back only the files a
-//! rank's window intersects and report the bytes actually read — the
-//! quantity behind the paper's memory/time reductions.
+//! Two stages mirror that pipeline:
+//!
+//! 1. **Offline preprocessing** — [`preprocess_to_store`] applies the §5.1
+//!    permutation scheme *while writing* a [`ShardStore`]: both layer
+//!    parities of the permuted adjacency (`P_r Â P_cᵀ` and `P_c Â P_rᵀ`)
+//!    are emitted row band by row band through
+//!    [`plexus_sparse::permute::permuted_row_band`], so at no point do two
+//!    full copies of Â coexist (peak extra memory is one band, `~nnz/p`).
+//!    Feature row bands, labels/masks in both output orders, and a
+//!    versioned manifest with per-shard checksums complete the store.
+//! 2. **Per-rank loading** — `load_*` methods read back only the files a
+//!    rank's window intersects, skipping non-intersecting files *without
+//!    opening them* (sizes come from the manifest) and reporting both
+//!    bytes read and bytes skipped in a [`LoadStats`]. A [`MemoryLedger`]
+//!    aggregates those stats plus resident/peak adjacency and feature
+//!    bytes — the quantities behind the paper's memory reductions.
+//!
+//! The binary format is versioned ([`FORMAT_VERSION`]) and every file's
+//! FNV-1a checksum is recorded in the manifest; a corrupted, truncated, or
+//! version-mismatched file surfaces as a typed [`LoaderError`] instead of
+//! garbage data.
 
-use plexus_sparse::shard::{shard_grid, split_range};
+use crate::setup::PermutationMode;
+use plexus_graph::LoadedDataset;
+use plexus_sparse::permute::{inverse_permutation, permuted_row_band};
+use plexus_sparse::shard::split_range;
 use plexus_sparse::Csr;
 use plexus_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: u64 = 0x504c5853_53484152; // "PLXSSHAR"
+/// Current on-disk format. Version 2 added the per-file version header,
+/// manifest checksums, dual-parity adjacency shards, and label files.
+pub const FORMAT_VERSION: u64 = 2;
 
-/// An on-disk 2D-sharded dataset.
+/// Typed failure of a [`ShardStore`] operation.
+#[derive(Debug)]
+pub enum LoaderError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the Plexus shard magic.
+    BadMagic { file: PathBuf },
+    /// The file (or manifest) was written by a different format version.
+    VersionMismatch { file: PathBuf, found: u64, expected: u64 },
+    /// The file's bytes do not hash to the checksum the manifest recorded.
+    ChecksumMismatch { file: PathBuf, stored: u64, computed: u64 },
+    /// The file ended before its declared payload.
+    Truncated { file: PathBuf },
+    /// The manifest is missing, unparsable, or does not list the file.
+    BadManifest { reason: String },
+    /// The store does not contain the requested component (e.g. labels in
+    /// a raw store, or the odd parity in a single-parity store).
+    Missing { what: &'static str },
+}
+
+impl fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoaderError::Io(e) => write!(f, "shard store I/O error: {}", e),
+            LoaderError::BadMagic { file } => {
+                write!(f, "{}: not a Plexus shard file", file.display())
+            }
+            LoaderError::VersionMismatch { file, found, expected } => {
+                write!(
+                    f,
+                    "{}: format version {} (this build reads {})",
+                    file.display(),
+                    found,
+                    expected
+                )
+            }
+            LoaderError::ChecksumMismatch { file, stored, computed } => write!(
+                f,
+                "{}: checksum {:016x} does not match manifest {:016x} (corrupted file)",
+                file.display(),
+                computed,
+                stored
+            ),
+            LoaderError::Truncated { file } => {
+                write!(f, "{}: file shorter than its declared payload", file.display())
+            }
+            LoaderError::BadManifest { reason } => write!(f, "bad shard manifest: {}", reason),
+            LoaderError::Missing { what } => write!(f, "store does not contain {}", what),
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+impl From<io::Error> for LoaderError {
+    fn from(e: io::Error) -> Self {
+        LoaderError::Io(e)
+    }
+}
+
+pub type LoaderResult<T> = Result<T, LoaderError>;
+
+/// Which adjacency permutation variant a file holds: even layers consume
+/// `P_r Â P_cᵀ`, odd layers `P_c Â P_rᵀ` (§5.1). Labels follow the same
+/// convention — `Even` means the `P_r` output order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parity {
+    Even,
+    Odd,
+}
+
+impl Parity {
+    /// The parity layer `l` consumes.
+    pub fn for_layer(l: usize) -> Parity {
+        if l.is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Parity::Even => "e",
+            Parity::Odd => "o",
+        }
+    }
+}
+
+/// What one windowed load touched on disk: the §5.4 quantities (bytes a
+/// rank actually read vs. the bytes it proved it could skip without
+/// opening), plus the transient merge-buffer high-water mark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadStats {
+    pub bytes_read: u64,
+    pub bytes_skipped: u64,
+    pub files_read: usize,
+    pub files_skipped: usize,
+    /// Peak bytes of shard/band buffers alive at once while merging,
+    /// beyond the returned object itself.
+    pub peak_transient_bytes: u64,
+}
+
+/// Per-rank memory accounting for the ingest pipeline: I/O totals from
+/// [`LoadStats`] plus resident/peak adjacency and feature bytes. The peak
+/// is what the §5.4 claim bounds — `~nnz/(G_r·G_c)` per layer for the
+/// sharded path against `2·nnz` for the in-memory path.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryLedger {
+    pub bytes_read: u64,
+    pub bytes_skipped: u64,
+    pub files_read: usize,
+    pub files_skipped: usize,
+    pub adjacency_resident_bytes: u64,
+    pub peak_adjacency_bytes: u64,
+    pub feature_resident_bytes: u64,
+    pub peak_feature_bytes: u64,
+}
+
+impl MemoryLedger {
+    /// Fold a windowed load's I/O counters into the totals.
+    pub fn absorb(&mut self, s: &LoadStats) {
+        self.bytes_read += s.bytes_read;
+        self.bytes_skipped += s.bytes_skipped;
+        self.files_read += s.files_read;
+        self.files_skipped += s.files_skipped;
+    }
+
+    /// Account `bytes` of adjacency that stay resident after a load.
+    pub fn note_adjacency_resident(&mut self, bytes: u64) {
+        self.adjacency_resident_bytes += bytes;
+        self.peak_adjacency_bytes = self.peak_adjacency_bytes.max(self.adjacency_resident_bytes);
+    }
+
+    /// Account a transient adjacency spike of `bytes` on top of what is
+    /// currently resident (merge buffers during a windowed load).
+    pub fn note_adjacency_transient(&mut self, bytes: u64) {
+        self.peak_adjacency_bytes =
+            self.peak_adjacency_bytes.max(self.adjacency_resident_bytes + bytes);
+    }
+
+    /// Account `bytes` of features that stay resident after a load.
+    pub fn note_feature_resident(&mut self, bytes: u64) {
+        self.feature_resident_bytes += bytes;
+        self.peak_feature_bytes = self.peak_feature_bytes.max(self.feature_resident_bytes);
+    }
+
+    /// Account a transient feature spike of `bytes`.
+    pub fn note_feature_transient(&mut self, bytes: u64) {
+        self.peak_feature_bytes = self.peak_feature_bytes.max(self.feature_resident_bytes + bytes);
+    }
+
+    /// One-line human summary (the example's per-rank report).
+    pub fn summary(&self) -> String {
+        format!(
+            "read {:>12} B, skipped {:>12} B ({:>3}/{:<3} files), peak adj {:>12} B, peak feat {:>12} B",
+            self.bytes_read,
+            self.bytes_skipped,
+            self.files_read,
+            self.files_read + self.files_skipped,
+            self.peak_adjacency_bytes,
+            self.peak_feature_bytes
+        )
+    }
+}
+
+/// An on-disk 2D-sharded dataset (format v2).
+///
+/// Raw stores written by [`ShardStore::create`] hold one adjacency parity
+/// plus feature bands. Preprocessed stores written by
+/// [`preprocess_to_store`] additionally hold the odd parity and
+/// labels/masks in both §5.1 output orders, making them sufficient to
+/// train from without ever materializing the global problem.
 pub struct ShardStore {
     dir: PathBuf,
     pub grid_p: usize,
@@ -30,28 +225,53 @@ pub struct ShardStore {
     pub rows: usize,
     pub cols: usize,
     pub feat_dim: usize,
+    /// 1 for raw stores, 2 for preprocessed (even + odd) stores.
+    pub parities: usize,
+    /// Class count of the source dataset (0 for raw stores).
+    pub num_classes: usize,
+    /// Number of training nodes (0 for raw stores).
+    pub total_train: usize,
+    /// §5.1 scheme baked into the shards (`None` for raw stores).
+    pub perm_mode: Option<PermutationMode>,
+    pub perm_seed: u64,
+    /// filename -> (fnv1a checksum, file length in bytes).
+    files: BTreeMap<String, (u64, u64)>,
+}
+
+fn adj_name(parity: Parity, i: usize, j: usize) -> String {
+    format!("adj_{}_{}_{}.plx", parity.tag(), i, j)
+}
+
+fn feat_name(i: usize) -> String {
+    format!("feat_{}.plx", i)
+}
+
+fn labels_name(parity: Parity) -> String {
+    format!("labels_{}.plx", parity.tag())
 }
 
 impl ShardStore {
-    /// Write `a` (adjacency) and `features` into `dir` as a `p x q` shard
-    /// grid. `dir` is created; existing shard files are overwritten.
+    /// Write `a` (adjacency) and `features` into `dir` as a raw `p x q`
+    /// shard grid (single parity, no labels). `dir` is created; existing
+    /// shard files are overwritten.
     pub fn create(
         dir: &Path,
         a: &Csr,
         features: &Matrix,
         p: usize,
         q: usize,
-    ) -> io::Result<ShardStore> {
+    ) -> LoaderResult<ShardStore> {
         assert_eq!(a.rows(), features.rows(), "ShardStore: A and F row mismatch");
         assert!(p > 0 && q > 0, "ShardStore: empty grid");
         fs::create_dir_all(dir)?;
-        let shards = shard_grid(a, p, q);
+        let mut files = BTreeMap::new();
         for i in 0..p {
-            for j in 0..q {
-                write_csr(&dir.join(format!("adj_{}_{}.plx", i, j)), &shards[i * q + j])?;
-            }
             let (r0, r1) = split_range(a.rows(), p, i);
-            write_matrix(&dir.join(format!("feat_{}.plx", i)), &features.row_block(r0, r1))?;
+            let band = a.block(r0, r1, 0, a.cols());
+            write_band_shards(dir, &mut files, &band, Parity::Even, i, a.cols(), q)?;
+            let name = feat_name(i);
+            let entry = write_matrix(&dir.join(&name), &features.row_block(r0, r1))?;
+            files.insert(name, entry);
         }
         let store = ShardStore {
             dir: dir.to_path_buf(),
@@ -60,121 +280,411 @@ impl ShardStore {
             rows: a.rows(),
             cols: a.cols(),
             feat_dim: features.cols(),
+            parities: 1,
+            num_classes: 0,
+            total_train: 0,
+            perm_mode: None,
+            perm_seed: 0,
+            files,
         };
         store.write_manifest()?;
         Ok(store)
     }
 
     /// Open an existing store by reading its manifest.
-    pub fn open(dir: &Path) -> io::Result<ShardStore> {
-        let text = fs::read_to_string(dir.join("manifest.txt"))?;
-        let mut vals = [0usize; 5];
-        for (slot, line) in vals.iter_mut().zip(text.lines()) {
-            *slot = line
-                .split('=')
-                .nth(1)
-                .and_then(|v| v.trim().parse().ok())
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad manifest"))?;
+    pub fn open(dir: &Path) -> LoaderResult<ShardStore> {
+        let path = dir.join("manifest.txt");
+        let text = fs::read_to_string(&path).map_err(|e| LoaderError::BadManifest {
+            reason: format!("{}: {}", path.display(), e),
+        })?;
+        let mut kv: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut files = BTreeMap::new();
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else { continue };
+            let (key, value) = (key.trim(), value.trim());
+            if let Some(name) = key.strip_prefix("file ") {
+                let mut parts = value.split_whitespace();
+                let entry = (|| {
+                    let ck = u64::from_str_radix(parts.next()?, 16).ok()?;
+                    let len: u64 = parts.next()?.parse().ok()?;
+                    Some((ck, len))
+                })()
+                .ok_or_else(|| LoaderError::BadManifest {
+                    reason: format!("unparsable file entry for {}", name),
+                })?;
+                files.insert(name.to_string(), entry);
+            } else {
+                kv.insert(key, value);
+            }
         }
+        let format: u64 = kv
+            .get("format")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| LoaderError::BadManifest { reason: "missing format line".into() })?;
+        if format != FORMAT_VERSION {
+            return Err(LoaderError::VersionMismatch {
+                file: path,
+                found: format,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let field = |name: &str| -> LoaderResult<usize> {
+            kv.get(name).and_then(|v| v.parse().ok()).ok_or_else(|| LoaderError::BadManifest {
+                reason: format!("missing or unparsable field {}", name),
+            })
+        };
+        let perm_mode = match kv.get("perm_mode").copied() {
+            None | Some("raw") => None,
+            Some("none") => Some(PermutationMode::None),
+            Some("single") => Some(PermutationMode::Single),
+            Some("double") => Some(PermutationMode::Double),
+            Some(other) => {
+                return Err(LoaderError::BadManifest {
+                    reason: format!("unknown perm_mode {}", other),
+                })
+            }
+        };
         Ok(ShardStore {
             dir: dir.to_path_buf(),
-            grid_p: vals[0],
-            grid_q: vals[1],
-            rows: vals[2],
-            cols: vals[3],
-            feat_dim: vals[4],
+            grid_p: field("p")?,
+            grid_q: field("q")?,
+            rows: field("rows")?,
+            cols: field("cols")?,
+            feat_dim: field("feat_dim")?,
+            parities: field("parities")?,
+            num_classes: field("classes")?,
+            total_train: field("total_train")?,
+            perm_mode,
+            perm_seed: field("perm_seed")? as u64,
+            files,
         })
     }
 
-    fn write_manifest(&self) -> io::Result<()> {
-        let mut f = File::create(self.dir.join("manifest.txt"))?;
+    fn write_manifest(&self) -> LoaderResult<()> {
+        let mut f = BufWriter::new(File::create(self.dir.join("manifest.txt"))?);
+        writeln!(f, "format = {}", FORMAT_VERSION)?;
         writeln!(f, "p = {}", self.grid_p)?;
         writeln!(f, "q = {}", self.grid_q)?;
         writeln!(f, "rows = {}", self.rows)?;
         writeln!(f, "cols = {}", self.cols)?;
         writeln!(f, "feat_dim = {}", self.feat_dim)?;
+        writeln!(f, "parities = {}", self.parities)?;
+        writeln!(f, "classes = {}", self.num_classes)?;
+        writeln!(f, "total_train = {}", self.total_train)?;
+        let mode = match self.perm_mode {
+            None => "raw",
+            Some(PermutationMode::None) => "none",
+            Some(PermutationMode::Single) => "single",
+            Some(PermutationMode::Double) => "double",
+        };
+        writeln!(f, "perm_mode = {}", mode)?;
+        writeln!(f, "perm_seed = {}", self.perm_seed)?;
+        for (name, (ck, len)) in &self.files {
+            writeln!(f, "file {} = {:016x} {}", name, ck, len)?;
+        }
+        f.flush()?;
         Ok(())
     }
 
     /// Total bytes of all shard files (what a naive loader would read on
     /// every rank).
-    pub fn total_bytes(&self) -> io::Result<u64> {
-        let mut total = 0;
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            if entry.path().extension().is_some_and(|e| e == "plx") {
-                total += entry.metadata()?.len();
-            }
-        }
-        Ok(total)
+    pub fn total_bytes(&self) -> LoaderResult<u64> {
+        Ok(self.files.values().map(|&(_, len)| len).sum())
     }
 
-    /// Load the adjacency window `[r0, r1) x [c0, c1)`, touching only the
-    /// shard files it intersects. Returns the block (local indices) and
-    /// the bytes read from disk.
+    /// Cheap integrity check: every manifest entry exists on disk with the
+    /// recorded length. Content checksums are verified lazily on load.
+    pub fn validate_files(&self) -> LoaderResult<()> {
+        for (name, &(_, len)) in &self.files {
+            let path = self.dir.join(name);
+            let meta =
+                fs::metadata(&path).map_err(|_| LoaderError::Truncated { file: path.clone() })?;
+            if meta.len() != len {
+                return Err(LoaderError::Truncated { file: path });
+            }
+        }
+        Ok(())
+    }
+
+    /// Manifest length of `name`, or a `BadManifest` error for unknown files.
+    fn file_len(&self, name: &str) -> LoaderResult<u64> {
+        self.files
+            .get(name)
+            .map(|&(_, len)| len)
+            .ok_or_else(|| LoaderError::BadManifest { reason: format!("{} not in manifest", name) })
+    }
+
+    /// Read and checksum-verify a file; returns its bytes plus the offset
+    /// where the payload starts (just past the magic/version header), so
+    /// callers parse in place without copying the payload.
+    fn read_verified(&self, name: &str) -> LoaderResult<(Vec<u8>, usize)> {
+        let path = self.dir.join(name);
+        let &(stored_ck, stored_len) = self.files.get(name).ok_or_else(|| {
+            LoaderError::BadManifest { reason: format!("{} not in manifest", name) }
+        })?;
+        let bytes = fs::read(&path)?;
+        if bytes.len() as u64 != stored_len {
+            return Err(LoaderError::Truncated { file: path });
+        }
+        let computed = fnv1a(&bytes);
+        if computed != stored_ck {
+            return Err(LoaderError::ChecksumMismatch { file: path, stored: stored_ck, computed });
+        }
+        let mut cur = Cursor { bytes: &bytes, pos: 0, path: &path };
+        let magic = cur.u64()?;
+        if magic != MAGIC {
+            return Err(LoaderError::BadMagic { file: path.clone() });
+        }
+        let version = cur.u64()?;
+        if version != FORMAT_VERSION {
+            return Err(LoaderError::VersionMismatch {
+                file: path.clone(),
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let payload_at = cur.pos;
+        Ok((bytes, payload_at))
+    }
+
+    /// Load the even-parity adjacency window `[r0, r1) x [c0, c1)`,
+    /// touching only the shard files it intersects.
     pub fn load_adjacency_window(
         &self,
         r0: usize,
         r1: usize,
         c0: usize,
         c1: usize,
-    ) -> io::Result<(Csr, u64)> {
+    ) -> LoaderResult<(Csr, LoadStats)> {
+        self.load_adjacency_window_parity(Parity::Even, r0, r1, c0, c1)
+    }
+
+    /// Load an adjacency window of the given parity. Shard files wholly
+    /// outside the window are never opened: their manifest-recorded sizes
+    /// are reported as `bytes_skipped` instead.
+    pub fn load_adjacency_window_parity(
+        &self,
+        parity: Parity,
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+    ) -> LoaderResult<(Csr, LoadStats)> {
         assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols, "window out of bounds");
-        let mut bytes = 0u64;
+        if parity == Parity::Odd && self.parities < 2 {
+            return Err(LoaderError::Missing { what: "odd-parity adjacency shards" });
+        }
+        let mut stats = LoadStats::default();
+        let mut transient = TransientTracker::default();
         let mut row_bands: Vec<Csr> = Vec::new();
+        let mut bands_bytes = 0u64;
         for i in 0..self.grid_p {
             let (sr0, sr1) = split_range(self.rows, self.grid_p, i);
-            if sr1 <= r0 || sr0 >= r1 {
-                continue;
-            }
+            let row_hit = sr1 > r0 && sr0 < r1;
             let mut band_parts: Vec<(usize, Csr)> = Vec::new();
+            let mut parts_bytes = 0u64;
             for j in 0..self.grid_q {
                 let (sc0, sc1) = split_range(self.cols, self.grid_q, j);
-                if sc1 <= c0 || sc0 >= c1 {
+                let name = adj_name(parity, i, j);
+                if !row_hit || sc1 <= c0 || sc0 >= c1 {
+                    stats.files_skipped += 1;
+                    stats.bytes_skipped += self.file_len(&name)?;
                     continue;
                 }
-                let path = self.dir.join(format!("adj_{}_{}.plx", i, j));
-                bytes += fs::metadata(&path)?.len();
-                let shard = read_csr(&path)?;
+                let (bytes, payload_at) = self.read_verified(&name)?;
+                stats.files_read += 1;
+                stats.bytes_read += bytes.len() as u64;
+                let shard = parse_csr(&bytes[payload_at..], &self.dir.join(&name))?;
+                transient.probe(bands_bytes + parts_bytes + shard.mem_bytes());
                 // Slice to the window intersection, in shard-local coords.
                 let lr0 = r0.max(sr0) - sr0;
                 let lr1 = r1.min(sr1) - sr0;
                 let lc0 = c0.max(sc0) - sc0;
                 let lc1 = c1.min(sc1) - sc0;
-                band_parts.push((sc0.max(c0), shard.block(lr0, lr1, lc0, lc1)));
+                let block = shard.block(lr0, lr1, lc0, lc1);
+                parts_bytes += block.mem_bytes();
+                band_parts.push((sc0.max(c0), block));
             }
-            band_parts.sort_by_key(|&(off, _)| off);
-            row_bands.push(hstack_blocks(&band_parts, c1 - c0));
+            if row_hit {
+                band_parts.sort_by_key(|&(off, _)| off);
+                let band = hstack_blocks(&band_parts, c1 - c0);
+                transient.probe(bands_bytes + parts_bytes + band.mem_bytes());
+                bands_bytes += band.mem_bytes();
+                row_bands.push(band);
+            }
         }
         let merged = if row_bands.is_empty() {
             Csr::empty(r1 - r0, c1 - c0)
         } else {
             Csr::vstack(&row_bands)
         };
-        Ok((merged, bytes))
+        transient.probe(bands_bytes + merged.mem_bytes());
+        stats.peak_transient_bytes = transient.peak;
+        Ok((merged, stats))
     }
 
     /// Load feature rows `[r0, r1)`, touching only intersecting band files.
-    pub fn load_feature_rows(&self, r0: usize, r1: usize) -> io::Result<(Matrix, u64)> {
+    pub fn load_feature_rows(&self, r0: usize, r1: usize) -> LoaderResult<(Matrix, LoadStats)> {
         assert!(r0 <= r1 && r1 <= self.rows, "feature window out of bounds");
-        let mut bytes = 0u64;
+        let mut stats = LoadStats::default();
+        let mut transient = TransientTracker::default();
         let mut blocks = Vec::new();
+        let mut blocks_bytes = 0u64;
         for i in 0..self.grid_p {
             let (sr0, sr1) = split_range(self.rows, self.grid_p, i);
+            let name = feat_name(i);
             if sr1 <= r0 || sr0 >= r1 {
+                stats.files_skipped += 1;
+                stats.bytes_skipped += self.file_len(&name)?;
                 continue;
             }
-            let path = self.dir.join(format!("feat_{}.plx", i));
-            bytes += fs::metadata(&path)?.len();
-            let band = read_matrix(&path)?;
-            blocks.push(band.row_block(r0.max(sr0) - sr0, r1.min(sr1) - sr0));
+            let (bytes, payload_at) = self.read_verified(&name)?;
+            stats.files_read += 1;
+            stats.bytes_read += bytes.len() as u64;
+            let band = parse_matrix(&bytes[payload_at..], &self.dir.join(&name))?;
+            transient.probe(blocks_bytes + band.mem_bytes());
+            let block = band.row_block(r0.max(sr0) - sr0, r1.min(sr1) - sr0);
+            blocks_bytes += block.mem_bytes();
+            blocks.push(block);
         }
         let merged = if blocks.is_empty() {
             Matrix::zeros(0, self.feat_dim)
         } else {
             Matrix::vstack(&blocks)
         };
-        Ok((merged, bytes))
+        transient.probe(blocks_bytes + merged.mem_bytes());
+        stats.peak_transient_bytes = transient.peak;
+        Ok((merged, stats))
+    }
+
+    /// Load the full label/train-mask vectors in the given §5.1 output
+    /// order (`Even` = `P_r`, `Odd` = `P_c`). Only preprocessed stores
+    /// carry them.
+    pub fn load_labels(&self, parity: Parity) -> LoaderResult<(Vec<u32>, Vec<bool>, LoadStats)> {
+        if self.perm_mode.is_none() {
+            return Err(LoaderError::Missing { what: "labels (raw store)" });
+        }
+        let name = labels_name(parity);
+        let (bytes, payload_at) = self.read_verified(&name)?;
+        let stats =
+            LoadStats { bytes_read: bytes.len() as u64, files_read: 1, ..LoadStats::default() };
+        let path = self.dir.join(&name);
+        let mut cur = Cursor { bytes: &bytes[payload_at..], pos: 0, path: &path };
+        let n = cur.u64()? as usize;
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(cur.u32()?);
+        }
+        let mut mask = Vec::with_capacity(n);
+        for _ in 0..n {
+            mask.push(cur.u8()? != 0);
+        }
+        Ok((labels, mask, stats))
+    }
+}
+
+/// Offline preprocessing (§5.1 + §5.4): permute `ds`'s adjacency with
+/// `mode`/`perm_seed` and write it — both layer parities — plus permuted
+/// feature bands and labels/masks into a `p x q` [`ShardStore`] at `dir`,
+/// streaming one row band at a time. Peak extra memory over the source
+/// dataset is one band (`~nnz/p`), never a second full copy of Â.
+///
+/// Training from the resulting store via
+/// [`crate::trainer::train_from_source`] is bitwise identical to the
+/// in-memory path with the same permutation options.
+pub fn preprocess_to_store(
+    ds: &LoadedDataset,
+    dir: &Path,
+    mode: PermutationMode,
+    perm_seed: u64,
+    p: usize,
+    q: usize,
+) -> LoaderResult<ShardStore> {
+    assert!(p > 0 && q > 0, "preprocess_to_store: empty grid");
+    let n = ds.num_nodes();
+    let (pr, pc) = crate::setup::build_permutations(mode, perm_seed, n);
+    fs::create_dir_all(dir)?;
+    let mut files = BTreeMap::new();
+
+    // Adjacency, both parities, band by band.
+    for (parity, rowp, colp) in [(Parity::Even, &pr, &pc), (Parity::Odd, &pc, &pr)] {
+        let inv_row = inverse_permutation(rowp);
+        for i in 0..p {
+            let (r0, r1) = split_range(n, p, i);
+            let band = permuted_row_band(&ds.adjacency, &inv_row, colp, r0, r1);
+            write_band_shards(dir, &mut files, &band, parity, i, n, q)?;
+        }
+    }
+
+    // Features in even-layer input order (`P_c` applied), band by band.
+    let inv_pc = inverse_permutation(&pc);
+    for i in 0..p {
+        let (r0, r1) = split_range(n, p, i);
+        let rows: Vec<usize> = inv_pc[r0..r1].iter().map(|&x| x as usize).collect();
+        let name = feat_name(i);
+        let entry = write_matrix(&dir.join(&name), &ds.features.gather_rows(&rows))?;
+        files.insert(name, entry);
+    }
+
+    // Labels/masks in both output orders.
+    for (parity, perm) in [(Parity::Even, &pr), (Parity::Odd, &pc)] {
+        let mut labels = vec![0u32; n];
+        let mut mask = vec![false; n];
+        for i in 0..n {
+            labels[perm[i] as usize] = ds.labels[i];
+            mask[perm[i] as usize] = ds.split.train[i];
+        }
+        let name = labels_name(parity);
+        let entry = write_labels(&dir.join(&name), &labels, &mask)?;
+        files.insert(name, entry);
+    }
+
+    let store = ShardStore {
+        dir: dir.to_path_buf(),
+        grid_p: p,
+        grid_q: q,
+        rows: n,
+        cols: n,
+        feat_dim: ds.features.cols(),
+        parities: 2,
+        num_classes: ds.num_classes,
+        total_train: ds.split.num_train(),
+        perm_mode: Some(mode),
+        perm_seed,
+        files,
+    };
+    store.write_manifest()?;
+    Ok(store)
+}
+
+/// Split a row band into `q` column shards and write them.
+fn write_band_shards(
+    dir: &Path,
+    files: &mut BTreeMap<String, (u64, u64)>,
+    band: &Csr,
+    parity: Parity,
+    i: usize,
+    total_cols: usize,
+    q: usize,
+) -> LoaderResult<()> {
+    for j in 0..q {
+        let (c0, c1) = split_range(total_cols, q, j);
+        let name = adj_name(parity, i, j);
+        let entry = write_csr(&dir.join(&name), &band.block(0, band.rows(), c0, c1))?;
+        files.insert(name, entry);
+    }
+    Ok(())
+}
+
+/// High-water tracker for merge buffers during a windowed load.
+#[derive(Default)]
+struct TransientTracker {
+    peak: u64,
+}
+
+impl TransientTracker {
+    fn probe(&mut self, live: u64) {
+        self.peak = self.peak.max(live);
     }
 }
 
@@ -198,91 +708,163 @@ fn hstack_blocks(parts: &[(usize, Csr)], total_cols: usize) -> Csr {
     Csr::from_raw(rows, total_cols, row_ptr, col_idx, values)
 }
 
-fn write_csr(path: &Path, a: &Csr) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&MAGIC.to_le_bytes())?;
-    w.write_all(&(a.rows() as u64).to_le_bytes())?;
-    w.write_all(&(a.cols() as u64).to_le_bytes())?;
-    w.write_all(&(a.nnz() as u64).to_le_bytes())?;
-    for &p in a.row_ptr() {
-        w.write_all(&(p as u64).to_le_bytes())?;
-    }
-    for &c in a.col_idx() {
-        w.write_all(&c.to_le_bytes())?;
-    }
-    for &v in a.values() {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    w.flush()
+// ---------------------------------------------------------------------------
+// Binary encoding: [MAGIC u64][FORMAT_VERSION u64][payload], little-endian,
+// with the whole file's FNV-1a hash recorded in the manifest.
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+#[inline]
+fn fnv1a_step(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
-fn read_csr(path: &Path) -> io::Result<Csr> {
-    let mut r = BufReader::new(File::open(path)?);
-    let magic = read_u64(&mut r)?;
-    if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a Plexus shard file"));
+/// FNV-1a over a byte slice — the manifest checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET_BASIS, |h, &b| fnv1a_step(h, b))
+}
+
+/// BufWriter wrapper that FNV-hashes every byte as it passes through.
+struct HashingWriter {
+    inner: BufWriter<File>,
+    hash: u64,
+    written: u64,
+}
+
+impl HashingWriter {
+    fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self { inner: BufWriter::new(File::create(path)?), hash: FNV_OFFSET_BASIS, written: 0 })
     }
-    let rows = read_u64(&mut r)? as usize;
-    let cols = read_u64(&mut r)? as usize;
-    let nnz = read_u64(&mut r)? as usize;
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash = bytes.iter().fold(self.hash, |h, &b| fnv1a_step(h, b));
+        self.written += bytes.len() as u64;
+        self.inner.write_all(bytes)
+    }
+
+    fn header(&mut self) -> io::Result<()> {
+        self.put(&MAGIC.to_le_bytes())?;
+        self.put(&FORMAT_VERSION.to_le_bytes())
+    }
+
+    fn finish(mut self) -> io::Result<(u64, u64)> {
+        self.inner.flush()?;
+        Ok((self.hash, self.written))
+    }
+}
+
+fn write_csr(path: &Path, a: &Csr) -> LoaderResult<(u64, u64)> {
+    let mut w = HashingWriter::create(path)?;
+    w.header()?;
+    w.put(&(a.rows() as u64).to_le_bytes())?;
+    w.put(&(a.cols() as u64).to_le_bytes())?;
+    w.put(&(a.nnz() as u64).to_le_bytes())?;
+    for &p in a.row_ptr() {
+        w.put(&(p as u64).to_le_bytes())?;
+    }
+    for &c in a.col_idx() {
+        w.put(&c.to_le_bytes())?;
+    }
+    for &v in a.values() {
+        w.put(&v.to_le_bytes())?;
+    }
+    Ok(w.finish()?)
+}
+
+fn write_matrix(path: &Path, m: &Matrix) -> LoaderResult<(u64, u64)> {
+    let mut w = HashingWriter::create(path)?;
+    w.header()?;
+    w.put(&(m.rows() as u64).to_le_bytes())?;
+    w.put(&(m.cols() as u64).to_le_bytes())?;
+    for &v in m.as_slice() {
+        w.put(&v.to_le_bytes())?;
+    }
+    Ok(w.finish()?)
+}
+
+fn write_labels(path: &Path, labels: &[u32], mask: &[bool]) -> LoaderResult<(u64, u64)> {
+    assert_eq!(labels.len(), mask.len(), "write_labels: length mismatch");
+    let mut w = HashingWriter::create(path)?;
+    w.header()?;
+    w.put(&(labels.len() as u64).to_le_bytes())?;
+    for &l in labels {
+        w.put(&l.to_le_bytes())?;
+    }
+    for &m in mask {
+        w.put(&[m as u8])?;
+    }
+    Ok(w.finish()?)
+}
+
+/// Bounds-checked little-endian reader over an in-memory payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> LoaderResult<&[u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(LoaderError::Truncated { file: self.path.to_path_buf() });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> LoaderResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn u32(&mut self) -> LoaderResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn f32(&mut self) -> LoaderResult<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn u8(&mut self) -> LoaderResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+fn parse_csr(payload: &[u8], path: &Path) -> LoaderResult<Csr> {
+    let mut cur = Cursor { bytes: payload, pos: 0, path };
+    let rows = cur.u64()? as usize;
+    let cols = cur.u64()? as usize;
+    let nnz = cur.u64()? as usize;
     let mut row_ptr = Vec::with_capacity(rows + 1);
     for _ in 0..=rows {
-        row_ptr.push(read_u64(&mut r)? as usize);
+        row_ptr.push(cur.u64()? as usize);
     }
     let mut col_idx = Vec::with_capacity(nnz);
     for _ in 0..nnz {
-        col_idx.push(read_u32(&mut r)?);
+        col_idx.push(cur.u32()?);
     }
     let mut values = Vec::with_capacity(nnz);
     for _ in 0..nnz {
-        values.push(f32::from_le_bytes(read_array(&mut r)?));
+        values.push(cur.f32()?);
     }
     Ok(Csr::from_raw(rows, cols, row_ptr, col_idx, values))
 }
 
-fn write_matrix(path: &Path, m: &Matrix) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&MAGIC.to_le_bytes())?;
-    w.write_all(&(m.rows() as u64).to_le_bytes())?;
-    w.write_all(&(m.cols() as u64).to_le_bytes())?;
-    for &v in m.as_slice() {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    w.flush()
-}
-
-fn read_matrix(path: &Path) -> io::Result<Matrix> {
-    let mut r = BufReader::new(File::open(path)?);
-    let magic = read_u64(&mut r)?;
-    if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a Plexus matrix file"));
-    }
-    let rows = read_u64(&mut r)? as usize;
-    let cols = read_u64(&mut r)? as usize;
+fn parse_matrix(payload: &[u8], path: &Path) -> LoaderResult<Matrix> {
+    let mut cur = Cursor { bytes: payload, pos: 0, path };
+    let rows = cur.u64()? as usize;
+    let cols = cur.u64()? as usize;
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
-        data.push(f32::from_le_bytes(read_array(&mut r)?));
+        data.push(cur.f32()?);
     }
     Ok(Matrix::from_vec(rows, cols, data))
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    Ok(u64::from_le_bytes(read_array(r)?))
-}
-
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    Ok(u32::from_le_bytes(read_array(r)?))
-}
-
-fn read_array<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
-    let mut buf = [0u8; N];
-    r.read_exact(&mut buf)?;
-    Ok(buf)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plexus_sparse::permute::apply_permutation;
     use plexus_sparse::Coo;
     use plexus_tensor::uniform_matrix;
 
@@ -335,21 +917,30 @@ mod tests {
     }
 
     #[test]
-    fn partial_window_reads_less_than_everything() {
+    fn partial_window_reads_less_and_accounts_skips() {
         // The §5.4 claim in miniature: one rank's window touches a fraction
-        // of the files a full load would.
+        // of the files a full load would, and the skipped files' bytes are
+        // reported without opening them.
         let dir = temp_dir("partial");
         let a = random_csr(64, 5);
         let f = uniform_matrix(64, 8, -1.0, 1.0, 6);
         let store = ShardStore::create(&dir, &a, &f, 8, 8).unwrap();
         let total = store.total_bytes().unwrap();
-        let (_, window_bytes) = store.load_adjacency_window(0, 8, 0, 8).unwrap();
+        let (_, stats) = store.load_adjacency_window(0, 8, 0, 8).unwrap();
         assert!(
-            window_bytes * 8 < total,
+            stats.bytes_read * 8 < total,
             "1/64 window read {} of {} total bytes",
-            window_bytes,
+            stats.bytes_read,
             total
         );
+        assert_eq!(stats.files_read, 1);
+        assert_eq!(stats.files_skipped, 63);
+        // Read + skipped cover every adjacency file exactly once.
+        let adj_total: u64 = (0..8)
+            .flat_map(|i| (0..8).map(move |j| adj_name(Parity::Even, i, j)))
+            .map(|n| store.file_len(&n).unwrap())
+            .sum();
+        assert_eq!(stats.bytes_read + stats.bytes_skipped, adj_total);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -363,6 +954,9 @@ mod tests {
         assert_eq!((store.grid_p, store.grid_q), (2, 2));
         assert_eq!(store.rows, 20);
         assert_eq!(store.feat_dim, 3);
+        assert_eq!(store.parities, 1);
+        assert!(store.perm_mode.is_none());
+        store.validate_files().unwrap();
         let (a2, _) = store.load_adjacency_window(0, 20, 0, 20).unwrap();
         assert_eq!(a2, a);
         fs::remove_dir_all(&dir).unwrap();
@@ -374,18 +968,121 @@ mod tests {
         let a = random_csr(30, 9);
         let f = uniform_matrix(30, 5, -1.0, 1.0, 10);
         let store = ShardStore::create(&dir, &a, &f, 3, 3).unwrap();
-        let (blk, bytes) = store.load_feature_rows(11, 19).unwrap();
+        let (blk, stats) = store.load_feature_rows(11, 19).unwrap();
         assert_eq!(blk, f.row_block(11, 19));
-        assert!(bytes > 0);
+        assert!(stats.bytes_read > 0);
+        // Rows [11, 19) live entirely inside band 1 of [0,10)/[10,20)/[20,30).
+        assert_eq!(stats.files_read, 1);
+        assert_eq!(stats.files_skipped, 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_magic_is_rejected() {
-        let dir = temp_dir("magic");
-        fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("bad.plx"), [0u8; 64]).unwrap();
-        assert!(read_csr(&dir.join("bad.plx")).is_err());
+    fn corrupted_shard_is_a_typed_checksum_error() {
+        let dir = temp_dir("corrupt");
+        let a = random_csr(16, 11);
+        let f = uniform_matrix(16, 2, -1.0, 1.0, 12);
+        let store = ShardStore::create(&dir, &a, &f, 2, 2).unwrap();
+        // Flip one payload byte of a shard the window needs.
+        let victim = dir.join(adj_name(Parity::Even, 0, 0));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        match store.load_adjacency_window(0, 16, 0, 16) {
+            Err(LoaderError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let dir = temp_dir("version");
+        let a = random_csr(16, 13);
+        let f = uniform_matrix(16, 2, -1.0, 1.0, 14);
+        ShardStore::create(&dir, &a, &f, 1, 1).unwrap();
+        // Rewrite a shard with a bumped version header and a manifest-
+        // consistent checksum: only the version check can catch it.
+        let victim = dir.join(adj_name(Parity::Even, 0, 0));
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[8..16].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        fs::write(&victim, &bytes).unwrap();
+        let mut patched = ShardStore::open(&dir).unwrap();
+        patched.files.insert(adj_name(Parity::Even, 0, 0), (fnv1a(&bytes), bytes.len() as u64));
+        match patched.load_adjacency_window(0, 16, 0, 16) {
+            Err(LoaderError::VersionMismatch { found, expected, .. }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {:?}", other.map(|_| ())),
+        }
+        // An old-format manifest is rejected the same way.
+        fs::write(dir.join("manifest.txt"), "p = 1\nq = 1\nrows = 16\ncols = 16\nfeat_dim = 2\n")
+            .unwrap();
+        assert!(matches!(
+            ShardStore::open(&dir),
+            Err(LoaderError::BadManifest { .. } | LoaderError::VersionMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_shard_is_a_typed_error() {
+        let dir = temp_dir("trunc");
+        let a = random_csr(16, 15);
+        let f = uniform_matrix(16, 2, -1.0, 1.0, 16);
+        let store = ShardStore::create(&dir, &a, &f, 1, 1).unwrap();
+        let victim = dir.join(adj_name(Parity::Even, 0, 0));
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            store.load_adjacency_window(0, 16, 0, 16),
+            Err(LoaderError::Truncated { .. })
+        ));
+        assert!(store.validate_files().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn preprocessed_store_round_trips_both_parities() {
+        use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+        let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(6), 21);
+        let n = ds.num_nodes();
+        let dir = temp_dir("parity");
+        let store = preprocess_to_store(&ds, &dir, PermutationMode::Double, 11, 3, 3).unwrap();
+        assert_eq!(store.parities, 2);
+        assert_eq!(store.total_train, ds.split.num_train());
+        let (pr, pc) = crate::setup::build_permutations(PermutationMode::Double, 11, n);
+        let even = apply_permutation(&ds.adjacency, &pr, &pc);
+        let odd = apply_permutation(&ds.adjacency, &pc, &pr);
+        let (e, _) = store.load_adjacency_window_parity(Parity::Even, 0, n, 0, n).unwrap();
+        let (o, _) = store.load_adjacency_window_parity(Parity::Odd, 0, n, 0, n).unwrap();
+        assert_eq!(e, even);
+        assert_eq!(o, odd);
+        // Windows match blocks of the full permuted matrices.
+        let (we, _) = store.load_adjacency_window_parity(Parity::Even, 5, n / 2, 7, n - 3).unwrap();
+        assert_eq!(we, even.block(5, n / 2, 7, n - 3));
+        // Labels in even order are the P_r scatter of the originals.
+        let (labels, mask, _) = store.load_labels(Parity::Even).unwrap();
+        for i in 0..n {
+            assert_eq!(labels[pr[i] as usize], ds.labels[i]);
+            assert_eq!(mask[pr[i] as usize], ds.split.train[i]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn raw_store_rejects_odd_parity_and_labels() {
+        let dir = temp_dir("raw");
+        let a = random_csr(12, 17);
+        let f = uniform_matrix(12, 2, -1.0, 1.0, 18);
+        let store = ShardStore::create(&dir, &a, &f, 2, 2).unwrap();
+        assert!(matches!(
+            store.load_adjacency_window_parity(Parity::Odd, 0, 12, 0, 12),
+            Err(LoaderError::Missing { .. })
+        ));
+        assert!(matches!(store.load_labels(Parity::Even), Err(LoaderError::Missing { .. })));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

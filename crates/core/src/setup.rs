@@ -1,16 +1,21 @@
 //! Problem preprocessing: padding, the §5.1 permutation schemes, and
-//! per-rank shard extraction.
+//! per-rank shard extraction — from RAM or from a §5.4 [`ShardStore`].
 //!
 //! All preprocessing is deterministic and happens once per (dataset, grid)
-//! pair; every rank then extracts its own shards — mirroring the paper's
-//! offline preprocessing plus the parallel loader's per-rank reads.
+//! pair. The in-memory path materializes a [`GlobalProblem`] and every
+//! rank slices it; the out-of-core path opens a preprocessed store and
+//! each rank loads/merges only the shard files its window intersects
+//! ([`RankData::load_from_store`]), with a [`MemoryLedger`] recording the
+//! resulting footprint. Both paths produce bitwise-identical [`RankData`].
 
-use crate::grid::{roles_for_layer, GridConfig};
+use crate::grid::{roles_for_layer, GridConfig, GridCoords};
+use crate::loader::{LoaderError, LoaderResult, MemoryLedger, Parity, ShardStore};
 use plexus_gnn::{Gcn, GcnConfig};
 use plexus_graph::LoadedDataset;
 use plexus_sparse::permute::{apply_permutation, inverse_permutation, random_permutation};
 use plexus_sparse::Csr;
 use plexus_tensor::Matrix;
+use rayon::prelude::*;
 
 /// Which §5.1 scheme to apply.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,15 +29,38 @@ pub enum PermutationMode {
     Double,
 }
 
+/// The §5.1 row/column permutations for `mode` over `n` real nodes. Both
+/// the in-memory builder and the offline store writer derive them from
+/// here, which is what makes the two ingest paths bitwise comparable.
+pub fn build_permutations(mode: PermutationMode, perm_seed: u64, n: usize) -> (Vec<u32>, Vec<u32>) {
+    match mode {
+        PermutationMode::None => {
+            let id: Vec<u32> = (0..n as u32).collect();
+            (id.clone(), id)
+        }
+        PermutationMode::Single => {
+            let p = random_permutation(n, perm_seed);
+            (p.clone(), p)
+        }
+        PermutationMode::Double => (
+            random_permutation(n, perm_seed),
+            random_permutation(n, perm_seed.wrapping_add(0x9e3779b97f4a7c15)),
+        ),
+    }
+}
+
 /// Round `n` up to a multiple of `m`.
 pub fn pad_to_multiple(n: usize, m: usize) -> usize {
     n.div_ceil(m) * m
 }
 
-/// The fully preprocessed problem, shared read-only across rank threads.
-pub struct GlobalProblem {
+/// Shape-and-size metadata shared by every ingest path: everything a rank
+/// needs to know about the problem that is *not* bulk data.
+#[derive(Clone, Debug)]
+pub struct ProblemMeta {
     pub grid: GridConfig,
     pub num_layers: usize,
+    pub hidden_dim: usize,
     /// Real node count and padded node count (multiple of Gx·Gy·Gz).
     pub n_real: usize,
     pub n_pad: usize,
@@ -40,6 +68,95 @@ pub struct GlobalProblem {
     /// dim, `dims[L]` the class count.
     pub dims_real: Vec<usize>,
     pub dims_pad: Vec<usize>,
+    pub num_classes_real: usize,
+    pub total_train: usize,
+}
+
+impl ProblemMeta {
+    /// Derive all padded shapes from the raw problem dimensions.
+    pub fn derive(
+        n_real: usize,
+        input_dim: usize,
+        num_classes: usize,
+        total_train: usize,
+        grid: GridConfig,
+        hidden_dim: usize,
+        num_layers: usize,
+    ) -> Self {
+        let n_pad = pad_to_multiple(n_real, lcm3(grid));
+        let cfg = GcnConfig { input_dim, hidden_dim, num_classes, num_layers, seed: 0 };
+        let mut dims_real = vec![cfg.input_dim];
+        for (_, dout) in cfg.layer_dims() {
+            dims_real.push(dout);
+        }
+        let pad_unit = lcm3(grid);
+        let dims_pad: Vec<usize> =
+            dims_real.iter().map(|&d| pad_to_multiple(d, pad_unit)).collect();
+        Self {
+            grid,
+            num_layers,
+            hidden_dim,
+            n_real,
+            n_pad,
+            dims_real,
+            dims_pad,
+            num_classes_real: num_classes,
+            total_train,
+        }
+    }
+
+    /// Metadata for training out of a preprocessed store.
+    pub fn from_store(
+        store: &ShardStore,
+        grid: GridConfig,
+        hidden_dim: usize,
+        num_layers: usize,
+    ) -> Self {
+        Self::derive(
+            store.rows,
+            store.feat_dim,
+            store.num_classes,
+            store.total_train,
+            grid,
+            hidden_dim,
+            num_layers,
+        )
+    }
+
+    /// Per-layer `(rows-axis size, contract-axis size)` of the adjacency
+    /// shard grid — the splits behind the §5.4 per-rank memory estimate.
+    pub fn layer_splits(&self) -> Vec<(usize, usize)> {
+        (0..self.num_layers)
+            .map(|l| {
+                let roles = roles_for_layer(l);
+                (self.grid.dim(roles.rows), self.grid.dim(roles.contract))
+            })
+            .collect()
+    }
+
+    /// The model's full padded weight matrices, identical to the serial
+    /// model's weights (seed `model_seed`) up to zero padding.
+    pub fn full_padded_weights(&self, model_seed: u64) -> Vec<Matrix> {
+        let cfg = GcnConfig {
+            input_dim: self.dims_real[0],
+            hidden_dim: self.hidden_dim,
+            num_classes: self.num_classes_real,
+            num_layers: self.num_layers,
+            seed: model_seed,
+        };
+        Gcn::new(cfg)
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(l, w)| w.zero_padded(self.dims_pad[l], self.dims_pad[l + 1]))
+            .collect()
+    }
+}
+
+/// The fully preprocessed problem, shared read-only across rank threads
+/// (the in-memory ingest path).
+pub struct GlobalProblem {
+    pub meta: ProblemMeta,
     /// Adjacency used by even layers (`P_r Â P_cᵀ`, zero-padded).
     pub a_even: Csr,
     /// Adjacency used by odd layers (`P_c Â P_rᵀ`, zero-padded).
@@ -53,8 +170,6 @@ pub struct GlobalProblem {
     /// Full (padded) weight matrices, identical to the serial model's
     /// weights up to zero padding.
     pub weights_full: Vec<Matrix>,
-    pub num_classes_real: usize,
-    pub total_train: usize,
 }
 
 impl GlobalProblem {
@@ -71,57 +186,33 @@ impl GlobalProblem {
         perm_seed: u64,
     ) -> Self {
         let n_real = ds.num_nodes();
-        let n_pad = pad_to_multiple(n_real, lcm3(grid));
+        let total_train = ds.split.num_train();
+        let meta = ProblemMeta::derive(
+            n_real,
+            ds.feature_dim(),
+            ds.num_classes,
+            total_train,
+            grid,
+            hidden_dim,
+            num_layers,
+        );
+        let n_pad = meta.n_pad;
 
         // Permutations over the real nodes; padding rows stay at the end.
-        let (pr, pc) = match mode {
-            PermutationMode::None => {
-                let id: Vec<u32> = (0..n_real as u32).collect();
-                (id.clone(), id)
-            }
-            PermutationMode::Single => {
-                let p = random_permutation(n_real, perm_seed);
-                (p.clone(), p)
-            }
-            PermutationMode::Double => (
-                random_permutation(n_real, perm_seed),
-                random_permutation(n_real, perm_seed.wrapping_add(0x9e3779b97f4a7c15)),
-            ),
-        };
+        let (pr, pc) = build_permutations(mode, perm_seed, n_real);
 
         // Â with both §5.1 permutation variants, padded.
         let a_even = apply_permutation(&ds.adjacency, &pr, &pc).zero_padded(n_pad, n_pad);
         let a_odd = apply_permutation(&ds.adjacency, &pc, &pr).zero_padded(n_pad, n_pad);
 
-        // Model dims, real and padded.
-        let cfg = GcnConfig {
-            input_dim: ds.feature_dim(),
-            hidden_dim,
-            num_classes: ds.num_classes,
-            num_layers,
-            seed: model_seed,
-        };
-        let mut dims_real = vec![cfg.input_dim];
-        for (_, dout) in cfg.layer_dims() {
-            dims_real.push(dout);
-        }
-        let pad_unit = lcm3(grid);
-        let dims_pad: Vec<usize> =
-            dims_real.iter().map(|&d| pad_to_multiple(d, pad_unit)).collect();
-
         // Weights: identical to the serial model, zero-padded.
-        let model = Gcn::new(cfg);
-        let weights_full: Vec<Matrix> = model
-            .weights
-            .iter()
-            .enumerate()
-            .map(|(l, w)| w.zero_padded(dims_pad[l], dims_pad[l + 1]))
-            .collect();
+        let weights_full = meta.full_padded_weights(model_seed);
 
         // Input features: row-permute by P_c (even-layer input order), pad.
         let inv_pc = inverse_permutation(&pc);
         let perm_rows: Vec<usize> = inv_pc.iter().map(|&i| i as usize).collect();
-        let features_perm = ds.features.gather_rows(&perm_rows).zero_padded(n_pad, dims_pad[0]);
+        let features_perm =
+            ds.features.gather_rows(&perm_rows).zero_padded(n_pad, meta.dims_pad[0]);
 
         // Labels/mask in the final-layer output order.
         let final_perm = if (num_layers - 1).is_multiple_of(2) { &pr } else { &pc };
@@ -132,25 +223,15 @@ impl GlobalProblem {
             labels_final[dst] = ds.labels[i];
             train_mask_final[dst] = ds.split.train[i];
         }
-        let total_train = train_mask_final.iter().filter(|&&b| b).count();
         assert!(total_train > 0, "GlobalProblem: no training nodes");
 
-        Self {
-            grid,
-            num_layers,
-            n_real,
-            n_pad,
-            dims_real,
-            dims_pad,
-            a_even,
-            a_odd,
-            features_perm,
-            labels_final,
-            train_mask_final,
-            weights_full,
-            num_classes_real: ds.num_classes,
-            total_train,
-        }
+        Self { meta, a_even, a_odd, features_perm, labels_final, train_mask_final, weights_full }
+    }
+
+    /// Bytes of the two resident global adjacency copies — the `2·nnz`
+    /// footprint the out-of-core path is measured against.
+    pub fn adjacency_footprint_bytes(&self) -> u64 {
+        self.a_even.mem_bytes() + self.a_odd.mem_bytes()
     }
 }
 
@@ -158,6 +239,55 @@ impl GlobalProblem {
 /// integral, which `Gx·Gy·Gz` guarantees.
 fn lcm3(grid: GridConfig) -> usize {
     grid.gx * grid.gy * grid.gz
+}
+
+/// The adjacency window (padded coordinates) rank `c` owns at layer `l`.
+fn layer_window(meta: &ProblemMeta, c: GridCoords, l: usize) -> (usize, usize, usize, usize) {
+    let roles = roles_for_layer(l);
+    let grid = meta.grid;
+    let np = meta.n_pad;
+    let wr = np / grid.dim(roles.rows);
+    let wc = np / grid.dim(roles.contract);
+    let r0 = c.along(roles.rows) * wr;
+    let c0 = c.along(roles.contract) * wc;
+    (r0, wr, c0, wc)
+}
+
+/// The stored-feature block (padded coordinates) rank `c` owns.
+fn feature_window(meta: &ProblemMeta, c: GridCoords) -> (usize, usize, usize, usize) {
+    let roles0 = roles_for_layer(0);
+    let grid = meta.grid;
+    let crows = meta.n_pad / grid.dim(roles0.contract);
+    let subrows = crows / grid.dim(roles0.rows);
+    let fr0 = c.along(roles0.contract) * crows + c.along(roles0.rows) * subrows;
+    let fcols = meta.dims_pad[0] / grid.dim(roles0.feat);
+    let fc0 = c.along(roles0.feat) * fcols;
+    (fr0, subrows, fc0, fcols)
+}
+
+/// The final-logits label rows rank `c` owns.
+fn label_window(meta: &ProblemMeta, c: GridCoords) -> (usize, usize) {
+    let roles_last = roles_for_layer(meta.num_layers - 1);
+    let lrows = meta.n_pad / meta.grid.dim(roles_last.rows);
+    (c.along(roles_last.rows) * lrows, lrows)
+}
+
+/// Slice rank `c`'s stored weight shards out of the full padded matrices.
+fn weight_shards(meta: &ProblemMeta, weights_full: &[Matrix], c: GridCoords) -> Vec<Matrix> {
+    let grid = meta.grid;
+    (0..meta.num_layers)
+        .map(|l| {
+            let roles = roles_for_layer(l);
+            let din = meta.dims_pad[l];
+            let dout = meta.dims_pad[l + 1];
+            let krows = din / grid.dim(roles.feat);
+            let sub = krows / grid.dim(roles.rows);
+            let wr0 = c.along(roles.feat) * krows + c.along(roles.rows) * sub;
+            let wcols = dout / grid.dim(roles.contract);
+            let wc0 = c.along(roles.contract) * wcols;
+            weights_full[l].block(wr0, wr0 + sub, wc0, wc0 + wcols)
+        })
+        .collect()
 }
 
 /// The shards one rank owns.
@@ -179,63 +309,144 @@ pub struct RankData {
 impl RankData {
     /// Extract everything rank `rank` owns from the global problem.
     pub fn extract(gp: &GlobalProblem, rank: usize) -> Self {
-        let grid = gp.grid;
-        let c = grid.coords(rank);
-        let np = gp.n_pad;
+        let meta = &gp.meta;
+        let c = meta.grid.coords(rank);
 
-        let mut a_shards = Vec::with_capacity(gp.num_layers);
-        let mut a_shards_t = Vec::with_capacity(gp.num_layers);
-        for l in 0..gp.num_layers {
-            let roles = roles_for_layer(l);
+        let mut a_shards = Vec::with_capacity(meta.num_layers);
+        let mut a_shards_t = Vec::with_capacity(meta.num_layers);
+        for l in 0..meta.num_layers {
             let a_global = if l % 2 == 0 { &gp.a_even } else { &gp.a_odd };
-            let rdim = grid.dim(roles.rows);
-            let cdim = grid.dim(roles.contract);
-            let r0 = c.along(roles.rows) * (np / rdim);
-            let c0 = c.along(roles.contract) * (np / cdim);
-            let shard = a_global.block(r0, r0 + np / rdim, c0, c0 + np / cdim);
+            let (r0, wr, c0, wc) = layer_window(meta, c, l);
+            let shard = a_global.block(r0, r0 + wr, c0, c0 + wc);
             a_shards_t.push(shard.transposed());
             a_shards.push(shard);
         }
 
         // F₀ stored shard.
-        let roles0 = roles_for_layer(0);
-        let d0 = gp.dims_pad[0];
-        let crows = np / grid.dim(roles0.contract);
-        let subrows = crows / grid.dim(roles0.rows);
-        let fr0 = c.along(roles0.contract) * crows + c.along(roles0.rows) * subrows;
-        let fcols = d0 / grid.dim(roles0.feat);
-        let fc0 = c.along(roles0.feat) * fcols;
+        let (fr0, subrows, fc0, fcols) = feature_window(meta, c);
         let f_stored = gp.features_perm.block(fr0, fr0 + subrows, fc0, fc0 + fcols);
 
         // W_l stored shards.
-        let mut w_stored = Vec::with_capacity(gp.num_layers);
-        for l in 0..gp.num_layers {
-            let roles = roles_for_layer(l);
-            let din = gp.dims_pad[l];
-            let dout = gp.dims_pad[l + 1];
-            let krows = din / grid.dim(roles.feat);
-            let sub = krows / grid.dim(roles.rows);
-            let wr0 = c.along(roles.feat) * krows + c.along(roles.rows) * sub;
-            let wcols = dout / grid.dim(roles.contract);
-            let wc0 = c.along(roles.contract) * wcols;
-            w_stored.push(gp.weights_full[l].block(wr0, wr0 + sub, wc0, wc0 + wcols));
-        }
+        let w_stored = weight_shards(meta, &gp.weights_full, c);
 
         // Labels/mask slice: final logits rows are split over the last
         // layer's rows axis.
-        let roles_last = roles_for_layer(gp.num_layers - 1);
-        let lrows = np / grid.dim(roles_last.rows);
-        let l0 = c.along(roles_last.rows) * lrows;
+        let (l0, lrows) = label_window(meta, c);
         let labels_local = gp.labels_final[l0..l0 + lrows].to_vec();
         let mask_local = gp.train_mask_final[l0..l0 + lrows].to_vec();
 
         Self { a_shards, a_shards_t, f_stored, w_stored, labels_local, mask_local }
     }
+
+    /// Load everything rank `rank` owns straight from a preprocessed
+    /// [`ShardStore`], merging only the shard files its windows intersect
+    /// (the §5.4 parallel loader). Layer windows are loaded in parallel
+    /// via rayon. Returns the rank data — bitwise identical to
+    /// [`RankData::extract`] on the equivalent [`GlobalProblem`] — plus a
+    /// [`MemoryLedger`] of the bytes touched and resident.
+    pub fn load_from_store(
+        store: &ShardStore,
+        meta: &ProblemMeta,
+        rank: usize,
+        model_seed: u64,
+    ) -> LoaderResult<(Self, MemoryLedger)> {
+        let c = meta.grid.coords(rank);
+        let n = meta.n_real;
+        let mut ledger = MemoryLedger::default();
+
+        // Adjacency windows, one per layer, extracted in parallel.
+        type LayerLoad = LoaderResult<(Csr, Csr, crate::loader::LoadStats)>;
+        let mut slots: Vec<Option<LayerLoad>> = (0..meta.num_layers).map(|_| None).collect();
+        slots.as_mut_slice().par_chunks_mut(1).enumerate().for_each(|(l, slot)| {
+            slot[0] = Some(load_layer_shard(store, meta, c, l));
+        });
+        let mut a_shards = Vec::with_capacity(meta.num_layers);
+        let mut a_shards_t = Vec::with_capacity(meta.num_layers);
+        for slot in slots {
+            let (shard, shard_t, stats) = slot.expect("parallel load filled every slot")?;
+            // Conservative sequential accounting: the transient spike of
+            // this load is charged on top of all previously resident
+            // layers (parallel loads can only hit this bound, not beat it
+            // upward, because each spike is counted against full residency).
+            ledger.absorb(&stats);
+            ledger.note_adjacency_transient(stats.peak_transient_bytes);
+            ledger.note_adjacency_resident(shard.mem_bytes() + shard_t.mem_bytes());
+            a_shards.push(shard);
+            a_shards_t.push(shard_t);
+        }
+
+        // F₀ stored shard: clamp the padded window to stored (real) rows
+        // and columns, then zero-pad back to the padded shape.
+        let (fr0, subrows, fc0, fcols) = feature_window(meta, c);
+        let d0 = meta.dims_real[0];
+        let (band, fstats) = if fr0 < n {
+            store.load_feature_rows(fr0, (fr0 + subrows).min(n))?
+        } else {
+            (Matrix::zeros(0, d0), crate::loader::LoadStats::default())
+        };
+        ledger.absorb(&fstats);
+        ledger.note_feature_transient(fstats.peak_transient_bytes.max(band.mem_bytes()));
+        let f_stored = if fc0 < d0 {
+            band.block(0, band.rows(), fc0, (fc0 + fcols).min(d0)).zero_padded(subrows, fcols)
+        } else {
+            Matrix::zeros(subrows, fcols)
+        };
+        ledger.note_feature_resident(f_stored.mem_bytes());
+
+        // Weights are generated, not loaded: same seed, same bits.
+        let weights_full = meta.full_padded_weights(model_seed);
+        let w_stored = weight_shards(meta, &weights_full, c);
+
+        // Labels/mask in the final layer's output order, sliced + padded.
+        let (labels_all, mask_all, lstats) =
+            store.load_labels(Parity::for_layer(meta.num_layers - 1))?;
+        if labels_all.len() != n {
+            return Err(LoaderError::BadManifest {
+                reason: format!("label file has {} rows, store has {}", labels_all.len(), n),
+            });
+        }
+        ledger.absorb(&lstats);
+        let (l0, lrows) = label_window(meta, c);
+        let mut labels_local = vec![0u32; lrows];
+        let mut mask_local = vec![false; lrows];
+        let real = (l0 + lrows).min(n).saturating_sub(l0);
+        labels_local[..real].copy_from_slice(&labels_all[l0..l0 + real]);
+        mask_local[..real].copy_from_slice(&mask_all[l0..l0 + real]);
+
+        Ok((Self { a_shards, a_shards_t, f_stored, w_stored, labels_local, mask_local }, ledger))
+    }
+}
+
+/// Load one layer's adjacency shard (and transpose) from the store,
+/// clamping the padded window to stored coordinates and padding back.
+fn load_layer_shard(
+    store: &ShardStore,
+    meta: &ProblemMeta,
+    c: GridCoords,
+    l: usize,
+) -> LoaderResult<(Csr, Csr, crate::loader::LoadStats)> {
+    let n = meta.n_real;
+    let (r0, wr, c0, wc) = layer_window(meta, c, l);
+    let (raw, stats) = if r0 < n && c0 < n {
+        store.load_adjacency_window_parity(
+            Parity::for_layer(l),
+            r0,
+            (r0 + wr).min(n),
+            c0,
+            (c0 + wc).min(n),
+        )?
+    } else {
+        (Csr::empty(0, 0), crate::loader::LoadStats::default())
+    };
+    let shard = raw.zero_padded(wr, wc);
+    let shard_t = shard.transposed();
+    Ok((shard, shard_t, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loader::preprocess_to_store;
     use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
     use plexus_sparse::shard::split_range;
 
@@ -264,12 +475,12 @@ mod tests {
         let ds = tiny_ds();
         let grid = GridConfig::new(2, 2, 2);
         let gp = GlobalProblem::build(&ds, grid, 16, 3, 7, PermutationMode::Double, 11);
-        assert_eq!(gp.n_pad % 8, 0);
-        assert_eq!(gp.a_even.shape(), (gp.n_pad, gp.n_pad));
-        assert_eq!(gp.a_odd.shape(), (gp.n_pad, gp.n_pad));
-        assert_eq!(gp.features_perm.shape(), (gp.n_pad, gp.dims_pad[0]));
-        assert_eq!(gp.dims_pad.len(), 4);
-        for d in &gp.dims_pad {
+        assert_eq!(gp.meta.n_pad % 8, 0);
+        assert_eq!(gp.a_even.shape(), (gp.meta.n_pad, gp.meta.n_pad));
+        assert_eq!(gp.a_odd.shape(), (gp.meta.n_pad, gp.meta.n_pad));
+        assert_eq!(gp.features_perm.shape(), (gp.meta.n_pad, gp.meta.dims_pad[0]));
+        assert_eq!(gp.meta.dims_pad.len(), 4);
+        for d in &gp.meta.dims_pad {
             assert_eq!(d % 8, 0);
         }
         // nnz preserved by permutation + padding.
@@ -282,7 +493,7 @@ mod tests {
         let ds = tiny_ds();
         let grid = GridConfig::new(1, 1, 1);
         let gp = GlobalProblem::build(&ds, grid, 8, 3, 7, PermutationMode::None, 1);
-        assert_eq!(gp.a_even, ds.adjacency.zero_padded(gp.n_pad, gp.n_pad));
+        assert_eq!(gp.a_even, ds.adjacency.zero_padded(gp.meta.n_pad, gp.meta.n_pad));
         assert_eq!(gp.a_odd, gp.a_even);
     }
 
@@ -335,8 +546,8 @@ mod tests {
                 covered += rd.mask_local.iter().filter(|&&b| b).count();
             }
         }
-        assert_eq!(covered, gp.total_train);
-        assert_eq!(gp.total_train, ds.split.num_train());
+        assert_eq!(covered, gp.meta.total_train);
+        assert_eq!(gp.meta.total_train, ds.split.num_train());
     }
 
     #[test]
@@ -354,5 +565,54 @@ mod tests {
                 assert_eq!(e, (i + 1) * np / parts);
             }
         }
+    }
+
+    #[test]
+    fn store_loaded_rank_data_is_bitwise_identical_to_extracted() {
+        let ds = tiny_ds();
+        let dir = std::env::temp_dir().join(format!("plexus_setup_equiv_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = preprocess_to_store(&ds, &dir, PermutationMode::Double, 11, 4, 4).unwrap();
+        for grid in [GridConfig::new(2, 2, 2), GridConfig::new(4, 1, 1), GridConfig::new(1, 2, 2)] {
+            let gp = GlobalProblem::build(&ds, grid, 16, 3, 7, PermutationMode::Double, 11);
+            let meta = ProblemMeta::from_store(&store, grid, 16, 3);
+            assert_eq!(meta.n_pad, gp.meta.n_pad);
+            assert_eq!(meta.dims_pad, gp.meta.dims_pad);
+            for rank in 0..grid.total() {
+                let a = RankData::extract(&gp, rank);
+                let (b, ledger) = RankData::load_from_store(&store, &meta, rank, 7).unwrap();
+                assert_eq!(a.a_shards, b.a_shards, "rank {} shards", rank);
+                assert_eq!(a.a_shards_t, b.a_shards_t, "rank {} transposes", rank);
+                assert_eq!(a.f_stored, b.f_stored, "rank {} features", rank);
+                assert_eq!(a.w_stored, b.w_stored, "rank {} weights", rank);
+                assert_eq!(a.labels_local, b.labels_local, "rank {} labels", rank);
+                assert_eq!(a.mask_local, b.mask_local, "rank {} mask", rank);
+                assert!(ledger.bytes_read > 0);
+                assert!(
+                    ledger.peak_adjacency_bytes >= ledger.adjacency_resident_bytes,
+                    "peak below resident"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_load_skips_most_files_on_big_grids() {
+        let ds = tiny_ds();
+        let dir = std::env::temp_dir().join(format!("plexus_setup_skip_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = preprocess_to_store(&ds, &dir, PermutationMode::Double, 3, 8, 8).unwrap();
+        let grid = GridConfig::new(2, 2, 2);
+        let meta = ProblemMeta::from_store(&store, grid, 8, 3);
+        let (_, ledger) = RankData::load_from_store(&store, &meta, 0, 1).unwrap();
+        assert!(
+            ledger.files_skipped > ledger.files_read,
+            "a 1/4-area window should skip more files than it reads ({} read, {} skipped)",
+            ledger.files_read,
+            ledger.files_skipped
+        );
+        assert!(ledger.bytes_skipped > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

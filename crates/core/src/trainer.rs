@@ -6,8 +6,9 @@
 use crate::dist::DistContext;
 use crate::grid::{roles_for_layer, GridConfig};
 use crate::layer::{Aggregation, CommOverlap, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
+use crate::loader::{LoaderResult, MemoryLedger, ShardStore};
 use crate::loss::dist_masked_cross_entropy;
-use crate::setup::{GlobalProblem, PermutationMode, RankData};
+use crate::setup::{GlobalProblem, PermutationMode, ProblemMeta, RankData};
 use plexus_comm::{run_world_with, CommEvent, Communicator, ThreadComm};
 use plexus_gnn::{Adam, AdamConfig};
 use plexus_graph::LoadedDataset;
@@ -77,11 +78,26 @@ impl<C: Communicator> RankTrainer<C> {
     /// Assemble this rank's trainer from the shared preprocessed problem.
     pub fn new(gp: &GlobalProblem, ctx: DistContext<C>, opts: &DistTrainOptions) -> Self {
         let rd = RankData::extract(gp, ctx.world.rank());
-        Self::from_parts(gp, ctx, rd, opts)
+        Self::from_parts(&gp.meta, ctx, rd, opts)
+    }
+
+    /// Assemble this rank's trainer straight from a preprocessed
+    /// [`ShardStore`], loading only the shard files this rank's windows
+    /// intersect (the out-of-core ingest path). Returns the per-rank
+    /// [`MemoryLedger`] alongside.
+    pub fn from_store(
+        store: &ShardStore,
+        meta: &ProblemMeta,
+        ctx: DistContext<C>,
+        opts: &DistTrainOptions,
+    ) -> LoaderResult<(Self, MemoryLedger)> {
+        let (rd, ledger) =
+            RankData::load_from_store(store, meta, ctx.world.rank(), opts.model_seed)?;
+        Ok((Self::from_parts(meta, ctx, rd, opts), ledger))
     }
 
     pub fn from_parts(
-        gp: &GlobalProblem,
+        meta: &ProblemMeta,
         ctx: DistContext<C>,
         rd: RankData,
         opts: &DistTrainOptions,
@@ -114,9 +130,9 @@ impl<C: Communicator> RankTrainer<C> {
             f_opt,
             labels_local,
             mask_local,
-            num_classes_real: gp.num_classes_real,
-            total_train: gp.total_train,
-            num_layers: gp.num_layers,
+            num_classes_real: meta.num_classes_real,
+            total_train: meta.total_train,
+            num_layers: meta.num_layers,
         }
     }
 
@@ -184,44 +200,108 @@ impl<C: Communicator> RankTrainer<C> {
 }
 
 /// Result of a distributed run: rank-0 epoch stats (all ranks agree
-/// bitwise) plus each rank's collective-traffic ledger.
+/// bitwise) plus each rank's collective-traffic ledger and memory ledger.
 pub struct DistRunResult {
     pub grid: GridConfig,
     pub epochs: Vec<DistEpochStats>,
     pub traffic: Vec<Vec<CommEvent>>,
+    /// Per-rank ingest memory accounting. The in-memory path charges every
+    /// rank the shared global problem plus its shards; the sharded path
+    /// charges only what each rank loaded from the store.
+    pub memory: Vec<MemoryLedger>,
 }
 
 impl DistRunResult {
     pub fn losses(&self) -> Vec<f64> {
         self.epochs.iter().map(|e| e.loss).collect()
     }
+
+    /// Worst per-rank peak resident adjacency bytes during ingest.
+    pub fn peak_adjacency_bytes(&self) -> u64 {
+        self.memory.iter().map(|m| m.peak_adjacency_bytes).max().unwrap_or(0)
+    }
 }
 
-/// Preprocess `ds` and train it for `epochs` on a `grid.total()`-rank
-/// world. This is the main entry point of the engine.
-pub fn train_distributed(
-    ds: &LoadedDataset,
+/// Where the per-rank training data comes from — the switch between the
+/// materialize-then-slice path and the §5.4 out-of-core path.
+#[derive(Clone, Copy)]
+pub enum ProblemSource<'a> {
+    /// Build the [`GlobalProblem`] in RAM and let every rank slice it.
+    InMemory(&'a LoadedDataset),
+    /// Each rank opens the preprocessed store and loads/merges only the
+    /// shard files its windows intersect. The store's baked-in permutation
+    /// is used; `DistTrainOptions::permutation`/`perm_seed` are ignored.
+    Sharded(&'a ShardStore),
+}
+
+/// Train `epochs` on a `grid.total()`-rank world from either ingest path.
+/// With the same permutation options the two paths produce bitwise
+/// identical losses; only the memory ledgers differ.
+///
+/// Structural store problems — a raw (labelless, single-parity) store, or
+/// files missing/mis-sized against the manifest — surface as `Err` before
+/// any rank thread starts. Corruption discovered *during* the per-rank
+/// window loads (checksum/version failures on an individual shard)
+/// panics the failing rank, which poisons the world: ranks cannot return
+/// early individually without deadlocking their peers' collectives.
+pub fn train_from_source(
+    source: ProblemSource<'_>,
     grid: GridConfig,
     opts: &DistTrainOptions,
     epochs: usize,
-) -> DistRunResult {
-    let gp = Arc::new(GlobalProblem::build(
-        ds,
-        grid,
-        opts.hidden_dim,
-        opts.num_layers,
-        opts.model_seed,
-        opts.permutation,
-        opts.perm_seed,
-    ));
-    let (per_rank, traffic) = run_world_with(grid.total(), |comm| {
-        // Duplicate the world communicator so the context can own it.
-        let world = comm.split(0, comm.rank() as u64, "world");
-        let ctx = DistContext::new(world, grid);
-        let mut rt = RankTrainer::new(&gp, ctx, opts);
-        (0..epochs).map(|_| rt.train_epoch()).collect::<Vec<_>>()
-    });
+) -> LoaderResult<DistRunResult> {
+    let (per_rank, traffic) = match source {
+        ProblemSource::InMemory(ds) => {
+            let gp = Arc::new(GlobalProblem::build(
+                ds,
+                grid,
+                opts.hidden_dim,
+                opts.num_layers,
+                opts.model_seed,
+                opts.permutation,
+                opts.perm_seed,
+            ));
+            let global_adj = gp.adjacency_footprint_bytes();
+            let global_feat = gp.features_perm.mem_bytes();
+            run_world_with(grid.total(), |comm| {
+                // Duplicate the world communicator so the context can own it.
+                let world = comm.split(0, comm.rank() as u64, "world");
+                let ctx = DistContext::new(world, grid);
+                let rd = RankData::extract(&gp, ctx.world.rank());
+                let mut ledger = MemoryLedger::default();
+                // The Arc'd global problem stays resident on every rank for
+                // the whole run — the 2·nnz footprint §5.4 attacks.
+                ledger.note_adjacency_resident(global_adj);
+                ledger.note_adjacency_resident(
+                    rd.a_shards.iter().chain(&rd.a_shards_t).map(|a| a.mem_bytes()).sum(),
+                );
+                ledger.note_feature_resident(global_feat + rd.f_stored.mem_bytes());
+                let mut rt = RankTrainer::from_parts(&gp.meta, ctx, rd, opts);
+                ((0..epochs).map(|_| rt.train_epoch()).collect::<Vec<_>>(), ledger)
+            })
+        }
+        ProblemSource::Sharded(store) => {
+            // Catch structural problems before fanning out rank threads;
+            // content checksums are verified during the loads.
+            if store.parities < 2 || store.perm_mode.is_none() {
+                return Err(crate::loader::LoaderError::Missing {
+                    what: "preprocessed store (raw stores lack the odd parity and labels)",
+                });
+            }
+            store.validate_files()?;
+            let meta = ProblemMeta::from_store(store, grid, opts.hidden_dim, opts.num_layers);
+            run_world_with(grid.total(), |comm| {
+                let world = comm.split(0, comm.rank() as u64, "world");
+                let ctx = DistContext::new(world, grid);
+                let (mut rt, ledger) = RankTrainer::from_store(store, &meta, ctx, opts)
+                    .unwrap_or_else(|e| panic!("rank {}: shard load failed: {}", comm.rank(), e));
+                ((0..epochs).map(|_| rt.train_epoch()).collect::<Vec<_>>(), ledger)
+            })
+        }
+    };
 
+    let (per_rank, memory): (Vec<Vec<DistEpochStats>>, Vec<MemoryLedger>) =
+        per_rank.into_iter().unzip();
     // Every rank must report identical losses (deterministic collectives).
     let reference: Vec<f64> = per_rank[0].iter().map(|e| e.loss).collect();
     for (rank, stats) in per_rank.iter().enumerate().skip(1) {
@@ -236,7 +316,21 @@ pub fn train_distributed(
             );
         }
     }
-    DistRunResult { grid, epochs: per_rank.into_iter().next().unwrap(), traffic }
+    Ok(DistRunResult { grid, epochs: per_rank.into_iter().next().unwrap(), traffic, memory })
+}
+
+/// Preprocess `ds` in RAM and train it for `epochs` on a
+/// `grid.total()`-rank world. This is the main entry point of the engine;
+/// [`train_from_source`] is the generalization that can also stream from a
+/// [`ShardStore`].
+pub fn train_distributed(
+    ds: &LoadedDataset,
+    grid: GridConfig,
+    opts: &DistTrainOptions,
+    epochs: usize,
+) -> DistRunResult {
+    train_from_source(ProblemSource::InMemory(ds), grid, opts, epochs)
+        .expect("in-memory ingest cannot fail")
 }
 
 /// Result of a cost-only simulated run (see [`simulate_epochs`]).
@@ -475,6 +569,77 @@ mod tests {
         let groups: std::collections::HashSet<&str> =
             res.traffic[0].iter().map(|e| e.group).collect();
         assert!(groups.contains("x") && groups.contains("y") && groups.contains("z"));
+    }
+
+    #[test]
+    fn sharded_source_matches_in_memory_bitwise() {
+        // The out-of-core acceptance bar: training from a preprocessed
+        // store reproduces the in-memory loss trajectory bit for bit,
+        // while each rank's peak resident adjacency stays within a small
+        // factor of the simnet analytic estimate.
+        let ds = tiny_ds(128, 37);
+        let dir = std::env::temp_dir().join(format!("plexus_src_equiv_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DistTrainOptions {
+            hidden_dim: 8,
+            model_seed: 5,
+            permutation: PermutationMode::Double,
+            ..Default::default()
+        };
+        let store =
+            crate::loader::preprocess_to_store(&ds, &dir, opts.permutation, opts.perm_seed, 4, 4)
+                .unwrap();
+        let grid = GridConfig::new(2, 2, 2);
+        let in_mem = train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 4).unwrap();
+        let sharded = train_from_source(ProblemSource::Sharded(&store), grid, &opts, 4).unwrap();
+        for (e, (a, b)) in in_mem.losses().iter().zip(sharded.losses()).enumerate() {
+            assert_eq!(*a, b, "epoch {} loss differs between ingest paths", e);
+        }
+        // Sharded ranks never hold the 2·nnz global copies.
+        assert!(
+            sharded.peak_adjacency_bytes() < in_mem.peak_adjacency_bytes(),
+            "sharded peak {} not below in-memory peak {}",
+            sharded.peak_adjacency_bytes(),
+            in_mem.peak_adjacency_bytes()
+        );
+        for ledger in &sharded.memory {
+            assert!(ledger.bytes_read > 0);
+        }
+        // Cross-check against the analytic gpumem estimate.
+        let meta = ProblemMeta::from_store(&store, grid, opts.hidden_dim, opts.num_layers);
+        let estimate = plexus_simnet::estimate_rank_adjacency_bytes(
+            ds.adjacency.nnz(),
+            meta.n_pad,
+            &meta.layer_splits(),
+        );
+        for (rank, ledger) in sharded.memory.iter().enumerate() {
+            assert!(
+                ledger.peak_adjacency_bytes < 4 * estimate
+                    && 4 * ledger.peak_adjacency_bytes > estimate,
+                "rank {} ledger peak {} far from estimate {}",
+                rank,
+                ledger.peak_adjacency_bytes,
+                estimate
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn raw_store_as_sharded_source_is_a_typed_error() {
+        // A raw ShardStore (single parity, no labels) is structurally
+        // unusable for training; the error must surface as Err before any
+        // rank thread starts, not as a mid-world panic.
+        let ds = tiny_ds(96, 41);
+        let dir = std::env::temp_dir().join(format!("plexus_raw_src_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            crate::loader::ShardStore::create(&dir, &ds.adjacency, &ds.features, 2, 2).unwrap();
+        let opts = DistTrainOptions { hidden_dim: 8, ..Default::default() };
+        let res =
+            train_from_source(ProblemSource::Sharded(&store), GridConfig::new(1, 1, 1), &opts, 1);
+        assert!(matches!(res, Err(crate::loader::LoaderError::Missing { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

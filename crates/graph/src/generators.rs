@@ -29,7 +29,7 @@ pub fn rmat_graph(scale: u32, edge_factor: usize, seed: u64) -> Graph {
 pub fn rmat_with_probs(
     scale: u32,
     edge_factor: usize,
-    (a, b, c, _d): (f64, f64, f64, f64),
+    probs: (f64, f64, f64, f64),
     seed: u64,
 ) -> Graph {
     assert!((1..32).contains(&scale), "rmat: scale {} out of range", scale);
@@ -38,28 +38,98 @@ pub fn rmat_with_probs(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut undirected = Vec::with_capacity(m);
     for _ in 0..m {
-        let mut u = 0u32;
-        let mut v = 0u32;
-        for _ in 0..scale {
-            u <<= 1;
-            v <<= 1;
-            let r: f64 = rng.random_range(0.0..1.0);
-            if r < a {
-                // top-left: no bits set
-            } else if r < a + b {
-                v |= 1;
-            } else if r < a + b + c {
-                u |= 1;
-            } else {
-                u |= 1;
-                v |= 1;
-            }
-        }
-        if u != v {
-            undirected.push((u, v));
+        if let Some(e) = sample_rmat_edge(&mut rng, scale, probs) {
+            undirected.push(e);
         }
     }
     Graph::from_undirected(n, &undirected)
+}
+
+/// Draw one RMAT edge attempt (`scale` quadrant descents); self-loops are
+/// rejected, returning `None` while still consuming the same RNG draws —
+/// the invariant that keeps the chunked and monolithic generators
+/// bit-identical.
+fn sample_rmat_edge(
+    rng: &mut StdRng,
+    scale: u32,
+    (a, b, c, _d): (f64, f64, f64, f64),
+) -> Option<(u32, u32)> {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.random_range(0.0..1.0);
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u != v).then_some((u, v))
+}
+
+/// Chunked RMAT edge stream for out-of-core scales: yields the same
+/// undirected edges as [`rmat_graph`] (same seed, same order) in bounded
+/// `chunk_edges`-attempt batches, so scale-22+ graphs can be generated,
+/// sharded, and written to a store without ever holding the full edge
+/// list. Obtain it via [`rmat_edge_chunks`].
+pub struct RmatEdgeChunks {
+    rng: StdRng,
+    scale: u32,
+    probs: (f64, f64, f64, f64),
+    remaining_attempts: usize,
+    chunk_attempts: usize,
+}
+
+impl RmatEdgeChunks {
+    /// `2^scale`, the node count of the stream.
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+impl Iterator for RmatEdgeChunks {
+    type Item = Vec<(u32, u32)>;
+
+    fn next(&mut self) -> Option<Vec<(u32, u32)>> {
+        if self.remaining_attempts == 0 {
+            return None;
+        }
+        let take = self.remaining_attempts.min(self.chunk_attempts);
+        self.remaining_attempts -= take;
+        let mut chunk = Vec::with_capacity(take);
+        for _ in 0..take {
+            if let Some(e) = sample_rmat_edge(&mut self.rng, self.scale, self.probs) {
+                chunk.push(e);
+            }
+        }
+        Some(chunk)
+    }
+}
+
+/// Streaming equivalent of [`rmat_graph`]: concatenating the yielded
+/// chunks reproduces its undirected edge list exactly.
+pub fn rmat_edge_chunks(
+    scale: u32,
+    edge_factor: usize,
+    seed: u64,
+    chunk_edges: usize,
+) -> RmatEdgeChunks {
+    assert!((1..32).contains(&scale), "rmat: scale {} out of range", scale);
+    assert!(chunk_edges > 0, "rmat_edge_chunks: chunk size must be non-zero");
+    RmatEdgeChunks {
+        rng: StdRng::seed_from_u64(seed),
+        scale,
+        probs: (0.57, 0.19, 0.19, 0.05),
+        remaining_attempts: edge_factor << scale,
+        chunk_attempts: chunk_edges,
+    }
 }
 
 /// Erdős–Rényi G(n, m): `m` undirected edges sampled uniformly. The
@@ -177,6 +247,17 @@ mod tests {
         let max = deg[0] as f64;
         let mean = g.avg_degree();
         assert!(max / mean > 10.0, "rmat should be heavy-tailed: max {} vs mean {:.1}", max, mean);
+    }
+
+    #[test]
+    fn chunked_rmat_is_bit_identical_to_monolithic() {
+        let whole = rmat_graph(10, 8, 7);
+        for chunk_edges in [1usize, 97, 1000, 1 << 20] {
+            let chunks = rmat_edge_chunks(10, 8, 7, chunk_edges);
+            assert_eq!(chunks.num_nodes(), 1024);
+            let g = Graph::from_undirected_chunks(1024, chunks);
+            assert_eq!(g.edges(), whole.edges(), "chunk size {}", chunk_edges);
+        }
     }
 
     #[test]

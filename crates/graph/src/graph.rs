@@ -26,11 +26,21 @@ impl Graph {
     /// `(v, u)`.
     pub fn from_undirected(num_nodes: usize, undirected: &[(u32, u32)]) -> Self {
         let mut edges = Vec::with_capacity(undirected.len() * 2);
-        for &(u, v) in undirected {
-            edges.push((u, v));
-            if u != v {
-                edges.push((v, u));
-            }
+        extend_directed(&mut edges, undirected.iter().copied());
+        Self::new(num_nodes, edges)
+    }
+
+    /// Build from a stream of undirected edge chunks (e.g.
+    /// [`crate::generators::rmat_edge_chunks`]) without requiring the
+    /// caller to hold the whole undirected list: only the accumulating
+    /// directed list and one chunk are resident at a time.
+    pub fn from_undirected_chunks<I>(num_nodes: usize, chunks: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<(u32, u32)>>,
+    {
+        let mut edges = Vec::new();
+        for chunk in chunks {
+            extend_directed(&mut edges, chunk);
         }
         Self::new(num_nodes, edges)
     }
@@ -70,6 +80,17 @@ impl Graph {
     /// (edges + self-loops, deduplicated).
     pub fn normalized_adjacency(&self) -> Csr {
         normalized_adjacency(self.num_nodes, &self.edges)
+    }
+}
+
+/// The single definition of the undirected→directed expansion rule: every
+/// `(u, v)` also inserts `(v, u)`, except self-loops which appear once.
+fn extend_directed(edges: &mut Vec<(u32, u32)>, undirected: impl IntoIterator<Item = (u32, u32)>) {
+    for (u, v) in undirected {
+        edges.push((u, v));
+        if u != v {
+            edges.push((v, u));
+        }
     }
 }
 

@@ -20,6 +20,8 @@ pub mod graph;
 pub mod labels;
 
 pub use datasets::{paper_datasets, DatasetKind, DatasetSpec, LoadedDataset};
-pub use generators::{community_graph, erdos_renyi, rmat_graph, road_network};
+pub use generators::{
+    community_graph, erdos_renyi, rmat_edge_chunks, rmat_graph, road_network, RmatEdgeChunks,
+};
 pub use graph::Graph;
 pub use labels::{degree_based_labels, train_val_test_masks, Split};

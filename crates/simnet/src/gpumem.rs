@@ -137,6 +137,31 @@ pub fn simulate_spmm_kernel(a: &Csr, dense_cols: usize, l2_bytes: usize) -> Spmm
     }
 }
 
+/// Analytic per-rank resident adjacency estimate for the §5.4 memory
+/// ledger: each layer holds one `(n_pad/rdim) x (n_pad/cdim)` shard plus
+/// its transpose, with an expected `nnz_total/(rdim·cdim)` nonzeros
+/// (8 bytes each: `u32` column + `f32` value) and `usize` row pointers.
+/// `layer_splits[l] = (rdim, cdim)` is the shard grid the layer's
+/// adjacency plane is split over — `ProblemMeta::layer_splits()` in the
+/// engine. The estimate assumes permutation-balanced shards; real ledgers
+/// land within a small factor of it (skew and transient merge buffers).
+pub fn estimate_rank_adjacency_bytes(
+    nnz_total: usize,
+    n_pad: usize,
+    layer_splits: &[(usize, usize)],
+) -> u64 {
+    layer_splits
+        .iter()
+        .map(|&(rdim, cdim)| {
+            let shard_nnz = (nnz_total / (rdim * cdim)) as u64;
+            let entry_bytes = shard_nnz * 8;
+            let shard_ptr = (n_pad / rdim + 1) as u64 * 8;
+            let transpose_ptr = (n_pad / cdim + 1) as u64 * 8;
+            2 * entry_bytes + shard_ptr + transpose_ptr
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +218,19 @@ mod tests {
         let a = random_csr(8192, 1 << 17, 65536, 4);
         let m = simulate_spmm_kernel(&a, 8, 1 << 16);
         assert!(m.l2_hit_rate < 0.3, "hit rate {}", m.l2_hit_rate);
+    }
+
+    #[test]
+    fn adjacency_estimate_scales_with_shard_grid() {
+        // Splitting every layer 4x4 instead of 2x2 quarters the entry
+        // bytes; a (1,1) split degenerates to the full 2-copies-per-layer
+        // in-memory footprint.
+        let (nnz, np) = (1 << 20, 1 << 16);
+        let coarse = estimate_rank_adjacency_bytes(nnz, np, &[(2, 2); 3]);
+        let fine = estimate_rank_adjacency_bytes(nnz, np, &[(4, 4); 3]);
+        assert!(fine < coarse, "finer splits must shrink the estimate");
+        let full = estimate_rank_adjacency_bytes(nnz, np, &[(1, 1)]);
+        assert_eq!(full, 2 * (nnz as u64 * 8) + 2 * ((np as u64 + 1) * 8));
     }
 
     #[test]

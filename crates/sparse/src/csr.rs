@@ -145,6 +145,14 @@ impl Csr {
         self.col_idx.len()
     }
 
+    /// Resident heap bytes of the CSR arrays (`row_ptr` + `col_idx` +
+    /// `values`) — the quantity the §5.4 memory ledger accounts.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()) as u64
+    }
+
     /// Fraction of entries that are zero, as the paper reports per dataset
     /// ("the fraction of zeros ranges from 99.79% to 99.99%").
     pub fn sparsity(&self) -> f64 {

@@ -65,6 +65,41 @@ pub fn apply_symmetric_permutation(a: &Csr, p: &[u32]) -> Csr {
     apply_permutation(a, p, p)
 }
 
+/// Build output rows `[r0, r1)` of `P_r A P_cᵀ` without materializing the
+/// full permuted matrix — the streaming path of the out-of-core ingest
+/// pipeline. `inv_pr` is the inverse of the row permutation (output row
+/// `o` of the permuted matrix is input row `inv_pr[o]`); `pc` is the
+/// forward column permutation. Peak extra memory is one band (`~nnz/p`
+/// for a `p`-band sweep), never a second full copy of `A`.
+///
+/// The result is bitwise identical to
+/// `apply_permutation(a, pr, pc).block(r0, r1, 0, a.cols())`: entries are
+/// the same `f32` bit patterns and columns are sorted within each row
+/// exactly as COO→CSR conversion sorts them.
+pub fn permuted_row_band(a: &Csr, inv_pr: &[u32], pc: &[u32], r0: usize, r1: usize) -> Csr {
+    assert_eq!(inv_pr.len(), a.rows(), "permuted_row_band: inverse row permutation length");
+    assert_eq!(pc.len(), a.cols(), "permuted_row_band: column permutation length");
+    assert!(r0 <= r1 && r1 <= a.rows(), "permuted_row_band: band out of range");
+    let mut row_ptr = Vec::with_capacity(r1 - r0 + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    let mut entries: Vec<(u32, f32)> = Vec::new();
+    for out_row in r0..r1 {
+        let src = inv_pr[out_row] as usize;
+        let (cols, vals) = a.row_entries(src);
+        entries.clear();
+        entries.extend(cols.iter().zip(vals).map(|(&c, &v)| (pc[c as usize], v)));
+        // Bijective permutation of unique source columns cannot create
+        // duplicates, so a plain sort matches COO conversion bitwise.
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        col_idx.extend(entries.iter().map(|&(c, _)| c));
+        values.extend(entries.iter().map(|&(_, v)| v));
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(r1 - r0, a.cols(), row_ptr, col_idx, values)
+}
+
 /// Permute the entries of a vector of per-node data: `out[p[i]] = data[i]`.
 pub fn permute_vec<T: Clone + Default>(data: &[T], p: &[u32]) -> Vec<T> {
     assert_eq!(data.len(), p.len(), "permute_vec: length mismatch");
@@ -143,6 +178,44 @@ mod tests {
         let data = vec![10, 20, 30, 40];
         let p: Vec<u32> = vec![2, 0, 3, 1];
         assert_eq!(permute_vec(&data, &p), vec![20, 40, 10, 30]);
+    }
+
+    #[test]
+    fn row_band_matches_full_permutation() {
+        let a = sample();
+        let pr = random_permutation(4, 3);
+        let pc = random_permutation(4, 4);
+        let full = apply_permutation(&a, &pr, &pc);
+        let inv_pr = inverse_permutation(&pr);
+        for (r0, r1) in [(0, 4), (0, 2), (1, 3), (2, 2), (3, 4)] {
+            let band = permuted_row_band(&a, &inv_pr, &pc, r0, r1);
+            assert_eq!(band, full.block(r0, r1, 0, 4), "band {:?}", (r0, r1));
+        }
+    }
+
+    #[test]
+    fn row_bands_stitch_to_full_permutation() {
+        use crate::csr::Coo;
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 37;
+        let mut coo = Coo::new(n, n);
+        for _ in 0..n * 6 {
+            coo.push(
+                rng.random_range(0..n as u32),
+                rng.random_range(0..n as u32),
+                rng.random_range(-1.0f32..1.0),
+            );
+        }
+        let a = coo.to_csr();
+        let pr = random_permutation(n, 7);
+        let pc = random_permutation(n, 8);
+        let inv_pr = inverse_permutation(&pr);
+        let bands: Vec<Csr> = [(0, 13), (13, 26), (26, 37)]
+            .iter()
+            .map(|&(r0, r1)| permuted_row_band(&a, &inv_pr, &pc, r0, r1))
+            .collect();
+        assert_eq!(Csr::vstack(&bands), apply_permutation(&a, &pr, &pc));
     }
 
     #[test]

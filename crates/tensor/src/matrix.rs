@@ -90,6 +90,12 @@ impl Matrix {
         self.data.is_empty()
     }
 
+    /// Resident heap bytes of the element buffer — the quantity the §5.4
+    /// memory ledger accounts.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
     /// Whole buffer as a flat row-major slice.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {

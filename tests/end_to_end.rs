@@ -1,14 +1,15 @@
 //! End-to-end pipeline test: generate a dataset, shard it to disk with the
 //! §5.4 loader, read a rank's window back, select a grid with the §4
-//! model, train with the 3D engine, and check the model actually learned.
+//! model, train with the 3D engine — from RAM and straight from the store,
+//! bitwise identically — and check the model actually learned.
 
 use plexus::grid::GridConfig;
-use plexus::loader::ShardStore;
+use plexus::loader::{preprocess_to_store, ShardStore};
 use plexus::perfmodel::{choose_config, rank_configs, Workload};
-use plexus::setup::PermutationMode;
-use plexus::trainer::{train_distributed, DistTrainOptions};
+use plexus::setup::{PermutationMode, ProblemMeta};
+use plexus::trainer::{train_distributed, train_from_source, DistTrainOptions, ProblemSource};
 use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
-use plexus_simnet::perlmutter;
+use plexus_simnet::{estimate_rank_adjacency_bytes, perlmutter};
 
 #[test]
 fn full_pipeline_from_disk_to_trained_model() {
@@ -20,10 +21,12 @@ fn full_pipeline_from_disk_to_trained_model() {
     let _ = std::fs::remove_dir_all(&dir);
     let store = ShardStore::create(&dir, &ds.adjacency, &ds.features, 4, 4).unwrap();
 
-    // A rank's window comes back exactly equal to the in-memory block.
-    let (window, bytes) = store.load_adjacency_window(0, n / 2, n / 4, n).unwrap();
+    // A rank's window comes back exactly equal to the in-memory block,
+    // reading only the intersecting files and skipping the rest unopened.
+    let (window, stats) = store.load_adjacency_window(0, n / 2, n / 4, n).unwrap();
     assert_eq!(window, ds.adjacency.block(0, n / 2, n / 4, n));
-    assert!(bytes > 0 && bytes < store.total_bytes().unwrap());
+    assert!(stats.bytes_read > 0 && stats.bytes_read < store.total_bytes().unwrap());
+    assert!(stats.bytes_skipped > 0 && stats.files_skipped > 0);
 
     // Model-driven config choice for 8 ranks.
     let w = Workload::new(n, ds.adjacency.nnz(), 16, 16, ds.num_classes, 3);
@@ -50,6 +53,52 @@ fn full_pipeline_from_disk_to_trained_model() {
     let final_acc = res.epochs.last().unwrap().train_accuracy;
     assert!(final_acc > 0.2, "final accuracy {:.3} too low", final_acc);
 
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_ingest_trains_bitwise_identically_to_in_memory() {
+    // §5.4 out-of-core acceptance: preprocess to a store, then train the
+    // exact same problem via both ingest paths and demand bit-equal
+    // losses, a strictly smaller adjacency footprint than the in-memory
+    // path's 2·nnz globals, and a ledger that agrees with the analytic
+    // gpumem estimate.
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 256, Some(16), 41);
+    let dir = std::env::temp_dir().join(format!("plexus_e2e_oc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DistTrainOptions {
+        hidden_dim: 16,
+        model_seed: 9,
+        permutation: PermutationMode::Double,
+        ..Default::default()
+    };
+    preprocess_to_store(&ds, &dir, opts.permutation, opts.perm_seed, 8, 8).unwrap();
+    let reopened = ShardStore::open(&dir).unwrap();
+    assert_eq!(reopened.total_train, ds.split.num_train());
+
+    let grid = GridConfig::new(2, 2, 2);
+    let in_mem = train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 5).unwrap();
+    let sharded = train_from_source(ProblemSource::Sharded(&reopened), grid, &opts, 5).unwrap();
+    assert_eq!(in_mem.losses(), sharded.losses(), "ingest paths diverged");
+
+    // Memory: every sharded rank reads a strict subset of the store and
+    // stays below the in-memory residency.
+    let total = reopened.total_bytes().unwrap();
+    for ledger in &sharded.memory {
+        assert!(ledger.bytes_read > 0 && ledger.bytes_read < total);
+        assert!(ledger.peak_adjacency_bytes > 0);
+    }
+    assert!(sharded.peak_adjacency_bytes() < in_mem.peak_adjacency_bytes());
+    let meta = ProblemMeta::from_store(&reopened, grid, opts.hidden_dim, opts.num_layers);
+    let estimate =
+        estimate_rank_adjacency_bytes(ds.adjacency.nnz(), meta.n_pad, &meta.layer_splits());
+    let worst = sharded.peak_adjacency_bytes();
+    assert!(
+        worst < 4 * estimate && 4 * worst > estimate,
+        "ledger peak {} far from analytic estimate {}",
+        worst,
+        estimate
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

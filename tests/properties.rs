@@ -7,11 +7,12 @@
 //! * 3D-parallel == serial training on random graphs and random grids.
 
 use plexus::grid::GridConfig;
-use plexus::setup::PermutationMode;
+use plexus::loader::preprocess_to_store;
+use plexus::setup::{build_permutations, PermutationMode};
 use plexus::trainer::{train_distributed, DistTrainOptions};
 use plexus_comm::{run_world, Communicator, ReduceOp};
 use plexus_gnn::{SerialTrainer, TrainConfig};
-use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+use plexus_graph::{train_val_test_masks, DatasetKind, DatasetSpec, Graph, LoadedDataset};
 use plexus_sparse::permute::{apply_permutation, inverse_permutation, random_permutation};
 use plexus_sparse::shard::{shard_grid, unshard_grid};
 use plexus_sparse::{spmm, Coo, Csr};
@@ -112,6 +113,71 @@ proptest! {
             let lo = rank * chunk;
             prop_assert_eq!(&reduced[lo..lo + chunk], &scattered[..]);
         }
+    }
+}
+
+proptest! {
+    // Disk round-trips are cheap but not free; a couple dozen cases cover
+    // the mode x grid x window space well.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn preprocess_store_window_round_trips(
+        a in arb_csr(32),
+        feat_dim in 1usize..6,
+        p in 1usize..5,
+        q in 1usize..5,
+        mode_idx in 0usize..3,
+        perm_seed in any::<u64>(),
+        win in (0usize..97, 0usize..97, 0usize..97, 0usize..97),
+    ) {
+        prop_assume!(a.rows() == a.cols() && a.rows() >= 4);
+        let n = a.rows();
+        let mode = [PermutationMode::None, PermutationMode::Single, PermutationMode::Double]
+            [mode_idx];
+        // Wrap the arbitrary CSR in a dataset shell; the graph itself is
+        // irrelevant to the store (only adjacency/features/labels persist).
+        let ds = LoadedDataset {
+            spec: DatasetSpec {
+                kind: DatasetKind::OgbnProducts,
+                name: "prop-store",
+                nodes: n,
+                edges: a.nnz(),
+                nonzeros: a.nnz(),
+                features: feat_dim,
+                classes: 4,
+            },
+            graph: Graph::new(n, vec![]),
+            adjacency: a.clone(),
+            features: Matrix::from_fn(n, feat_dim, |i, j| ((i * 31 + j * 7) as f32 * 0.37).sin()),
+            labels: (0..n as u32).map(|i| i % 4).collect(),
+            split: train_val_test_masks(n, 0.6, 0.2, perm_seed ^ 0x55),
+            num_classes: 4,
+        };
+        let dir = std::env::temp_dir()
+            .join(format!("plexus_prop_store_{}_{}", std::process::id(), perm_seed & 0xffff));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = preprocess_to_store(&ds, &dir, mode, perm_seed, p, q).unwrap();
+
+        let (pr, pc) = build_permutations(mode, perm_seed, n);
+        let expected = apply_permutation(&a, &pr, &pc);
+        // Full round trip plus an arbitrary window of the even parity.
+        let (full, _) = store.load_adjacency_window(0, n, 0, n).unwrap();
+        prop_assert_eq!(&full, &expected);
+        let (mut r0, mut r1, mut c0, mut c1) =
+            (win.0 % (n + 1), win.1 % (n + 1), win.2 % (n + 1), win.3 % (n + 1));
+        if r0 > r1 { std::mem::swap(&mut r0, &mut r1); }
+        if c0 > c1 { std::mem::swap(&mut c0, &mut c1); }
+        let (window, stats) = store.load_adjacency_window(r0, r1, c0, c1).unwrap();
+        prop_assert_eq!(&window, &expected.block(r0, r1, c0, c1));
+        // Every even-parity file is either read or skipped, never both.
+        prop_assert_eq!(stats.files_read + stats.files_skipped, p * q);
+        // Features round-trip in P_c order.
+        let inv_pc = inverse_permutation(&pc);
+        let rows: Vec<usize> = inv_pc.iter().map(|&x| x as usize).collect();
+        let (feats, _) = store.load_feature_rows(0, n).unwrap();
+        prop_assert_eq!(&feats, &ds.features.gather_rows(&rows));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 
