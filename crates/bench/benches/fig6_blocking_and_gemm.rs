@@ -20,7 +20,7 @@ use plexus::setup::PermutationMode;
 use plexus::trainer::{train_distributed, DistTrainOptions};
 use plexus_bench::Table;
 use plexus_graph::{datasets::ISOLATE_3_8M, LoadedDataset};
-use plexus_tensor::{gemm, uniform_matrix, Matrix, Trans};
+use plexus_tensor::{gemm, gemm_reference_tn, uniform_matrix, Matrix, Trans};
 use std::time::Instant;
 
 fn left_panel() {
@@ -81,9 +81,12 @@ fn right_panel() {
         let h = uniform_matrix(n_local, d_in, -1.0, 1.0, 1);
         let dq = uniform_matrix(n_local, d_out, -1.0, 1.0, 2);
 
+        // The reference strided TN kernel — the production `gemm` now
+        // packs TN operands, so only the preserved reference path still
+        // measures the §5.3 effect.
         let mut dw = Matrix::zeros(d_in, d_out);
         let t0 = Instant::now();
-        gemm(&mut dw, &h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+        gemm_reference_tn(&mut dw, &h, &dq, 1.0, 0.0);
         let tn_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();

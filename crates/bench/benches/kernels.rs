@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use plexus_comm::{run_world, Communicator, ReduceOp};
 use plexus_graph::rmat_graph;
 use plexus_sparse::permute::{apply_permutation, random_permutation};
-use plexus_sparse::spmm;
-use plexus_tensor::{gemm, uniform_matrix, Matrix, Trans};
+use plexus_sparse::{spmm, spmm_into};
+use plexus_tensor::{gemm, gemm_reference_tn, uniform_matrix, Matrix, Trans};
 
 fn bench_spmm(c: &mut Criterion) {
     let g = rmat_graph(13, 8, 1);
@@ -19,13 +19,24 @@ fn bench_spmm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rmat_8k", cols), &cols, |bench, _| {
             bench.iter(|| spmm(&a, &b));
         });
+        // The engine path: output buffer owned by a workspace and reused
+        // across calls — isolates the kernel from the allocator.
+        let mut out = Matrix::zeros(a.rows(), cols);
+        group.bench_with_input(BenchmarkId::new("rmat_8k_into", cols), &cols, |bench, _| {
+            bench.iter(|| {
+                spmm_into(&a, &b, &mut out);
+                out.as_slice()[0]
+            });
+        });
     }
     group.finish();
 }
 
 fn bench_gemm_modes(c: &mut Criterion) {
-    // The dW shape: (N_loc x D)^T * (N_loc x D') — TN is the §5.3 slow
-    // path, the reordered transpose+NN is the tuned path.
+    // The dW shape: (N_loc x D)^T * (N_loc x D') — the reference strided
+    // TN kernel is the §5.3 slow path, the reordered transpose+NN is the
+    // paper's tuned path, and packed_tn is what the production `gemm` now
+    // does with a TN operand (panel packing absorbs the strided reads).
     let n_loc = 4096;
     let h = uniform_matrix(n_loc, 128, -1.0, 1.0, 3);
     let dq = uniform_matrix(n_loc, 64, -1.0, 1.0, 4);
@@ -34,7 +45,7 @@ fn bench_gemm_modes(c: &mut Criterion) {
     group.bench_function("tn_default", |b| {
         b.iter(|| {
             let mut dw = Matrix::zeros(128, 64);
-            gemm(&mut dw, &h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+            gemm_reference_tn(&mut dw, &h, &dq, 1.0, 0.0);
             dw
         });
     });
@@ -43,6 +54,13 @@ fn bench_gemm_modes(c: &mut Criterion) {
             let ht = h.transposed();
             let mut dw = Matrix::zeros(128, 64);
             gemm(&mut dw, &ht, Trans::N, &dq, Trans::N, 1.0, 0.0);
+            dw
+        });
+    });
+    group.bench_function("packed_tn", |b| {
+        b.iter(|| {
+            let mut dw = Matrix::zeros(128, 64);
+            gemm(&mut dw, &h, Trans::T, &dq, Trans::N, 1.0, 0.0);
             dw
         });
     });

@@ -24,21 +24,36 @@
 //! path records `Q_TILES` per-tile all-reduce events where blocking
 //! records one — so ledger event counts (not byte totals) depend on the
 //! mode.
+//!
+//! # Workspace discipline
+//!
+//! Every kernel output in both passes (`H`, `Q`, the activation, `∂L/∂W`,
+//! `∂L/∂H`, `∂L/∂F`, the `Hᵀ` scratch, SpMM partials and GEMM tiles) is
+//! taken from the layer's [`KernelWorkspace`] and recycled as soon as its
+//! last reader is done — [`DistLayer::backward`] consumes the forward
+//! cache by value for exactly that reason. After the first epoch has
+//! sized the pool, forward+backward run with **zero** per-call heap
+//! allocations for kernel outputs (asserted by the engine's warmup test);
+//! only the communicator's own result buffers are allocated per call, and
+//! even those are recycled into the pool once copied out.
 
 use crate::dist::DistContext;
 use crate::grid::LayerRoles;
 use plexus_comm::{Communicator, PendingCollective, ReduceOp};
 use plexus_sparse::blocked::RowBlocks;
-use plexus_sparse::{spmm, Csr};
-use plexus_tensor::ops::{relu, relu_backward_inplace};
-use plexus_tensor::{gemm, Matrix, Trans};
+use plexus_sparse::{spmm_into, Csr};
+use plexus_tensor::ops::{relu_backward_inplace, relu_into};
+use plexus_tensor::{gemm_reference_tn, gemm_ws, KernelWorkspace, Matrix, Trans};
 use std::time::Instant;
 
 /// How `∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)` is computed (§5.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GemmTuning {
-    /// The straightforward TN-mode kernel (slow strided reads — the
-    /// behaviour the paper observed on Frontier at ≥512 GCDs).
+    /// The straightforward strided TN kernel ([`gemm_reference_tn`] — the
+    /// behaviour the paper observed on Frontier at ≥512 GCDs). Since the
+    /// production [`gemm`](plexus_tensor::gemm::gemm) now routes TN through
+    /// operand packing, the reference kernel is what keeps this arm an
+    /// honest reproduction of the §5.3 effect.
     Default,
     /// Reorder so only fast-mode kernels run: materialize Hᵀ once
     /// (O(N·D) copy) and use the NN kernel (O(N·D²) work). This is this
@@ -94,24 +109,30 @@ impl TimeSplit {
 }
 
 /// An in-flight all-reduce of one matrix tile: the pending handle plus the
-/// shape needed to rebuild the [`Matrix`] on completion.
+/// destination row offset and shape needed to land it on completion.
 struct PendingTile<'c> {
     pending: PendingCollective<'c, f32>,
+    r0: usize,
     rows: usize,
     cols: usize,
 }
 
 impl<'c> PendingTile<'c> {
-    fn start<C: Communicator>(group: &'c C, tile: &Matrix, op: ReduceOp) -> Self {
+    fn start<C: Communicator>(group: &'c C, tile: &Matrix, r0: usize, op: ReduceOp) -> Self {
         Self {
             pending: group.start_all_reduce(tile.as_slice(), op),
+            r0,
             rows: tile.rows(),
             cols: tile.cols(),
         }
     }
 
-    fn wait(self) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.pending.wait())
+    /// Wait, write the reduced tile into `dst` at the recorded row offset,
+    /// and recycle the transport buffer into `ws`.
+    fn land(self, dst: &mut Matrix, ws: &mut KernelWorkspace) {
+        let m = Matrix::from_vec(self.rows, self.cols, self.pending.wait());
+        dst.set_block(self.r0, 0, &m);
+        ws.recycle(m);
     }
 }
 
@@ -125,9 +146,12 @@ pub struct DistLayer {
     blocks: Option<RowBlocks>,
     pub tuning: GemmTuning,
     pub overlap: CommOverlap,
+    /// Reusable kernel buffers; sized by the first epoch, stable after.
+    ws: KernelWorkspace,
 }
 
 /// Forward-pass cache (post-all-reduce H and Q, plus the gathered W).
+/// Consumed by [`DistLayer::backward`], which recycles the buffers.
 pub struct DistLayerCache {
     pub h: Matrix,
     pub q: Matrix,
@@ -159,7 +183,28 @@ impl DistLayer {
                 Some(RowBlocks::split(&a_shard, n.min(a_shard.rows().max(1))))
             }
         };
-        Self { layer_idx, roles, a_shard, a_shard_t, blocks, tuning, overlap }
+        Self {
+            layer_idx,
+            roles,
+            a_shard,
+            a_shard_t,
+            blocks,
+            tuning,
+            overlap,
+            ws: KernelWorkspace::new(),
+        }
+    }
+
+    /// Allocator interactions of this layer's workspace so far. Flat
+    /// across epochs once warmed up.
+    pub fn workspace_alloc_events(&self) -> u64 {
+        self.ws.alloc_events()
+    }
+
+    /// Hand a no-longer-needed matrix (e.g. a consumed activation) back to
+    /// this layer's buffer pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.ws.recycle(m);
     }
 
     /// Algorithm 1, lines 2–12, for this layer's roles. `f_full` is the
@@ -167,22 +212,26 @@ impl DistLayer {
     /// layer-0 gather of the Z-sharded trainable features). `w_stored` is
     /// the R-axis shard of W. Returns (output, cache, timing).
     pub fn forward<C: Communicator>(
-        &self,
+        &mut self,
         ctx: &DistContext<C>,
         f_full: &Matrix,
         w_stored: &Matrix,
         activated: bool,
     ) -> (Matrix, DistLayerCache, TimeSplit) {
+        let Self { ws, blocks, a_shard, roles, overlap, .. } = self;
+        let (roles, overlap) = (*roles, *overlap);
         let mut t = TimeSplit::default();
+        let n = f_full.cols();
 
         // Step 1: aggregation. H = SpMM(A, F); all-reduce across C.
-        let h = match &self.blocks {
+        let h = match blocks {
             None => {
                 let t0 = Instant::now();
-                let mut h = spmm(&self.a_shard, f_full);
+                let mut h = ws.take_scratch(a_shard.rows(), n);
+                spmm_into(a_shard, f_full, &mut h);
                 t.compute_s += t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
-                ctx.all_reduce_sum(&mut h, self.roles.contract);
+                ctx.all_reduce_sum(&mut h, roles.contract);
                 t.comm_s += t1.elapsed().as_secs_f64();
                 h
             }
@@ -190,126 +239,147 @@ impl DistLayer {
                 // §5.2: per-block SpMM + all-reduce of the block. With
                 // overlap on, block i's all-reduce is in flight while
                 // block i+1's SpMM runs.
-                let group = ctx.group(self.roles.contract);
+                let group = ctx.group(roles.contract);
                 // A size-1 group has nothing to hide the reduce behind.
-                let overlapped = self.overlap == CommOverlap::Overlapped && group.size() > 1;
-                let mut outs = Vec::with_capacity(blocks.num_blocks());
+                let overlapped = overlap == CommOverlap::Overlapped && group.size() > 1;
+                let mut h = ws.take_scratch(blocks.total_rows(), n);
                 let mut pending: Option<PendingTile<'_>> = None;
-                for (blk, _) in blocks.iter() {
+                for (blk, (r0, _)) in blocks.iter() {
                     let t0 = Instant::now();
-                    let mut partial = spmm(blk, f_full);
+                    let mut partial = ws.take_scratch(blk.rows(), n);
+                    spmm_into(blk, f_full, &mut partial);
                     t.compute_s += t0.elapsed().as_secs_f64();
                     let t1 = Instant::now();
                     if overlapped {
                         if let Some(p) = pending.take() {
-                            outs.push(p.wait());
+                            p.land(&mut h, ws);
                         }
-                        pending = Some(PendingTile::start(group, &partial, ReduceOp::Sum));
+                        pending = Some(PendingTile::start(group, &partial, r0, ReduceOp::Sum));
+                        ws.recycle(partial);
                     } else {
-                        ctx.all_reduce_sum(&mut partial, self.roles.contract);
-                        outs.push(partial);
+                        ctx.all_reduce_sum(&mut partial, roles.contract);
+                        h.set_block(r0, 0, &partial);
+                        ws.recycle(partial);
                     }
                     t.comm_s += t1.elapsed().as_secs_f64();
                 }
                 let t1 = Instant::now();
                 if let Some(p) = pending.take() {
-                    outs.push(p.wait());
+                    p.land(&mut h, ws);
                 }
                 t.comm_s += t1.elapsed().as_secs_f64();
-                Matrix::vstack(&outs)
+                h
             }
         };
 
         // Step 2: combination. All-gather W across R, SGEMM, all-reduce Q
         // across K.
         let t1 = Instant::now();
-        let w_full = ctx.all_gather_rows(w_stored, self.roles.rows);
+        let w_full = ctx.all_gather_rows(w_stored, roles.rows);
         t.comm_s += t1.elapsed().as_secs_f64();
 
         // Tiling only pays when there is a K-axis reduction to hide; on a
         // size-1 feat group fall through to the single in-place GEMM.
-        let q = if self.overlap == CommOverlap::Overlapped
+        let q = if overlap == CommOverlap::Overlapped
             && h.rows() >= Q_TILES
-            && ctx.group(self.roles.feat).size() > 1
+            && ctx.group(roles.feat).size() > 1
         {
             // Row-tile the GEMM; each tile's K-axis all-reduce is launched
             // before the next tile's GEMM finishes. Same contributions,
             // same reduction order per element: bitwise identical.
-            let group = ctx.group(self.roles.feat);
+            let group = ctx.group(roles.feat);
             let bounds = tile_bounds(h.rows(), Q_TILES);
-            let mut tiles = Vec::with_capacity(Q_TILES);
+            let mut q = ws.take_scratch(h.rows(), w_full.cols());
             let mut pending: Option<PendingTile<'_>> = None;
             for &(r0, r1) in &bounds {
                 let t0 = Instant::now();
-                let h_tile = h.row_block(r0, r1);
-                let mut q_tile = Matrix::zeros(r1 - r0, w_full.cols());
-                gemm(&mut q_tile, &h_tile, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+                let mut h_tile = ws.take_scratch(r1 - r0, h.cols());
+                h_tile.as_mut_slice().copy_from_slice(&h.as_slice()[r0 * h.cols()..r1 * h.cols()]);
+                let mut q_tile = ws.take_scratch(r1 - r0, w_full.cols());
+                gemm_ws(ws, &mut q_tile, &h_tile, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+                ws.recycle(h_tile);
                 t.compute_s += t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
                 if let Some(p) = pending.take() {
-                    tiles.push(p.wait());
+                    p.land(&mut q, ws);
                 }
-                pending = Some(PendingTile::start(group, &q_tile, ReduceOp::Sum));
+                pending = Some(PendingTile::start(group, &q_tile, r0, ReduceOp::Sum));
+                ws.recycle(q_tile);
                 t.comm_s += t1.elapsed().as_secs_f64();
             }
             let t1 = Instant::now();
-            tiles.push(pending.take().expect("at least one tile").wait());
+            pending.take().expect("at least one tile").land(&mut q, ws);
             t.comm_s += t1.elapsed().as_secs_f64();
-            Matrix::vstack(&tiles)
+            q
         } else {
             let t0 = Instant::now();
-            let mut q = Matrix::zeros(h.rows(), w_full.cols());
-            gemm(&mut q, &h, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+            let mut q = ws.take_scratch(h.rows(), w_full.cols());
+            gemm_ws(ws, &mut q, &h, Trans::N, &w_full, Trans::N, 1.0, 0.0);
             t.compute_s += t0.elapsed().as_secs_f64();
 
             let t1 = Instant::now();
-            ctx.all_reduce_sum(&mut q, self.roles.feat);
+            ctx.all_reduce_sum(&mut q, roles.feat);
             t.comm_s += t1.elapsed().as_secs_f64();
             q
         };
 
         // Step 3: activation.
         let t0 = Instant::now();
-        let out = if activated { relu(&q) } else { q.clone() };
+        let mut out = ws.take_scratch(q.rows(), q.cols());
+        if activated {
+            relu_into(&q, &mut out);
+        } else {
+            out.as_mut_slice().copy_from_slice(q.as_slice());
+        }
         t.compute_s += t0.elapsed().as_secs_f64();
 
         (out, DistLayerCache { h, q, w_full, activated }, t)
     }
 
     /// Algorithm 2 for this layer's roles. `dout` is `∂L/∂(layer output)`
-    /// in this rank's block layout. `df_scatter` selects the final step for
-    /// `∂L/∂F`: `true` = reduce-scatter across R (layer 0, where F is
-    /// stored Z-sharded), `false` = all-reduce across R (all other layers).
+    /// in this rank's block layout; both it and the forward `cache` are
+    /// consumed (their buffers are recycled into the workspace).
+    /// `df_scatter` selects the final step for `∂L/∂F`: `true` =
+    /// reduce-scatter across R (layer 0, where F is stored Z-sharded),
+    /// `false` = all-reduce across R (all other layers).
     pub fn backward<C: Communicator>(
-        &self,
+        &mut self,
         ctx: &DistContext<C>,
-        cache: &DistLayerCache,
+        cache: DistLayerCache,
         mut dout: Matrix,
         df_scatter: bool,
     ) -> (DistLayerGrads, TimeSplit) {
+        let Self { ws, a_shard_t, roles, overlap, tuning, .. } = self;
+        let (roles, overlap, tuning) = (*roles, *overlap, *tuning);
+        let DistLayerCache { h, q, w_full, activated } = cache;
         let mut t = TimeSplit::default();
-        let r_group = ctx.group(self.roles.rows);
+        let r_group = ctx.group(roles.rows);
         // A size-1 R group reduces to a copy; nothing to overlap.
-        let overlapped = self.overlap == CommOverlap::Overlapped && r_group.size() > 1;
+        let overlapped = overlap == CommOverlap::Overlapped && r_group.size() > 1;
 
         // ∂L/∂Q = ∂L/∂F' ⊙ σ'(Q).
         let t0 = Instant::now();
-        if cache.activated {
-            relu_backward_inplace(&mut dout, &cache.q);
+        if activated {
+            relu_backward_inplace(&mut dout, &q);
         }
         let dq = dout;
+        ws.recycle(q);
 
         // ∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q), tuned or not (§5.3).
-        let mut dw_full = Matrix::zeros(cache.w_full.rows(), cache.w_full.cols());
-        match self.tuning {
+        let (h_rows, h_cols) = h.shape();
+        let mut dw_full = ws.take_scratch(w_full.rows(), w_full.cols());
+        match tuning {
             GemmTuning::Default => {
-                gemm(&mut dw_full, &cache.h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+                gemm_reference_tn(&mut dw_full, &h, &dq, 1.0, 0.0);
             }
             GemmTuning::Reordered => {
-                let ht = cache.h.transposed();
-                gemm(&mut dw_full, &ht, Trans::N, &dq, Trans::N, 1.0, 0.0);
+                let mut ht = ws.take_scratch(h.cols(), h.rows());
+                h.transpose_into(&mut ht);
+                gemm_ws(ws, &mut dw_full, &ht, Trans::N, &dq, Trans::N, 1.0, 0.0);
+                ws.recycle(ht);
             }
         }
+        ws.recycle(h);
         t.compute_s += t0.elapsed().as_secs_f64();
 
         // Reduce-scatter ∂L/∂W across R onto the stored shard. With
@@ -317,48 +387,56 @@ impl DistLayer {
         // C-axis all-reduce and the ∂L/∂F SpMM; it must be waited before
         // the ∂L/∂F collective because that runs on the same R group.
         let t1 = Instant::now();
+        let (dw_rows, dw_cols) = dw_full.shape();
         let mut dw_pending: Option<PendingCollective<'_, f32>> = None;
         let mut dw_stored = Matrix::zeros(0, 0);
         if overlapped {
             // The raw collective only checks flat-length divisibility;
             // whole rows must land on each rank for the shard reassembly.
             assert_eq!(
-                dw_full.rows() % r_group.size(),
+                dw_rows % r_group.size(),
                 0,
                 "backward: {} dW rows not divisible by R group size {}",
-                dw_full.rows(),
+                dw_rows,
                 r_group.size()
             );
             dw_pending = Some(r_group.start_reduce_scatter(dw_full.as_slice(), ReduceOp::Sum));
         } else {
-            dw_stored = ctx.reduce_scatter_rows(&dw_full, self.roles.rows);
+            dw_stored = ctx.reduce_scatter_rows(&dw_full, roles.rows);
         }
+        ws.recycle(dw_full);
         t.comm_s += t1.elapsed().as_secs_f64();
 
         // ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ); all-reduce across C.
         let t0 = Instant::now();
-        let mut dh = Matrix::zeros(cache.h.rows(), cache.h.cols());
-        gemm(&mut dh, &dq, Trans::N, &cache.w_full, Trans::T, 1.0, 0.0);
+        let mut dh = ws.take_scratch(h_rows, h_cols);
+        gemm_ws(ws, &mut dh, &dq, Trans::N, &w_full, Trans::T, 1.0, 0.0);
+        ws.recycle(dq);
         t.compute_s += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        ctx.all_reduce_sum(&mut dh, self.roles.contract);
+        ctx.all_reduce_sum(&mut dh, roles.contract);
         t.comm_s += t1.elapsed().as_secs_f64();
 
         // ∂L/∂F = SpMM(Aᵀ, ∂L/∂H); reduce over R (scatter at layer 0).
         let t0 = Instant::now();
-        let df_partial = spmm(&self.a_shard_t, &dh);
+        let mut df_partial = ws.take_scratch(a_shard_t.rows(), dh.cols());
+        spmm_into(a_shard_t, &dh, &mut df_partial);
+        ws.recycle(dh);
+        ws.recycle(w_full);
         t.compute_s += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         if let Some(p) = dw_pending.take() {
-            dw_stored = Matrix::from_vec(dw_full.rows() / r_group.size(), dw_full.cols(), p.wait());
+            dw_stored = Matrix::from_vec(dw_rows / r_group.size(), dw_cols, p.wait());
         }
         let df = if df_scatter {
-            ctx.reduce_scatter_rows(&df_partial, self.roles.rows)
+            let df = ctx.reduce_scatter_rows(&df_partial, roles.rows);
+            ws.recycle(df_partial);
+            df
         } else {
             let mut d = df_partial;
-            ctx.all_reduce_sum(&mut d, self.roles.rows);
+            ctx.all_reduce_sum(&mut d, roles.rows);
             d
         };
         t.comm_s += t1.elapsed().as_secs_f64();

@@ -138,6 +138,11 @@ impl<C: Communicator> RankTrainer<C> {
 
     /// One full-graph epoch: forward, loss, backward, Adam on the weight
     /// shards and the feature shard.
+    ///
+    /// Consumed activations and gradients are recycled into the layers'
+    /// kernel workspaces, so after the first (warmup) epoch the whole
+    /// loop performs no per-call heap allocations for kernel outputs
+    /// (see [`Self::kernel_alloc_events`]).
     pub fn train_epoch(&mut self) -> DistEpochStats {
         let mut timing = TimeSplit::default();
 
@@ -156,7 +161,10 @@ impl<C: Communicator> RankTrainer<C> {
                 self.layers[l].forward(&self.ctx, &x, &self.w_stored[l], activated);
             timing.add(t);
             caches.push(cache);
-            x = out;
+            // The consumed input buffer feeds the pool of the layer that
+            // just read it.
+            let prev = std::mem::replace(&mut x, out);
+            self.layers[l].recycle(prev);
         }
 
         // Distributed loss.
@@ -172,26 +180,36 @@ impl<C: Communicator> RankTrainer<C> {
             self.total_train,
         );
         timing.comm_s += t1.elapsed().as_secs_f64();
+        self.layers[self.num_layers - 1].recycle(x);
 
-        // Backward through all layers.
+        // Backward through all layers (caches consumed in reverse).
         let mut carried = loss_out.dlogits_local;
         let mut df_stored: Option<Matrix> = None;
         for l in (0..self.num_layers).rev() {
             let df_scatter = l == 0;
             let dout = std::mem::replace(&mut carried, Matrix::zeros(0, 0));
-            let (grads, t) = self.layers[l].backward(&self.ctx, &caches[l], dout, df_scatter);
+            let cache = caches.pop().expect("one cache per layer");
+            let (grads, t) = self.layers[l].backward(&self.ctx, cache, dout, df_scatter);
             timing.add(t);
             self.w_opts[l].step(&mut self.w_stored[l], &grads.dw_stored);
+            self.layers[l].recycle(grads.dw_stored);
             if l == 0 {
                 df_stored = Some(grads.df);
             } else {
                 carried = grads.df;
             }
         }
-        self.f_opt
-            .step(&mut self.f_stored, &df_stored.expect("layer 0 must produce a feature grad"));
+        let df_stored = df_stored.expect("layer 0 must produce a feature grad");
+        self.f_opt.step(&mut self.f_stored, &df_stored);
+        self.layers[0].recycle(df_stored);
 
         DistEpochStats { loss: loss_out.loss, train_accuracy: loss_out.train_accuracy, timing }
+    }
+
+    /// Total allocator interactions across the layers' kernel workspaces.
+    /// Stable across epochs once the first epoch has sized the pools.
+    pub fn kernel_alloc_events(&self) -> u64 {
+        self.layers.iter().map(|l| l.workspace_alloc_events()).sum()
     }
 
     pub fn ctx(&self) -> &DistContext<C> {
@@ -640,6 +658,60 @@ mod tests {
             train_from_source(ProblemSource::Sharded(&store), GridConfig::new(1, 1, 1), &opts, 1);
         assert!(matches!(res, Err(crate::loader::LoaderError::Missing { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kernel_allocations_stop_after_warmup() {
+        // The workspace acceptance bar: after the warmup epochs have sized
+        // every pool, forward+backward must perform zero heap allocations
+        // for kernel outputs — across both aggregation modes and both
+        // overlap modes.
+        use plexus_comm::run_world;
+        let ds = tiny_ds(96, 47);
+        for (aggregation, overlap) in [
+            (Aggregation::Unblocked, CommOverlap::Blocking),
+            (Aggregation::Unblocked, CommOverlap::Overlapped),
+            (Aggregation::Blocked(3), CommOverlap::Overlapped),
+        ] {
+            let opts = DistTrainOptions {
+                hidden_dim: 8,
+                model_seed: 5,
+                permutation: PermutationMode::Double,
+                aggregation,
+                overlap,
+                ..Default::default()
+            };
+            let grid = GridConfig::new(2, 1, 2);
+            let gp = GlobalProblem::build(
+                &ds,
+                grid,
+                opts.hidden_dim,
+                opts.num_layers,
+                opts.model_seed,
+                opts.permutation,
+                opts.perm_seed,
+            );
+            let results = run_world(grid.total(), |comm| {
+                let world = comm.split(0, comm.rank() as u64, "world");
+                let ctx = DistContext::new(world, grid);
+                let mut rt = RankTrainer::new(&gp, ctx, &opts);
+                for _ in 0..2 {
+                    rt.train_epoch();
+                }
+                let warmed = rt.kernel_alloc_events();
+                for _ in 0..3 {
+                    rt.train_epoch();
+                }
+                (warmed, rt.kernel_alloc_events())
+            });
+            for (rank, (warmed, after)) in results.iter().enumerate() {
+                assert_eq!(
+                    warmed, after,
+                    "rank {} allocated after warmup under {:?}/{:?}",
+                    rank, aggregation, overlap
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! A single GCN layer: forward (paper eqs. 2.1–2.3) and backward
 //! (eqs. 2.4–2.7).
+//!
+//! The `_ws` variants thread a [`KernelWorkspace`] through every kernel
+//! call, so a long-lived owner (the serial trainer) runs its epoch loop
+//! without per-call allocations for kernel outputs; the plain functions
+//! are convenience wrappers over a throwaway workspace.
 
-use plexus_sparse::{spmm, Csr};
-use plexus_tensor::ops::{relu, relu_backward_inplace};
-use plexus_tensor::{gemm, Matrix, Trans};
+use plexus_sparse::{spmm_into, Csr};
+use plexus_tensor::ops::{relu_backward_inplace, relu_into};
+use plexus_tensor::{gemm_ws, KernelWorkspace, Matrix, Trans};
 
 /// Intermediates cached by the forward pass for use in the backward pass.
 #[derive(Debug)]
@@ -31,20 +36,46 @@ pub struct LayerGrads {
 /// `activated == false` skips σ (used for the last layer, whose output
 /// feeds softmax cross-entropy directly).
 pub fn gcn_layer_forward(a: &Csr, f: &Matrix, w: &Matrix, activated: bool) -> (Matrix, LayerCache) {
+    gcn_layer_forward_ws(&mut KernelWorkspace::new(), a, f, w, activated)
+}
+
+/// [`gcn_layer_forward`] with caller-owned kernel buffers: `h`, `q` and
+/// the output all come from (and can be recycled back into) `ws`.
+pub fn gcn_layer_forward_ws(
+    ws: &mut KernelWorkspace,
+    a: &Csr,
+    f: &Matrix,
+    w: &Matrix,
+    activated: bool,
+) -> (Matrix, LayerCache) {
     // (1) Aggregation: H = SpMM(A, F)                            [eq. 2.1]
-    let h = spmm(a, f);
+    let mut h = ws.take_scratch(a.rows(), f.cols());
+    spmm_into(a, f, &mut h);
     // (2) Combination: Q = SGEMM(H, W)                           [eq. 2.2]
-    let mut q = Matrix::zeros(h.rows(), w.cols());
-    gemm(&mut q, &h, Trans::N, w, Trans::N, 1.0, 0.0);
+    let mut q = ws.take_scratch(h.rows(), w.cols());
+    gemm_ws(ws, &mut q, &h, Trans::N, w, Trans::N, 1.0, 0.0);
     // (3) Activation: F' = σ(Q)                                  [eq. 2.3]
-    let out = if activated { relu(&q) } else { q.clone() };
+    let mut out = ws.take_scratch(q.rows(), q.cols());
+    if activated {
+        relu_into(&q, &mut out);
+    } else {
+        out.as_mut_slice().copy_from_slice(q.as_slice());
+    }
     (out, LayerCache { h, q, activated })
 }
 
 /// Backward pass of one GCN layer given `∂L/∂F'` (the gradient of the
 /// layer's output). `a_t` is `Aᵀ` — passed in pre-transposed because the
 /// trainers build it once, not per step.
-pub fn gcn_layer_backward(
+pub fn gcn_layer_backward(a_t: &Csr, w: &Matrix, cache: &LayerCache, dout: Matrix) -> LayerGrads {
+    gcn_layer_backward_ws(&mut KernelWorkspace::new(), a_t, w, cache, dout)
+}
+
+/// [`gcn_layer_backward`] with caller-owned kernel buffers. `dout` is
+/// consumed and recycled; the cache is borrowed (the model recycles it
+/// after the full backward sweep).
+pub fn gcn_layer_backward_ws(
+    ws: &mut KernelWorkspace,
     a_t: &Csr,
     w: &Matrix,
     cache: &LayerCache,
@@ -55,14 +86,21 @@ pub fn gcn_layer_backward(
         relu_backward_inplace(&mut dout, &cache.q);
     }
     let dq = dout;
-    // (2) ∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)                               [eq. 2.5]
-    let mut dw = Matrix::zeros(w.rows(), w.cols());
-    gemm(&mut dw, &cache.h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+    // (2) ∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)  [eq. 2.5] — the packed kernel routes
+    // the transposed operand through panel packing, so this runs at the
+    // same speed as the reordered dW trick in the distributed engine (and
+    // produces bitwise-identical values to it: the packed panels contain
+    // the same operand values in the same accumulation order).
+    let mut dw = ws.take_scratch(w.rows(), w.cols());
+    gemm_ws(ws, &mut dw, &cache.h, Trans::T, &dq, Trans::N, 1.0, 0.0);
     // (3) ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ)                               [eq. 2.6]
-    let mut dh = Matrix::zeros(cache.h.rows(), cache.h.cols());
-    gemm(&mut dh, &dq, Trans::N, w, Trans::T, 1.0, 0.0);
+    let mut dh = ws.take_scratch(cache.h.rows(), cache.h.cols());
+    gemm_ws(ws, &mut dh, &dq, Trans::N, w, Trans::T, 1.0, 0.0);
+    ws.recycle(dq);
     // (4) ∂L/∂F = SpMM(Aᵀ, ∂L/∂H)                                [eq. 2.7]
-    let df = spmm(a_t, &dh);
+    let mut df = ws.take_scratch(a_t.rows(), dh.cols());
+    spmm_into(a_t, &dh, &mut df);
+    ws.recycle(dh);
     LayerGrads { dw, df }
 }
 

@@ -2,9 +2,9 @@
 //! GCN layers and a hidden dimension of 128" (paper §6.2). The layer count
 //! and dimensions are configurable; the last layer emits raw logits.
 
-use crate::layer::{gcn_layer_backward, gcn_layer_forward, LayerCache};
+use crate::layer::{gcn_layer_backward_ws, gcn_layer_forward_ws, LayerCache};
 use plexus_sparse::Csr;
-use plexus_tensor::{glorot_uniform, Matrix};
+use plexus_tensor::{glorot_uniform, KernelWorkspace, Matrix};
 
 /// Model hyperparameters.
 #[derive(Clone, Debug)]
@@ -70,28 +70,77 @@ impl Gcn {
 
     /// Full forward pass over the (normalized) adjacency.
     pub fn forward(&self, a: &Csr, features: &Matrix) -> ForwardCaches {
+        self.forward_ws(&mut KernelWorkspace::new(), a, features)
+    }
+
+    /// [`Gcn::forward`] with caller-owned kernel buffers: every layer's
+    /// `H`, `Q` and activation come from `ws`, and each consumed
+    /// intermediate activation is recycled immediately.
+    pub fn forward_ws(
+        &self,
+        ws: &mut KernelWorkspace,
+        a: &Csr,
+        features: &Matrix,
+    ) -> ForwardCaches {
         let num_layers = self.weights.len();
         let mut caches = Vec::with_capacity(num_layers);
-        let mut x = features.clone();
+        let mut x = ws.take_scratch(features.rows(), features.cols());
+        x.as_mut_slice().copy_from_slice(features.as_slice());
         for (l, w) in self.weights.iter().enumerate() {
             let activated = l + 1 < num_layers;
-            let (out, cache) = gcn_layer_forward(a, &x, w, activated);
+            let (out, cache) = gcn_layer_forward_ws(ws, a, &x, w, activated);
             caches.push(cache);
-            x = out;
+            ws.recycle(std::mem::replace(&mut x, out));
         }
         ForwardCaches { caches, logits: x }
     }
 
     /// Full backward pass given `∂L/∂logits`.
     pub fn backward(&self, a_t: &Csr, caches: &ForwardCaches, dlogits: Matrix) -> Gradients {
+        self.backward_ws(&mut KernelWorkspace::new(), a_t, caches, dlogits)
+    }
+
+    /// [`Gcn::backward`] with caller-owned kernel buffers. Borrows the
+    /// caches (the trainer recycles the whole [`ForwardCaches`] afterwards
+    /// via [`ForwardCaches::recycle_into`]).
+    pub fn backward_ws(
+        &self,
+        ws: &mut KernelWorkspace,
+        a_t: &Csr,
+        caches: &ForwardCaches,
+        dlogits: Matrix,
+    ) -> Gradients {
         let mut dweights = vec![Matrix::zeros(1, 1); self.weights.len()];
         let mut dout = dlogits;
         for l in (0..self.weights.len()).rev() {
-            let grads = gcn_layer_backward(a_t, &self.weights[l], &caches.caches[l], dout);
+            let grads = gcn_layer_backward_ws(ws, a_t, &self.weights[l], &caches.caches[l], dout);
             dweights[l] = grads.dw;
             dout = grads.df;
         }
         Gradients { dweights, dfeatures: dout }
+    }
+}
+
+impl ForwardCaches {
+    /// Return every cached buffer (per-layer `H`/`Q` and the logits) to a
+    /// workspace pool once the backward pass is done with them.
+    pub fn recycle_into(self, ws: &mut KernelWorkspace) {
+        for cache in self.caches {
+            ws.recycle(cache.h);
+            ws.recycle(cache.q);
+        }
+        ws.recycle(self.logits);
+    }
+}
+
+impl Gradients {
+    /// Return every gradient buffer to a workspace pool after the
+    /// optimizer step has consumed the values.
+    pub fn recycle_into(self, ws: &mut KernelWorkspace) {
+        for dw in self.dweights {
+            ws.recycle(dw);
+        }
+        ws.recycle(self.dfeatures);
     }
 }
 

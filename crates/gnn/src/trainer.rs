@@ -10,7 +10,7 @@ use crate::loss::{accuracy, masked_cross_entropy};
 use crate::model::{Gcn, GcnConfig};
 use plexus_graph::LoadedDataset;
 use plexus_sparse::Csr;
-use plexus_tensor::Matrix;
+use plexus_tensor::{KernelWorkspace, Matrix};
 use std::time::Instant;
 
 /// Trainer hyperparameters.
@@ -47,6 +47,9 @@ pub struct SerialTrainer {
     train_mask: Vec<bool>,
     weight_opts: Vec<Adam>,
     feature_opt: Adam,
+    /// Reusable kernel buffers for the epoch loop; sized by the first
+    /// epoch, allocation-free after.
+    ws: KernelWorkspace,
 }
 
 impl SerialTrainer {
@@ -95,6 +98,7 @@ impl SerialTrainer {
             train_mask,
             weight_opts,
             feature_opt,
+            ws: KernelWorkspace::new(),
         }
     }
 
@@ -102,16 +106,18 @@ impl SerialTrainer {
     /// parameter update (the loss of the forward pass just computed).
     pub fn train_epoch(&mut self) -> EpochStats {
         let start = Instant::now();
-        let fwd = self.model.forward(&self.adjacency, &self.features);
+        let fwd = self.model.forward_ws(&mut self.ws, &self.adjacency, &self.features);
         let loss_out = masked_cross_entropy(&fwd.logits, &self.labels, &self.train_mask);
         let train_accuracy = accuracy(&fwd.logits, &self.labels, &self.train_mask);
-        let grads = self.model.backward(&self.adjacency_t, &fwd, loss_out.dlogits);
+        let grads = self.model.backward_ws(&mut self.ws, &self.adjacency_t, &fwd, loss_out.dlogits);
+        fwd.recycle_into(&mut self.ws);
         for ((w, opt), dw) in
             self.model.weights.iter_mut().zip(&mut self.weight_opts).zip(&grads.dweights)
         {
             opt.step(w, dw);
         }
         self.feature_opt.step(&mut self.features, &grads.dfeatures);
+        grads.recycle_into(&mut self.ws);
         EpochStats { loss: loss_out.loss, train_accuracy, seconds: start.elapsed().as_secs_f64() }
     }
 

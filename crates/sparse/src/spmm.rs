@@ -3,10 +3,34 @@
 //! the computational time").
 //!
 //! The implementation is the row-split scheme of Yang et al. that the paper
-//! cites in §4.1: each sparse row produces one dense output row by scaling
-//! and accumulating rows of `B`. Dense rows of `B` are read contiguously,
-//! which is what makes "shorter-fatter" dense operands faster — the effect
-//! the paper's computational model penalizes tall-skinny configurations for.
+//! cites in §4.1, rebuilt around two throughput decisions:
+//!
+//! * **Feature-band tiling with register accumulators** (32/16-wide
+//!   column bands): each band of the output row lives in
+//!   registers for the
+//!   whole sweep over the row's nonzeros, so `C` is loaded/stored once per
+//!   band instead of once per nonzero. Dense rows of `B` are still read
+//!   contiguously — the access pattern that makes "shorter-fatter" dense
+//!   operands faster, which the paper's computational model penalizes
+//!   tall-skinny configurations for.
+//! * **Nonzero-prefix-sum work partitioning** for the parallel path:
+//!   RMAT-style degree distributions are heavily skewed, so splitting by
+//!   row *count* leaves workers idle behind whoever drew the hub rows.
+//!   [`nnz_balanced_bounds`] cuts the row range at equal cumulative-nnz
+//!   targets instead; rows are never split, so per-row results are
+//!   identical to the sequential kernel bit for bit.
+//!
+//! Every entry point (including [`spmm_acc`], which used to be
+//! sequential-only) dispatches through the same size check, and the `_into`
+//! variants write into caller-owned buffers so the training engines can
+//! recycle outputs through a `KernelWorkspace` instead of allocating per
+//! call.
+//!
+//! Accumulation order per output element is the row's ascending-nonzero
+//! order in every path — band tiling, remainders, and partitioning change
+//! *which registers* hold the partial sums, never the f32 operation
+//! sequence — so blocked/unblocked and parallel/sequential results are
+//! bitwise identical.
 
 use crate::csr::Csr;
 use plexus_tensor::Matrix;
@@ -15,75 +39,373 @@ use rayon::prelude::*;
 /// Work threshold below which the sequential kernel is used.
 const PAR_THRESHOLD: usize = 1 << 16;
 
+/// Wide column band: eight 4-wide f32 accumulator vectors per band (the
+/// fewer passes over a row's nonzeros, the less index arithmetic and
+/// column/value re-traversal per output element).
+const BAND_W: usize = 32;
+/// Narrow column band for the 16..31-column tail.
+const BAND_N: usize = 16;
+
 /// `C = A * B` (allocating). Dispatches to the parallel kernel when the
 /// flop count justifies it.
 pub fn spmm(a: &Csr, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "spmm: inner dimensions differ: A is {}x{}, B is {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
     let mut c = Matrix::zeros(a.rows(), b.cols());
-    if a.nnz() * b.cols() >= PAR_THRESHOLD {
-        spmm_par_into(a, b, &mut c);
-    } else {
-        spmm_seq_into(a, b, &mut c);
-    }
+    spmm_into(a, b, &mut c);
     c
 }
 
-/// Sequential SpMM into a preallocated output (`C` is overwritten).
-pub fn spmm_seq(a: &Csr, b: &Matrix) -> Matrix {
-    let mut c = Matrix::zeros(a.rows(), b.cols());
-    spmm_seq_into(a, b, &mut c);
-    c
-}
-
-fn spmm_seq_into(a: &Csr, b: &Matrix, c: &mut Matrix) {
-    let n = b.cols();
-    for r in 0..a.rows() {
-        let (cols, vals) = a.row_entries(r);
-        let crow = c.row_mut(r);
-        for (&col, &v) in cols.iter().zip(vals) {
-            let brow = b.row(col as usize);
-            for j in 0..n {
-                crow[j] += v * brow[j];
-            }
-        }
-    }
-}
-
-fn spmm_par_into(a: &Csr, b: &Matrix, c: &mut Matrix) {
-    let n = b.cols();
-    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(r, crow)| {
-        let (cols, vals) = a.row_entries(r);
-        for (&col, &v) in cols.iter().zip(vals) {
-            let brow = b.row(col as usize);
-            for j in 0..n {
-                crow[j] += v * brow[j];
-            }
-        }
-    });
+/// `C = A * B` into a preallocated output (every element overwritten, so
+/// `c` may hold recycled garbage on entry).
+pub fn spmm_into(a: &Csr, b: &Matrix, c: &mut Matrix) {
+    check_shapes("spmm", a, b, c);
+    dispatch(a, b, c, false);
 }
 
 /// `C += A * B` into an existing accumulator (used by blocked aggregation
 /// when partial row-blocks land in a shared output).
 pub fn spmm_acc(a: &Csr, b: &Matrix, c: &mut Matrix) {
-    assert_eq!(a.cols(), b.rows(), "spmm_acc: inner dimension mismatch");
-    assert_eq!(c.shape(), (a.rows(), b.cols()), "spmm_acc: output shape mismatch");
-    let n = b.cols();
-    for r in 0..a.rows() {
-        let (cols, vals) = a.row_entries(r);
-        let crow = c.row_mut(r);
-        for (&col, &v) in cols.iter().zip(vals) {
-            let brow = b.row(col as usize);
-            for j in 0..n {
-                crow[j] += v * brow[j];
+    spmm_acc_into(a, b, c);
+}
+
+/// `C += A * B`; like [`spmm_into`] but accumulating. Routed through the
+/// same size-dispatched parallel path as [`spmm`].
+pub fn spmm_acc_into(a: &Csr, b: &Matrix, c: &mut Matrix) {
+    check_shapes("spmm_acc", a, b, c);
+    dispatch(a, b, c, true);
+}
+
+/// Sequential SpMM (allocating), kept public so benches and tests can
+/// compare the parallel dispatch against it directly.
+pub fn spmm_seq(a: &Csr, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    check_shapes("spmm", a, b, &c);
+    spmm_rows(a, b, c.as_mut_slice(), 0, a.rows(), false);
+    c
+}
+
+fn check_shapes(what: &str, a: &Csr, b: &Matrix, c: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "{}: inner dimensions differ: A is {}x{}, B is {}x{}",
+        what,
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        c.shape(),
+        (a.rows(), b.cols()),
+        "{}: output shape {:?} does not match {}x{}",
+        what,
+        c.shape(),
+        a.rows(),
+        b.cols()
+    );
+}
+
+fn dispatch(a: &Csr, b: &Matrix, c: &mut Matrix, accumulate: bool) {
+    if a.nnz() * b.cols() >= PAR_THRESHOLD {
+        spmm_par(a, b, c, accumulate);
+    } else {
+        spmm_rows(a, b, c.as_mut_slice(), 0, a.rows(), accumulate);
+    }
+}
+
+/// Split rows `[0, rows)` into at most `max_chunks` contiguous ranges of
+/// near-equal *nonzero* count (prefix-sum targets). Rows are never split;
+/// every row lands in exactly one range. Falls back to an even row split
+/// when the matrix has no nonzeros.
+pub fn nnz_balanced_bounds(row_ptr: &[usize], max_chunks: usize) -> Vec<(usize, usize)> {
+    let rows = row_ptr.len() - 1;
+    if rows == 0 {
+        return Vec::new();
+    }
+    let chunks = max_chunks.clamp(1, rows);
+    let total = row_ptr[rows];
+    if total == 0 {
+        return (0..chunks)
+            .map(|i| (i * rows / chunks, (i + 1) * rows / chunks))
+            .filter(|&(r0, r1)| r0 < r1)
+            .collect();
+    }
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut r0 = 0;
+    for i in 0..chunks {
+        if r0 >= rows {
+            break;
+        }
+        let mut r1 = if i + 1 == chunks {
+            rows
+        } else {
+            // First row boundary at/after the cumulative-nnz target, but
+            // always advance at least one row.
+            let target = (i + 1) * total / chunks;
+            let mut r = r0 + 1;
+            while r < rows && row_ptr[r] < target {
+                r += 1;
             }
+            r
+        };
+        if r1 > rows {
+            r1 = rows;
+        }
+        bounds.push((r0, r1));
+        r0 = r1;
+    }
+    if let Some(last) = bounds.last_mut() {
+        last.1 = rows;
+    }
+    bounds
+}
+
+fn spmm_par(a: &Csr, b: &Matrix, c: &mut Matrix, accumulate: bool) {
+    let n = b.cols();
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    if threads <= 1 {
+        spmm_rows(a, b, c.as_mut_slice(), 0, a.rows(), accumulate);
+        return;
+    }
+    // A few chunks per worker so the round-robin deal smooths residual
+    // imbalance beyond what the prefix-sum cut already removed.
+    let bounds = nnz_balanced_bounds(a.row_ptr(), threads * 4);
+    let mut tasks = Vec::with_capacity(bounds.len());
+    let mut rest = c.as_mut_slice();
+    let mut consumed = 0;
+    for &(r0, r1) in &bounds {
+        debug_assert_eq!(r0, consumed);
+        let (head, tail) = rest.split_at_mut((r1 - r0) * n);
+        tasks.push((r0, r1, head));
+        rest = tail;
+        consumed = r1;
+    }
+    tasks.into_par_iter().for_each(|(r0, r1, rows)| {
+        spmm_rows(a, b, rows, r0, r1, accumulate);
+    });
+}
+
+/// Process rows `[r0, r1)`; `c_rows` is the output slice for exactly that
+/// row range.
+fn spmm_rows(a: &Csr, b: &Matrix, c_rows: &mut [f32], r0: usize, r1: usize, accumulate: bool) {
+    let n = b.cols();
+    debug_assert_eq!(c_rows.len(), (r1 - r0) * n);
+    for (local, r) in (r0..r1).enumerate() {
+        let (cols, vals) = a.row_entries(r);
+        let crow = &mut c_rows[local * n..(local + 1) * n];
+        spmm_row(cols, vals, b, crow, accumulate);
+    }
+}
+
+/// One output row: dispatches to the AVX2+FMA band kernel when the CPU
+/// has it (checked once per process, so every call in a build takes the
+/// same path and all bitwise-identity invariants hold), otherwise to the
+/// portable band kernel.
+#[inline]
+fn spmm_row(cols: &[u32], vals: &[f32], b: &Matrix, crow: &mut [f32], accumulate: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // SAFETY: `available()` verified avx2+fma support on this CPU.
+        unsafe { x86::spmm_row_fma(cols, vals, b.as_slice(), b.cols(), crow, accumulate) };
+        return;
+    }
+    spmm_row_portable(cols, vals, b, crow, accumulate);
+}
+
+/// One output row, band by band: each band-wide slice of the row is
+/// accumulated in registers across the row's nonzeros, then stored once.
+/// The per-element accumulation order is the ascending-nonzero order in
+/// every band and in the remainder — identical to the naive kernel.
+#[inline]
+fn spmm_row_portable(cols: &[u32], vals: &[f32], b: &Matrix, crow: &mut [f32], accumulate: bool) {
+    let n = crow.len();
+    let bdata = b.as_slice();
+    let ldb = b.cols();
+    let mut j = 0;
+    while j + 2 * BAND_W <= n {
+        band_pass::<{ 2 * BAND_W }>(cols, vals, bdata, ldb, crow, j, accumulate);
+        j += 2 * BAND_W;
+    }
+    if j + BAND_W <= n {
+        band_pass::<BAND_W>(cols, vals, bdata, ldb, crow, j, accumulate);
+        j += BAND_W;
+    }
+    if j + BAND_N <= n {
+        band_pass::<BAND_N>(cols, vals, bdata, ldb, crow, j, accumulate);
+        j += BAND_N;
+    }
+    if j < n {
+        let rem = n - j;
+        let mut acc = [0.0f32; BAND_N];
+        if accumulate {
+            acc[..rem].copy_from_slice(&crow[j..]);
+        }
+        for (&col, &v) in cols.iter().zip(vals) {
+            let base = col as usize * ldb + j;
+            let brow = &bdata[base..base + rem];
+            for (x, &bv) in acc[..rem].iter_mut().zip(brow) {
+                *x += v * bv;
+            }
+        }
+        crow[j..].copy_from_slice(&acc[..rem]);
+    }
+}
+
+/// One fixed-width band sweep: `crow[j..j+W] (+)= A_row * B[:, j..j+W]`,
+/// accumulators in registers, constant-bound inner loop so LLVM promotes
+/// and vectorizes the whole block.
+#[inline]
+fn band_pass<const W: usize>(
+    cols: &[u32],
+    vals: &[f32],
+    bdata: &[f32],
+    ldb: usize,
+    crow: &mut [f32],
+    j: usize,
+    accumulate: bool,
+) {
+    let mut acc = [0.0f32; W];
+    if accumulate {
+        acc.copy_from_slice(&crow[j..j + W]);
+    }
+    for (&col, &v) in cols.iter().zip(vals) {
+        let base = col as usize * ldb + j;
+        let brow: &[f32; W] = bdata[base..base + W].try_into().expect("band width");
+        for l in 0..W {
+            acc[l] += v * brow[l];
+        }
+    }
+    crow[j..j + W].copy_from_slice(&acc);
+}
+
+/// AVX2+FMA row kernel, runtime-dispatched — the only `unsafe` in the
+/// workspace, kept to the minimum surface a vector kernel needs: the
+/// `#[target_feature]` call boundary and the SIMD load/store intrinsics.
+/// Every pointer is derived from a bounds-checked slice immediately before
+/// use, so the safety argument is purely "the CPU features were detected".
+///
+/// FMA fuses each multiply-add without intermediate rounding, so values
+/// can differ from the portable kernel in the last ulp. Dispatch is
+/// decided once per process from the CPU alone — never from shapes or
+/// thread counts — so within any build the engine's bitwise invariants
+/// (blocked == unblocked, parallel == sequential, overlapped == blocking,
+/// sharded == in-memory) are untouched.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    use std::sync::OnceLock;
+
+    /// Whether the FMA band kernel is usable on this CPU (detected once).
+    #[inline]
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn load(src: &[f32]) -> __m256 {
+        debug_assert!(src.len() >= 8);
+        _mm256_loadu_ps(src.as_ptr())
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn store(dst: &mut [f32], v: __m256) {
+        debug_assert!(dst.len() >= 8);
+        _mm256_storeu_ps(dst.as_mut_ptr(), v)
+    }
+
+    /// One output row: 32-wide bands (four 8-lane FMA accumulators), an
+    /// 8-wide band for the tail, then a scalar remainder. Per element the
+    /// accumulation is the ascending-nonzero order, fused per step.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and FMA; call only after [`available`] returned true.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn spmm_row_fma(
+        cols: &[u32],
+        vals: &[f32],
+        bdata: &[f32],
+        ldb: usize,
+        crow: &mut [f32],
+        accumulate: bool,
+    ) {
+        let n = crow.len();
+        let mut j = 0;
+        while j + 32 <= n {
+            let band = &crow[j..j + 32];
+            let (mut a0, mut a1, mut a2, mut a3) = if accumulate {
+                (load(&band[0..]), load(&band[8..]), load(&band[16..]), load(&band[24..]))
+            } else {
+                let z = _mm256_setzero_ps();
+                (z, z, z, z)
+            };
+            for (&col, &v) in cols.iter().zip(vals) {
+                let base = col as usize * ldb + j;
+                let brow = &bdata[base..base + 32];
+                let vv = _mm256_set1_ps(v);
+                a0 = _mm256_fmadd_ps(vv, load(&brow[0..]), a0);
+                a1 = _mm256_fmadd_ps(vv, load(&brow[8..]), a1);
+                a2 = _mm256_fmadd_ps(vv, load(&brow[16..]), a2);
+                a3 = _mm256_fmadd_ps(vv, load(&brow[24..]), a3);
+            }
+            let band = &mut crow[j..j + 32];
+            store(&mut band[0..], a0);
+            store(&mut band[8..], a1);
+            store(&mut band[16..], a2);
+            store(&mut band[24..], a3);
+            j += 32;
+        }
+        if j + 16 <= n {
+            let band = &crow[j..j + 16];
+            let (mut a0, mut a1) = if accumulate {
+                (load(&band[0..]), load(&band[8..]))
+            } else {
+                (_mm256_setzero_ps(), _mm256_setzero_ps())
+            };
+            for (&col, &v) in cols.iter().zip(vals) {
+                let base = col as usize * ldb + j;
+                let brow = &bdata[base..base + 16];
+                let vv = _mm256_set1_ps(v);
+                a0 = _mm256_fmadd_ps(vv, load(&brow[0..]), a0);
+                a1 = _mm256_fmadd_ps(vv, load(&brow[8..]), a1);
+            }
+            let band = &mut crow[j..j + 16];
+            store(&mut band[0..], a0);
+            store(&mut band[8..], a1);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut a0 = if accumulate { load(&crow[j..j + 8]) } else { _mm256_setzero_ps() };
+            for (&col, &v) in cols.iter().zip(vals) {
+                let base = col as usize * ldb + j;
+                a0 = _mm256_fmadd_ps(_mm256_set1_ps(v), load(&bdata[base..base + 8]), a0);
+            }
+            store(&mut crow[j..j + 8], a0);
+            j += 8;
+        }
+        if j < n {
+            let rem = n - j;
+            let mut acc = [0.0f32; 8];
+            if accumulate {
+                acc[..rem].copy_from_slice(&crow[j..]);
+            }
+            for (&col, &v) in cols.iter().zip(vals) {
+                let base = col as usize * ldb + j;
+                let brow = &bdata[base..base + rem];
+                for (x, &bv) in acc[..rem].iter_mut().zip(brow) {
+                    // Fused like the vector lanes, for one consistent
+                    // rounding rule across the whole row.
+                    *x = v.mul_add(bv, *x);
+                }
+            }
+            crow[j..].copy_from_slice(&acc[..rem]);
         }
     }
 }
@@ -118,11 +440,27 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_sequential() {
-        // Big enough to exceed PAR_THRESHOLD.
+    fn parallel_path_matches_sequential_bitwise() {
+        // Big enough to exceed PAR_THRESHOLD; band + remainder columns.
         let a = random_csr(500, 400, 20, 2);
-        let b = Matrix::from_fn(400, 16, |i, j| ((i + j) as f32 * 0.01).sin());
-        assert_close(&spmm(&a, &b), &spmm_seq(&a, &b), 1e-5, "par vs seq spmm");
+        for cols in [16usize, 19, 5, 64] {
+            let b = Matrix::from_fn(400, cols, |i, j| ((i + j) as f32 * 0.01).sin());
+            assert_eq!(
+                spmm(&a, &b).as_slice(),
+                spmm_seq(&a, &b).as_slice(),
+                "par vs seq spmm must be bitwise identical at {} cols",
+                cols
+            );
+        }
+    }
+
+    #[test]
+    fn into_variant_overwrites_recycled_garbage() {
+        let a = random_csr(40, 30, 6, 7);
+        let b = Matrix::from_fn(30, 21, |i, j| ((i * 2 + j) as f32 * 0.05).cos());
+        let mut c = Matrix::full(40, 21, f32::NAN);
+        spmm_into(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), spmm_seq(&a, &b).as_slice());
     }
 
     #[test]
@@ -147,6 +485,69 @@ mod tests {
         let mut c = Matrix::full(3, 2, 1.0);
         spmm_acc(&a, &b, &mut c);
         assert!(c.as_slice().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn spmm_acc_large_matches_two_step_reference() {
+        // Above PAR_THRESHOLD: the accumulate path must dispatch parallel
+        // and still equal seed + A*B exactly.
+        let a = random_csr(300, 250, 15, 3);
+        let b = Matrix::from_fn(250, 24, |i, j| ((i * 5 + j) as f32 * 0.02).sin());
+        assert!(a.nnz() * b.cols() >= super::PAR_THRESHOLD, "test must exercise the par path");
+        let seed_c = Matrix::from_fn(300, 24, |i, j| (i + j) as f32 * 0.1);
+        let mut c = seed_c.clone();
+        spmm_acc(&a, &b, &mut c);
+        // Reference: sequential accumulate onto the same seed.
+        let mut reference = seed_c;
+        spmm_rows(&a, &b, reference.as_mut_slice(), 0, a.rows(), true);
+        assert_eq!(c.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn nnz_balanced_bounds_cover_and_balance() {
+        let a = random_csr(97, 50, 7, 11);
+        for chunks in [1usize, 2, 3, 8, 97, 200] {
+            let bounds = nnz_balanced_bounds(a.row_ptr(), chunks);
+            assert_eq!(bounds.first().unwrap().0, 0);
+            assert_eq!(bounds.last().unwrap().1, 97);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+            }
+            assert!(bounds.len() <= chunks.min(97));
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_bounds_isolate_hub_rows() {
+        // One hub row with 1000 nnz among 9 single-nnz rows: with 4 chunks
+        // the hub must not share a chunk with many other rows.
+        let mut coo = Coo::new(10, 10);
+        for c in 0..10u32 {
+            for _ in 0..100 {
+                coo.push(4, c, 1.0);
+            }
+        }
+        for r in 0..10u32 {
+            coo.push(r, 0, 1.0);
+        }
+        let a = coo.to_csr();
+        let bounds = nnz_balanced_bounds(a.row_ptr(), 4);
+        let hub_chunk = bounds.iter().find(|&&(r0, r1)| r0 <= 4 && 4 < r1).unwrap();
+        let hub_nnz = a.row_ptr()[hub_chunk.1] - a.row_ptr()[hub_chunk.0];
+        assert!(hub_nnz >= a.nnz() / 4, "hub chunk should carry at least its share of nonzeros");
+        assert!(
+            hub_chunk.1 - hub_chunk.0 <= 6,
+            "hub row must not drag most rows into one chunk: {:?}",
+            bounds
+        );
+    }
+
+    #[test]
+    fn zero_nnz_matrix_splits_evenly() {
+        let a = Csr::empty(10, 10);
+        let bounds = nnz_balanced_bounds(a.row_ptr(), 3);
+        assert_eq!(bounds.first().unwrap().0, 0);
+        assert_eq!(bounds.last().unwrap().1, 10);
     }
 
     #[test]

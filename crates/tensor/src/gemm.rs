@@ -1,15 +1,36 @@
 //! SGEMM: `C = alpha * op(A) * op(B) + beta * C` with all transpose modes.
 //!
-//! The NN and NT modes use cache-friendly loop orders (ikj / row-dot) and
-//! run row-parallel under rayon. The TN and TT modes intentionally use the
-//! straightforward strided kernels: on GPUs the analogous generic kernels
-//! are what makes the paper's `dW = SGEMM(Hᵀ, dQ)` slow on Frontier (§5.3),
-//! and the tuning in `plexus-core` — replacing the TN GEMM with an explicit
-//! transpose + fast NN GEMM — is only an honest experiment if the TN path
-//! here really is slower.
+//! Large problems run through a cache-blocked, panel-packed kernel
+//! ([`gemm_packed_into`]): `op(B)` is packed once per K-panel into
+//! [`NR`]-wide column strips, each [`MR`]-row strip of `op(A)` is packed
+//! into a stack-resident interleaved panel, and an `MR x NR`
+//! widened-accumulator microkernel does the flops. Because *all four*
+//! transpose modes route through the packing step, TN/TT pay their strided
+//! reads once per panel (amortized over `n / NR` reuses) and then hit the
+//! same contiguous inner kernel as NN.
+//!
+//! The deliberately-strided TN kernel survives as [`gemm_reference_tn`]:
+//! on GPUs the analogous generic kernel is what makes the paper's
+//! `dW = SGEMM(Hᵀ, dQ)` slow on Frontier (§5.3), and the tuning in
+//! `plexus-core` — replacing the TN GEMM with a fast-path kernel — is only
+//! an honest experiment if a TN path that really is slower stays
+//! measurable.
+//!
+//! # Determinism contract
+//!
+//! The engine's bitwise-identity tests (blocked aggregation, tiled
+//! combination GEMM, overlapped collectives) rely on one property: **the
+//! f32 operation sequence that produces output row `i` depends only on
+//! `(k, n)` and the row's operand values — never on `m`, on which row tile
+//! the row landed in, or on how many threads ran.** Every kernel here
+//! honors that: kernel dispatch looks only at `k * n`, K-panels split `k`
+//! identically for every row, each row's accumulator is private, and the
+//! parallel path partitions rows without changing per-row math.
 
 use crate::matrix::Matrix;
+use crate::workspace::KernelWorkspace;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Transpose flag for a GEMM operand, named after the BLAS convention.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,13 +52,148 @@ impl Trans {
     }
 }
 
-/// Minimum work (in multiply-adds) before the parallel kernel is used;
-/// below this the rayon fork/join overhead dominates.
+/// Rows per microkernel strip. Each strip keeps `MR x NR` accumulators
+/// live; `op(B)` panel traffic drops by `MR` against the row-streaming
+/// kernel. 6 x 8 = twelve 4-wide accumulator vectors plus the two `B`
+/// vectors fills the baseline x86-64 (SSE2) register file without
+/// spilling.
+pub const MR: usize = 6;
+/// Columns per microkernel tile — two 4-wide f32 vectors.
+pub const NR: usize = 8;
+/// K-panel depth: one packed `op(B)` panel of `KC x n` columns stays
+/// cache-resident while every row strip streams over it.
+pub const KC: usize = 512;
+
+/// Below this `k * n` the packing overhead outweighs the reuse and the
+/// unpacked kernel wins. Deliberately independent of `m` — see the
+/// module-level determinism contract.
+const PACK_KN_THRESHOLD: usize = 64 * 64;
+
+/// Minimum work (in multiply-adds) before the unpacked kernel and
+/// [`gemm_reference_tn`] use their row-parallel variants; below this the
+/// fork/join overhead dominates. Only `m` varies under this threshold on
+/// any given `(k, n)` shape, and the parallel variants keep per-row math
+/// identical to [`gemm_seq`], so crossing it never changes results.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
-/// `C = alpha * op(A) * op(B) + beta * C`. Dispatches to the parallel kernel
-/// for large problems and the sequential one otherwise.
+thread_local! {
+    /// Packed-`op(B)` panel for [`gemm`] callers that do not thread an
+    /// explicit [`KernelWorkspace`]; reused across calls on each thread.
+    static BPACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`. Dispatches to the packed
+/// blocked kernel when `k * n` justifies packing, and to the plain
+/// sequential kernel otherwise.
 pub fn gemm(c: &mut Matrix, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, alpha: f32, beta: f32) {
+    check_shapes(c, a, ta, b, tb);
+    let (_, k) = ta.shape_of(a);
+    let (_, n) = tb.shape_of(b);
+    if k * n >= PACK_KN_THRESHOLD {
+        BPACK.with(|buf| gemm_packed_into(&mut buf.borrow_mut(), c, a, ta, b, tb, alpha, beta));
+    } else {
+        gemm_unpacked(c, a, ta, b, tb, alpha, beta);
+    }
+}
+
+/// [`gemm`] with an explicit workspace: the packed panel lives in `ws`
+/// instead of thread-local storage, so long-lived owners (one workspace
+/// per layer) never re-grow it.
+pub fn gemm_ws(
+    ws: &mut KernelWorkspace,
+    c: &mut Matrix,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    alpha: f32,
+    beta: f32,
+) {
+    check_shapes(c, a, ta, b, tb);
+    let (_, k) = ta.shape_of(a);
+    let (_, n) = tb.shape_of(b);
+    if k * n >= PACK_KN_THRESHOLD {
+        let before = ws.b_pack.capacity();
+        gemm_packed_into(&mut ws.b_pack, c, a, ta, b, tb, alpha, beta);
+        ws.note_grown(before, ws.b_pack.capacity());
+    } else {
+        gemm_unpacked(c, a, ta, b, tb, alpha, beta);
+    }
+}
+
+/// The small-`k*n` path: tall-skinny products (huge `m`, tiny `k*n`) still
+/// have plenty of row parallelism even though packing would not pay, so
+/// split rows across workers above [`PAR_THRESHOLD`] and run [`gemm_seq`]
+/// otherwise. Per-row math is identical in both variants.
+fn gemm_unpacked(
+    c: &mut Matrix,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    alpha: f32,
+    beta: f32,
+) {
+    let (m, k) = ta.shape_of(a);
+    let (_, n) = tb.shape_of(b);
+    if m * n * k >= PAR_THRESHOLD && n > 0 {
+        let lda = a.cols();
+        let adata = a.as_slice();
+        let ldb = b.cols();
+        let bdata = b.as_slice();
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            scale_row(crow, beta);
+            match (ta, tb) {
+                (Trans::N, Trans::N) => {
+                    let arow = a.row(i);
+                    for kk in 0..k {
+                        let aik = alpha * arow[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(kk);
+                        for j in 0..n {
+                            crow[j] += aik * brow[j];
+                        }
+                    }
+                }
+                (Trans::N, Trans::T) => {
+                    let arow = a.row(i);
+                    for (j, cx) in crow.iter_mut().enumerate() {
+                        let brow = b.row(j);
+                        let mut acc = 0.0f32;
+                        for kk in 0..k {
+                            acc += arow[kk] * brow[kk];
+                        }
+                        *cx += alpha * acc;
+                    }
+                }
+                (Trans::T, Trans::N) => {
+                    for (j, cx) in crow.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        for kk in 0..k {
+                            acc += adata[kk * lda + i] * b.row(kk)[j];
+                        }
+                        *cx += alpha * acc;
+                    }
+                }
+                (Trans::T, Trans::T) => {
+                    for (j, cx) in crow.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        for kk in 0..k {
+                            acc += adata[kk * lda + i] * bdata[j * ldb + kk];
+                        }
+                        *cx += alpha * acc;
+                    }
+                }
+            }
+        });
+    } else {
+        gemm_seq(c, a, ta, b, tb, alpha, beta);
+    }
+}
+
+fn check_shapes(c: &Matrix, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans) {
     let (m, k) = ta.shape_of(a);
     let (k2, n) = tb.shape_of(b);
     assert_eq!(k, k2, "gemm: inner dimensions differ: op(A) is {}x{}, op(B) is {}x{}", m, k, k2, n);
@@ -49,11 +205,6 @@ pub fn gemm(c: &mut Matrix, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, alpha:
         m,
         n
     );
-    if m * n * k >= PAR_THRESHOLD {
-        gemm_par_impl(c, a, ta, b, tb, alpha, beta);
-    } else {
-        gemm_seq(c, a, ta, b, tb, alpha, beta);
-    }
 }
 
 /// Convenience wrapper: allocate and return `op(A) * op(B)`.
@@ -65,8 +216,9 @@ pub fn matmul(a: &Matrix, ta: Trans, b: &Matrix, tb: Trans) -> Matrix {
     c
 }
 
-/// Sequential GEMM, all modes. Public so benches can compare against the
-/// parallel path directly.
+/// Plain sequential GEMM, all modes, no packing. Public both as the small-
+/// problem fast path and as the naive reference the property tests compare
+/// the packed kernel against.
 pub fn gemm_seq(
     c: &mut Matrix,
     a: &Matrix,
@@ -100,30 +252,33 @@ pub fn gemm_seq(
         }
         (Trans::N, Trans::T) => {
             // Row-dot: C[i][j] = A.row(i) . B.row(j) — both contiguous.
+            // The C row borrow is hoisted out of the j loop.
             for i in 0..m {
                 let arow = a.row(i);
-                for j in 0..n {
+                let crow = c.row_mut(i);
+                for (j, cx) in crow.iter_mut().enumerate().take(n) {
                     let brow = b.row(j);
                     let mut acc = 0.0f32;
                     for kk in 0..k {
                         acc += arow[kk] * brow[kk];
                     }
-                    c.row_mut(i)[j] += alpha * acc;
+                    *cx += alpha * acc;
                 }
             }
         }
         (Trans::T, Trans::N) => {
             // Generic strided kernel: A is read down a column (stride =
-            // a.cols()). Deliberately not restructured — see module docs.
+            // a.cols()). The C row borrow is hoisted out of the j loop.
             let lda = a.cols();
             let adata = a.as_slice();
             for i in 0..m {
-                for j in 0..n {
+                let crow = c.row_mut(i);
+                for (j, cx) in crow.iter_mut().enumerate().take(n) {
                     let mut acc = 0.0f32;
                     for kk in 0..k {
                         acc += adata[kk * lda + i] * b.row(kk)[j];
                     }
-                    c.row_mut(i)[j] += alpha * acc;
+                    *cx += alpha * acc;
                 }
             }
         }
@@ -133,21 +288,67 @@ pub fn gemm_seq(
             let adata = a.as_slice();
             let bdata = b.as_slice();
             for i in 0..m {
-                for j in 0..n {
+                let crow = c.row_mut(i);
+                for (j, cx) in crow.iter_mut().enumerate().take(n) {
                     let mut acc = 0.0f32;
                     for kk in 0..k {
                         acc += adata[kk * lda + i] * bdata[j * ldb + kk];
                     }
-                    c.row_mut(i)[j] += alpha * acc;
+                    *cx += alpha * acc;
                 }
             }
         }
     }
 }
 
-/// Parallel GEMM: rows of C are independent, so split the output buffer into
-/// per-row mutable chunks (rayon guarantees disjointness — no unsafe needed).
-fn gemm_par_impl(
+/// The deliberately-strided TN kernel, preserved verbatim from the
+/// pre-packing implementation: `C = alpha * Aᵀ * B + beta * C` with A read
+/// down columns at stride `a.cols()`. This is the honest slow path behind
+/// `GemmTuning::Default` and the `gemm_dw/tn_default` bench — the CPU
+/// stand-in for the generic GPU kernel the paper measures in §5.3.
+pub fn gemm_reference_tn(c: &mut Matrix, a: &Matrix, b: &Matrix, alpha: f32, beta: f32) {
+    let (m, k) = Trans::T.shape_of(a);
+    let (k2, n) = Trans::N.shape_of(b);
+    assert_eq!(
+        k, k2,
+        "gemm_reference_tn: inner dimensions differ: op(A) is {}x{}, op(B) is {}x{}",
+        m, k, k2, n
+    );
+    assert_eq!(c.shape(), (m, n), "gemm_reference_tn: output shape mismatch");
+    let lda = a.cols();
+    let adata = a.as_slice();
+    if m * n * k >= PAR_THRESHOLD {
+        c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            scale_row(crow, beta);
+            for (j, cx) in crow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += adata[kk * lda + i] * b.row(kk)[j];
+                }
+                *cx += alpha * acc;
+            }
+        });
+    } else {
+        gemm_seq(c, a, Trans::T, b, Trans::N, alpha, beta);
+    }
+}
+
+/// The packed blocked kernel. `b_pack` holds the packed `op(B)` panel
+/// (grown as needed, contents scratch).
+///
+/// Loop structure (BLIS-style, without the NC loop because every dense
+/// operand in this workspace has `n` small enough for one panel):
+///
+/// ```text
+/// scale C by beta
+/// for each K-panel pc of depth <= KC:
+///     pack op(B)[pc.., :] into NR-wide strips          (once per panel)
+///     parallel over MR-row strips of C:
+///         pack op(A)[strip, pc..] into a stack panel   (amortized n/NR x)
+///         for each NR strip: MRxNR microkernel over the panel depth
+/// ```
+pub fn gemm_packed_into(
+    b_pack: &mut Vec<f32>,
     c: &mut Matrix,
     a: &Matrix,
     ta: Trans,
@@ -158,71 +359,166 @@ fn gemm_par_impl(
 ) {
     let (m, k) = ta.shape_of(a);
     let (_, n) = tb.shape_of(b);
-    let lda = a.cols();
-    let adata = a.as_slice();
     debug_assert_eq!(c.shape(), (m, n));
-    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-        if beta == 0.0 {
-            crow.fill(0.0);
-        } else if beta != 1.0 {
-            for x in crow.iter_mut() {
-                *x *= beta;
+    scale_output(c, beta);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let nstrips = n.div_ceil(NR);
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        pack_b_panel(b_pack, b, tb, pc, kc, n);
+        let bp: &[f32] = b_pack;
+        c.as_mut_slice().par_chunks_mut(MR * n).enumerate().for_each(|(si, crows)| {
+            let i0 = si * MR;
+            let mr = MR.min(m - i0);
+            let mut ap = [0.0f32; MR * KC];
+            pack_a_strip(&mut ap, a, ta, i0, mr, pc, kc);
+            for js in 0..nstrips {
+                let nr = NR.min(n - js * NR);
+                let bstrip = &bp[js * kc * NR..(js + 1) * kc * NR];
+                microkernel(&ap, bstrip, kc, alpha, crows, n, js * NR, mr, nr);
+            }
+        });
+        pc += kc;
+    }
+}
+
+/// Pack `op(B)[pc..pc+kc, 0..n]` into `NR`-wide column strips:
+/// `buf[strip][kk][j]`, edge strips zero-padded to `NR` so the microkernel
+/// stays uniform (padding lanes are computed but never stored).
+fn pack_b_panel(buf: &mut Vec<f32>, b: &Matrix, tb: Trans, pc: usize, kc: usize, n: usize) {
+    let nstrips = n.div_ceil(NR);
+    let needed = nstrips * kc * NR;
+    // No blanket zero-fill: the copy loops below write every real lane,
+    // so only the edge strip's padding lanes (the lanes the microkernel
+    // reads but no copy writes) need explicit zeroing.
+    if buf.len() > needed {
+        buf.truncate(needed);
+    } else {
+        buf.resize(needed, 0.0);
+    }
+    let nr_edge = n % NR;
+    if nr_edge != 0 {
+        let base = (nstrips - 1) * kc * NR;
+        for kk in 0..kc {
+            buf[base + kk * NR + nr_edge..base + (kk + 1) * NR].fill(0.0);
+        }
+    }
+    match tb {
+        Trans::N => {
+            for js in 0..nstrips {
+                let j0 = js * NR;
+                let nr = NR.min(n - j0);
+                let base = js * kc * NR;
+                for kk in 0..kc {
+                    let src = &b.row(pc + kk)[j0..j0 + nr];
+                    buf[base + kk * NR..base + kk * NR + nr].copy_from_slice(src);
+                }
             }
         }
-        match (ta, tb) {
-            (Trans::N, Trans::N) => {
-                let arow = a.row(i);
-                for kk in 0..k {
-                    let aik = alpha * arow[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = b.row(kk);
-                    for j in 0..n {
-                        crow[j] += aik * brow[j];
-                    }
-                }
-            }
-            (Trans::N, Trans::T) => {
-                let arow = a.row(i);
-                for j in 0..n {
-                    let brow = b.row(j);
-                    let mut acc = 0.0f32;
-                    for kk in 0..k {
-                        acc += arow[kk] * brow[kk];
-                    }
-                    crow[j] += alpha * acc;
-                }
-            }
-            (Trans::T, Trans::N) => {
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for kk in 0..k {
-                        acc += adata[kk * lda + i] * b.row(kk)[j];
-                    }
-                    crow[j] += alpha * acc;
-                }
-            }
-            (Trans::T, Trans::T) => {
-                let ldb = b.cols();
-                let bdata = b.as_slice();
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for kk in 0..k {
-                        acc += adata[kk * lda + i] * bdata[j * ldb + kk];
-                    }
-                    crow[j] += alpha * acc;
+        Trans::T => {
+            // op(B)[kk][col] = B[col][pc + kk]: one contiguous read per
+            // output column — the strided access pattern is paid once per
+            // panel instead of once per (i, j) pair.
+            for col in 0..n {
+                let (js, j) = (col / NR, col % NR);
+                let base = js * kc * NR + j;
+                let src = &b.row(col)[pc..pc + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    buf[base + kk * NR] = v;
                 }
             }
         }
-    });
+    }
+}
+
+/// Pack `op(A)[i0..i0+mr, pc..pc+kc]` into the interleaved layout
+/// `ap[kk][r]` (zero rows beyond `mr` so edge strips reuse the uniform
+/// microkernel).
+fn pack_a_strip(
+    ap: &mut [f32; MR * KC],
+    a: &Matrix,
+    ta: Trans,
+    i0: usize,
+    mr: usize,
+    pc: usize,
+    kc: usize,
+) {
+    if mr < MR {
+        ap.fill(0.0);
+    }
+    match ta {
+        Trans::N => {
+            for r in 0..mr {
+                let src = &a.row(i0 + r)[pc..pc + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    ap[kk * MR + r] = v;
+                }
+            }
+        }
+        Trans::T => {
+            // op(A)[i][kk] = A[pc + kk][i]: contiguous reads per kk.
+            for kk in 0..kc {
+                let src = &a.row(pc + kk)[i0..i0 + mr];
+                for (r, &v) in src.iter().enumerate() {
+                    ap[kk * MR + r] = v;
+                }
+            }
+        }
+    }
+}
+
+/// The `MR x NR` microkernel: widened accumulator block in registers,
+/// one panel-depth sweep, then a single `+= alpha * acc` store per output
+/// element. Each output row's accumulation order is the plain ascending-k
+/// order regardless of `mr`/`nr` edges — the determinism contract.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    ap: &[f32; MR * KC],
+    bstrip: &[f32],
+    kc: usize,
+    alpha: f32,
+    crows: &mut [f32],
+    n: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    // Constant-bound loops with direct indexing: after unrolling every
+    // accumulator access has a constant index, so LLVM promotes the whole
+    // MR x NR block to registers (iterator forms take addresses into
+    // `acc`, which blocks that promotion and halves throughput).
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..kc {
+        let bs: &[f32; NR] = bstrip[kk * NR..kk * NR + NR].try_into().expect("strip width");
+        let av: &[f32; MR] = ap[kk * MR..kk * MR + MR].try_into().expect("panel width");
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r][j] += ar * bs[j];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let crow = &mut crows[r * n + j0..r * n + j0 + nr];
+        for (cx, &v) in crow.iter_mut().zip(accr) {
+            *cx += alpha * v;
+        }
+    }
 }
 
 fn scale_output(c: &mut Matrix, beta: f32) {
+    scale_row(c.as_mut_slice(), beta);
+}
+
+fn scale_row(row: &mut [f32], beta: f32) {
     if beta == 0.0 {
-        c.as_mut_slice().fill(0.0);
+        row.fill(0.0);
     } else if beta != 1.0 {
-        for x in c.as_mut_slice() {
+        for x in row.iter_mut() {
             *x *= beta;
         }
     }
@@ -265,15 +561,95 @@ mod tests {
     }
 
     #[test]
+    fn packed_path_all_modes_agree_with_naive() {
+        // 70x130 operands: k*n exceeds the packing threshold and spans
+        // multiple NR strips plus an edge strip; alpha/beta exercised too.
+        let a = test_mat(70, 130, 0.3);
+        let b = test_mat(130, 70, 0.4);
+        let reference = naive(&a, &b);
+        let at = a.transposed();
+        let bt = b.transposed();
+        for (ma, ta, mb, tb, label) in [
+            (&a, Trans::N, &b, Trans::N, "NN"),
+            (&a, Trans::N, &bt, Trans::T, "NT"),
+            (&at, Trans::T, &b, Trans::N, "TN"),
+            (&at, Trans::T, &bt, Trans::T, "TT"),
+        ] {
+            let mut c = Matrix::full(70, 70, 1.0);
+            gemm(&mut c, ma, ta, mb, tb, 2.0, -1.0);
+            let mut expect = reference.clone();
+            for e in expect.as_mut_slice().iter_mut() {
+                *e = 2.0 * *e - 1.0;
+            }
+            assert_close(&c, &expect, 1e-4, label);
+        }
+    }
+
+    #[test]
+    fn multi_panel_k_matches_naive() {
+        // k = 1100 spans three K-panels (KC = 512: 512 + 512 + 76).
+        let a = test_mat(9, 1100, 0.5);
+        let b = test_mat(1100, 17, 0.6);
+        assert_close(&matmul(&a, Trans::N, &b, Trans::N), &naive(&a, &b), 1e-4, "multi-panel");
+    }
+
+    #[test]
     fn parallel_path_matches_sequential() {
-        // 80^3 > PAR_THRESHOLD so gemm() takes the parallel path.
+        // 80*80 >= the packing threshold so gemm() takes the packed path;
+        // k <= KC and alpha = 1, so it must agree bitwise with the naive
+        // sequential kernel (same per-element accumulation order).
         let a = test_mat(80, 80, 0.3);
         let b = test_mat(80, 80, 0.4);
         let mut c_par = Matrix::zeros(80, 80);
         gemm(&mut c_par, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
         let mut c_seq = Matrix::zeros(80, 80);
         gemm_seq(&mut c_seq, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
-        assert_close(&c_par, &c_seq, 1e-6, "par vs seq");
+        assert_eq!(c_par.as_slice(), c_seq.as_slice(), "packed vs seq must be bitwise equal");
+    }
+
+    #[test]
+    fn row_tiles_compose_bitwise() {
+        // The §5.2 tiled-combination contract: computing C in row tiles
+        // must be bitwise identical to one call, including across K-panel
+        // boundaries (k = 300 > KC).
+        let a = test_mat(64, 300, 0.7);
+        let b = test_mat(300, 40, 0.8);
+        let full = matmul(&a, Trans::N, &b, Trans::N);
+        for (r0, r1) in [(0usize, 17usize), (17, 40), (40, 64)] {
+            let tile = matmul(&a.row_block(r0, r1), Trans::N, &b, Trans::N);
+            assert_eq!(
+                tile.as_slice(),
+                &full.as_slice()[r0 * 40..r1 * 40],
+                "tile {}..{} diverged from the full product",
+                r0,
+                r1
+            );
+        }
+    }
+
+    #[test]
+    fn reference_tn_matches_packed_tn() {
+        let a = test_mat(90, 33, 0.9); // op(A) = Aᵀ: 33x90
+        let b = test_mat(90, 70, 1.0);
+        let mut reference = Matrix::zeros(33, 70);
+        gemm_reference_tn(&mut reference, &a, &b, 1.0, 0.0);
+        let packed = matmul(&a, Trans::T, &b, Trans::N);
+        // k = 90 <= KC and alpha = 1: same accumulation order, bitwise.
+        assert_eq!(reference.as_slice(), packed.as_slice());
+    }
+
+    #[test]
+    fn workspace_gemm_matches_thread_local_gemm() {
+        let a = test_mat(50, 120, 1.1);
+        let b = test_mat(120, 90, 1.2);
+        let expect = matmul(&a, Trans::N, &b, Trans::N);
+        let mut ws = KernelWorkspace::new();
+        for _ in 0..3 {
+            let mut c = ws.take(50, 90);
+            gemm_ws(&mut ws, &mut c, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
+            assert_eq!(c.as_slice(), expect.as_slice());
+            ws.recycle(c);
+        }
     }
 
     #[test]
@@ -308,5 +684,17 @@ mod tests {
         let reference = naive(&a, &b);
         let got = matmul(&b.transposed(), Trans::N, &a.transposed(), Trans::N).transposed();
         assert_close(&got, &reference, 1e-5, "(BᵀAᵀ)ᵀ = AB");
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_noops() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 128);
+        assert_eq!(matmul(&a, Trans::N, &b, Trans::N).shape(), (0, 128));
+        let a = Matrix::zeros(4, 0);
+        let b = Matrix::zeros(0, 128);
+        let mut c = Matrix::full(4, 128, 3.0);
+        gemm(&mut c, &a, Trans::N, &b, Trans::N, 1.0, 2.0);
+        assert!(c.as_slice().iter().all(|&x| x == 6.0), "k=0 must only apply beta");
     }
 }

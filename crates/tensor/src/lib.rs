@@ -3,11 +3,13 @@
 //! The paper's combination step and its backward pass (eqs. 2.2, 2.5, 2.6)
 //! are dense SGEMMs executed by cuBLAS on the GPU. This crate provides the
 //! CPU equivalent: a row-major [`Matrix`] of `f32` and a
-//! [`gemm`](gemm::gemm) kernel
-//! supporting all four transpose modes (NN/NT/TN/TT), with a cache-friendly
-//! fast path for NN/NT and deliberately strided generic paths for TN/TT —
-//! mirroring the GPU reality that motivates the paper's §5.3 GEMM-order
-//! tuning.
+//! [`gemm`](gemm::gemm) kernel supporting all four transpose modes
+//! (NN/NT/TN/TT) through one cache-blocked, panel-packed microkernel, plus
+//! the deliberately strided [`gemm_reference_tn`]
+//! that preserves the slow generic-TN behaviour motivating the paper's
+//! §5.3 GEMM-order tuning. [`KernelWorkspace`] owns the reusable packed
+//! panels and a pool of output buffers so the training engines run their
+//! epoch loops without per-call kernel allocations.
 //!
 //! Everything is `f32` because the paper trains in FP32 (A100 FP32 peak is
 //! quoted in §6.1).
@@ -17,8 +19,10 @@ pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod workspace;
 
 pub use compare::{assert_close, max_abs_diff, MatComparison};
-pub use gemm::{gemm, gemm_seq, Trans};
+pub use gemm::{gemm, gemm_reference_tn, gemm_seq, gemm_ws, Trans};
 pub use init::{glorot_uniform, randn_matrix, uniform_matrix};
 pub use matrix::Matrix;
+pub use workspace::KernelWorkspace;

@@ -204,21 +204,38 @@ impl Matrix {
     /// Explicit transpose into a new matrix.
     pub fn transposed(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a preallocated `cols x rows` matrix (the workspace
+    /// path: no allocation when `out` comes from a kernel pool).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.cols,
+            self.rows
+        );
         // Block the loop so both source reads and destination writes stay
-        // within cache lines; 32x32 f32 tiles are 4 KiB each.
+        // within cache lines; 32x32 f32 tiles are 4 KiB each. Within a
+        // tile, j is the outer loop so destination writes are contiguous
+        // runs (the source tile is cache-resident after its first pass).
         const B: usize = 32;
         for ib in (0..self.rows).step_by(B) {
             for jb in (0..self.cols).step_by(B) {
                 let imax = (ib + B).min(self.rows);
                 let jmax = (jb + B).min(self.cols);
-                for i in ib..imax {
-                    for j in jb..jmax {
-                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                for j in jb..jmax {
+                    let dst = &mut out.data[j * self.rows + ib..j * self.rows + imax];
+                    for (d, i) in dst.iter_mut().zip(ib..imax) {
+                        *d = self.data[i * self.cols + j];
                     }
                 }
             }
         }
-        out
     }
 
     /// Stack matrices vertically (all must share `cols`).

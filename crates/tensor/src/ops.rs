@@ -14,6 +14,15 @@ pub fn relu(x: &Matrix) -> Matrix {
     out
 }
 
+/// `out = relu(x)` into a preallocated matrix (the workspace path: no
+/// allocation when `out` comes from a kernel pool).
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    assert_eq!(x.shape(), out.shape(), "relu_into: shape mismatch");
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = if v < 0.0 { 0.0 } else { v };
+    }
+}
+
 /// In-place `grad ⊙ σ'(pre)` for σ = ReLU (paper eq. 2.4): zero gradient
 /// wherever the pre-activation was non-positive.
 pub fn relu_backward_inplace(grad: &mut Matrix, pre_activation: &Matrix) {

@@ -15,6 +15,8 @@
 //! No statistical outlier analysis, no HTML reports, no comparison against
 //! saved baselines — this is a compile-compatible timing harness, not a
 //! statistics engine. `cargo bench --no-run` and `cargo bench` both work.
+//! Setting `PLEXUS_BENCH_SAMPLES=<n>` overrides every benchmark's sample
+//! count (CI smoke runs use a small value to keep the step fast).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -62,10 +64,19 @@ impl Criterion {
                 return;
             }
         }
+        let sample_size = sample_override().unwrap_or(sample_size);
         let mut bencher = Bencher { sample_size, samples: Vec::new() };
         f(&mut bencher);
         bencher.report(id);
     }
+}
+
+/// Global sample-count override for CI smoke runs: when
+/// `PLEXUS_BENCH_SAMPLES` is set (to at least 2), every benchmark uses
+/// that many samples instead of its configured count. Recorded baselines
+/// (`BENCH_*.json`) must come from runs without the override.
+fn sample_override() -> Option<usize> {
+    std::env::var("PLEXUS_BENCH_SAMPLES").ok()?.parse::<usize>().ok().filter(|&n| n >= 2)
 }
 
 /// A named group of related benchmarks sharing a sample size.

@@ -1,14 +1,16 @@
 //! Offline stand-in for `rayon`.
 //!
-//! Implements the one primitive the compute kernels use —
-//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — with real
-//! parallelism: chunks are dealt round-robin to `available_parallelism()`
-//! scoped threads. No work stealing, which is fine here because every caller
-//! produces uniformly sized row-block chunks. Threads are spawned per call
-//! rather than kept in a persistent pool — a known simplification that adds
-//! per-kernel-invocation overhead on multi-core machines; swap in the real
-//! rayon (one line in the root manifest) or add a pool before drawing
-//! multi-core perf conclusions from microbenchmarks.
+//! Implements the two primitives the compute kernels use —
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` and
+//! `vec.into_par_iter().for_each(..)` (the latter carries the unevenly
+//! sized, nnz-balanced SpMM work items) — with real parallelism: items are
+//! dealt round-robin to `available_parallelism()` scoped threads. No work
+//! stealing, which is fine here because callers pre-balance their items.
+//! Threads are spawned per call rather than kept in a persistent pool — a
+//! known simplification that adds per-kernel-invocation overhead on
+//! multi-core machines; swap in the real rayon (one line in the root
+//! manifest) or add a pool before drawing multi-core perf conclusions from
+//! microbenchmarks.
 //!
 //! Single-threaded machines degrade to a plain sequential loop with no
 //! thread spawns, so the kernels stay deterministic and cheap under test.
@@ -16,6 +18,7 @@
 use std::thread;
 
 pub mod prelude {
+    pub use crate::IntoParallelIterator;
     pub use crate::ParallelSliceMut;
 }
 
@@ -101,6 +104,55 @@ impl<T: Send> EnumeratedParChunksMut<'_, T> {
     }
 }
 
+/// Subset of rayon's `IntoParallelIterator`: consuming parallel iteration
+/// over an owned `Vec` (the only container the kernels need).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> VecParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Parallel consuming iterator over a `Vec`, mirroring rayon's semantics
+/// for the `for_each` terminal: items run concurrently, dealt round-robin.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecParIter<T> {
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let workers = max_threads().min(self.items.len());
+        if workers <= 1 {
+            for item in self.items {
+                op(item);
+            }
+            return;
+        }
+        let mut queues: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+        for (pos, item) in self.items.into_iter().enumerate() {
+            queues[pos % workers].push(item);
+        }
+        let op = &op;
+        thread::scope(|s| {
+            for queue in queues {
+                s.spawn(move || {
+                    for item in queue {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -131,5 +183,28 @@ mod tests {
     fn chunk_count() {
         let mut data = vec![0u8; 25];
         assert_eq!(data.as_mut_slice().par_chunks_mut(10).len(), 3);
+    }
+
+    #[test]
+    fn into_par_iter_visits_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1u64..=100).collect::<Vec<_>>().into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn into_par_iter_handles_unevenly_sized_items() {
+        // Mutable disjoint slices as items — the SpMM partitioning shape.
+        let mut data = vec![0u32; 10];
+        let (a, rest) = data.split_at_mut(3);
+        let (b, c) = rest.split_at_mut(5);
+        vec![a, b, c].into_par_iter().for_each(|chunk| {
+            let len = chunk.len() as u32;
+            chunk.iter_mut().for_each(|v| *v = len);
+        });
+        assert_eq!(data, vec![3, 3, 3, 5, 5, 5, 5, 5, 2, 2]);
     }
 }
