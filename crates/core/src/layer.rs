@@ -43,7 +43,7 @@ use plexus_comm::{Communicator, PendingCollective, ReduceOp};
 use plexus_sparse::blocked::RowBlocks;
 use plexus_sparse::{spmm_into, Csr};
 use plexus_tensor::ops::{relu_backward_inplace, relu_into};
-use plexus_tensor::{gemm_reference_tn, gemm_ws, KernelWorkspace, Matrix, Trans};
+use plexus_tensor::{gemm_nn_cached_b, gemm_reference_tn, gemm_ws, KernelWorkspace, Matrix, Trans};
 use std::time::Instant;
 
 /// How `∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)` is computed (§5.3).
@@ -148,10 +148,28 @@ pub struct DistLayer {
     pub overlap: CommOverlap,
     /// Reusable kernel buffers; sized by the first epoch, stable after.
     ws: KernelWorkspace,
+    /// Version key of this layer's stored weights for the combination
+    /// GEMM's packed-operand cache: the gathered `W_full` is packed once
+    /// per version and every further combination under the same version —
+    /// later row tiles, recompute-mode rebuilds — reuses the panels. The
+    /// trainer bumps it after each optimizer step.
+    weights_version: u64,
 }
 
-/// Forward-pass cache (post-all-reduce H and Q, plus the gathered W).
-/// Consumed by [`DistLayer::backward`], which recycles the buffers.
+/// Forward-pass cache, split into the individually managed segments the
+/// [`ActivationStore`](crate::activation::ActivationStore) governs:
+///
+/// | segment  | contents                  | rebuild recipe                 |
+/// |----------|---------------------------|--------------------------------|
+/// | `h`      | post-all-reduce SpMM out  | [`DistLayer::aggregate`]       |
+/// | `q`      | post-all-reduce GEMM out  | [`DistLayer::combine`]         |
+/// | `w_full` | R-axis-gathered weights   | [`DistLayer::gather_weights`]  |
+///
+/// Under `Resident`/`Spill` residency the whole cache is retained (in RAM
+/// or on disk); under `Recompute` all three segments are dropped after
+/// forward and re-derived by [`DistLayer::rebuild_cache`], which replays
+/// the same recipes on the retained layer input. Consumed by
+/// [`DistLayer::backward`], which recycles the buffers.
 pub struct DistLayerCache {
     pub h: Matrix,
     pub q: Matrix,
@@ -192,6 +210,7 @@ impl DistLayer {
             tuning,
             overlap,
             ws: KernelWorkspace::new(),
+            weights_version: 0,
         }
     }
 
@@ -207,10 +226,28 @@ impl DistLayer {
         self.ws.recycle(m);
     }
 
+    /// Mutable access to this layer's kernel-buffer pool; the trainer
+    /// routes the activation store's policy-driven recycling through it.
+    pub fn workspace_mut(&mut self) -> &mut KernelWorkspace {
+        &mut self.ws
+    }
+
+    /// Invalidate the combination GEMM's packed-weight cache. The trainer
+    /// calls this after every optimizer step on this layer's weights.
+    pub fn bump_weights_version(&mut self) {
+        self.weights_version += 1;
+    }
+
     /// Algorithm 1, lines 2–12, for this layer's roles. `f_full` is the
     /// layer input after any required all-gather (the trainer performs the
     /// layer-0 gather of the Z-sharded trainable features). `w_stored` is
     /// the R-axis shard of W. Returns (output, cache, timing).
+    ///
+    /// The body is a composition of the public recipe methods
+    /// ([`Self::aggregate`], [`Self::gather_weights`], [`Self::combine`])
+    /// that [`Self::rebuild_cache`] replays for recompute-mode residency —
+    /// one code path, so forward and rebuild are bitwise identical by
+    /// construction.
     pub fn forward<C: Communicator>(
         &mut self,
         ctx: &DistContext<C>,
@@ -218,13 +255,58 @@ impl DistLayer {
         w_stored: &Matrix,
         activated: bool,
     ) -> (Matrix, DistLayerCache, TimeSplit) {
+        let mut t = TimeSplit::default();
+        let h = self.aggregate(ctx, f_full, &mut t);
+        let w_full = self.gather_weights(ctx, w_stored, &mut t);
+        let q = self.combine(ctx, &h, &w_full, &mut t);
+
+        // Activation: F' = σ(Q) (the final layer emits raw logits).
+        let t0 = Instant::now();
+        let mut out = self.ws.take_scratch(q.rows(), q.cols());
+        if activated {
+            relu_into(&q, &mut out);
+        } else {
+            out.as_mut_slice().copy_from_slice(q.as_slice());
+        }
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        (out, DistLayerCache { h, q, w_full, activated }, t)
+    }
+
+    /// Re-derive a dropped forward cache from the retained layer `input` —
+    /// the `Recompute` residency recipe. Replays the exact aggregation /
+    /// gather / combination steps of [`Self::forward`] (same kernels, same
+    /// deterministic collective order), so the rebuilt segments are
+    /// bitwise identical to the originals. The activation output itself is
+    /// never rebuilt: backward does not read it.
+    pub fn rebuild_cache<C: Communicator>(
+        &mut self,
+        ctx: &DistContext<C>,
+        input: &Matrix,
+        w_stored: &Matrix,
+        activated: bool,
+    ) -> (DistLayerCache, TimeSplit) {
+        let mut t = TimeSplit::default();
+        let h = self.aggregate(ctx, input, &mut t);
+        let w_full = self.gather_weights(ctx, w_stored, &mut t);
+        let q = self.combine(ctx, &h, &w_full, &mut t);
+        (DistLayerCache { h, q, w_full, activated }, t)
+    }
+
+    /// Aggregation recipe (Algorithm 1 step 1): `H = SpMM(A, F)`,
+    /// all-reduced across the contract axis — unblocked or per-block, with
+    /// the block all-reduces optionally overlapped behind the next block's
+    /// SpMM (§5.2).
+    pub fn aggregate<C: Communicator>(
+        &mut self,
+        ctx: &DistContext<C>,
+        f_full: &Matrix,
+        t: &mut TimeSplit,
+    ) -> Matrix {
         let Self { ws, blocks, a_shard, roles, overlap, .. } = self;
         let (roles, overlap) = (*roles, *overlap);
-        let mut t = TimeSplit::default();
         let n = f_full.cols();
-
-        // Step 1: aggregation. H = SpMM(A, F); all-reduce across C.
-        let h = match blocks {
+        match blocks {
             None => {
                 let t0 = Instant::now();
                 let mut h = ws.take_scratch(a_shard.rows(), n);
@@ -270,17 +352,41 @@ impl DistLayer {
                 t.comm_s += t1.elapsed().as_secs_f64();
                 h
             }
-        };
+        }
+    }
 
-        // Step 2: combination. All-gather W across R, SGEMM, all-reduce Q
-        // across K.
+    /// Weight-gather recipe (Algorithm 1 step 2a): all-gather the R-axis
+    /// shard of `W` into the full per-plane weight matrix.
+    pub fn gather_weights<C: Communicator>(
+        &mut self,
+        ctx: &DistContext<C>,
+        w_stored: &Matrix,
+        t: &mut TimeSplit,
+    ) -> Matrix {
         let t1 = Instant::now();
-        let w_full = ctx.all_gather_rows(w_stored, roles.rows);
+        let w_full = ctx.all_gather_rows(w_stored, self.roles.rows);
         t.comm_s += t1.elapsed().as_secs_f64();
+        w_full
+    }
 
+    /// Combination recipe (Algorithm 1 step 2b): `Q = SGEMM(H, W_full)`,
+    /// all-reduced across the feat axis — row-tiled with overlapped
+    /// per-tile reductions under [`CommOverlap::Overlapped`] (§5.2). The
+    /// GEMM runs through the version-keyed packed-weight cache
+    /// ([`gemm_nn_cached_b`]), so an unchanged `W_full` is packed once per
+    /// optimizer step no matter how many tiles or rebuilds consume it.
+    pub fn combine<C: Communicator>(
+        &mut self,
+        ctx: &DistContext<C>,
+        h: &Matrix,
+        w_full: &Matrix,
+        t: &mut TimeSplit,
+    ) -> Matrix {
+        let Self { ws, roles, overlap, weights_version, .. } = self;
+        let (roles, overlap, wv) = (*roles, *overlap, *weights_version);
         // Tiling only pays when there is a K-axis reduction to hide; on a
         // size-1 feat group fall through to the single in-place GEMM.
-        let q = if overlap == CommOverlap::Overlapped
+        if overlap == CommOverlap::Overlapped
             && h.rows() >= Q_TILES
             && ctx.group(roles.feat).size() > 1
         {
@@ -296,7 +402,7 @@ impl DistLayer {
                 let mut h_tile = ws.take_scratch(r1 - r0, h.cols());
                 h_tile.as_mut_slice().copy_from_slice(&h.as_slice()[r0 * h.cols()..r1 * h.cols()]);
                 let mut q_tile = ws.take_scratch(r1 - r0, w_full.cols());
-                gemm_ws(ws, &mut q_tile, &h_tile, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+                gemm_nn_cached_b(ws, &mut q_tile, &h_tile, w_full, wv, 1.0, 0.0);
                 ws.recycle(h_tile);
                 t.compute_s += t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
@@ -314,26 +420,14 @@ impl DistLayer {
         } else {
             let t0 = Instant::now();
             let mut q = ws.take_scratch(h.rows(), w_full.cols());
-            gemm_ws(ws, &mut q, &h, Trans::N, &w_full, Trans::N, 1.0, 0.0);
+            gemm_nn_cached_b(ws, &mut q, h, w_full, wv, 1.0, 0.0);
             t.compute_s += t0.elapsed().as_secs_f64();
 
             let t1 = Instant::now();
             ctx.all_reduce_sum(&mut q, roles.feat);
             t.comm_s += t1.elapsed().as_secs_f64();
             q
-        };
-
-        // Step 3: activation.
-        let t0 = Instant::now();
-        let mut out = ws.take_scratch(q.rows(), q.cols());
-        if activated {
-            relu_into(&q, &mut out);
-        } else {
-            out.as_mut_slice().copy_from_slice(q.as_slice());
         }
-        t.compute_s += t0.elapsed().as_secs_f64();
-
-        (out, DistLayerCache { h, q, w_full, activated }, t)
     }
 
     /// Algorithm 2 for this layer's roles. `dout` is `∂L/∂(layer output)`

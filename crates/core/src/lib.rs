@@ -17,6 +17,9 @@
 //! * [`layer`] — Algorithms 1 and 2 (distributed forward/backward),
 //!   blocked aggregation and comm/compute overlap via nonblocking
 //!   collectives (§5.2), GEMM-order tuning (§5.3);
+//! * [`activation`] — the activation residency-policy engine: keep,
+//!   spill-to-checksummed-files, or drop-and-recompute every inter-layer
+//!   cache under a configurable byte budget, bitwise-identically;
 //! * [`loss`] — distributed masked cross-entropy;
 //! * [`trainer`] — per-rank state, the epoch loop,
 //!   [`trainer::train_distributed`] (the engine's main entry point),
@@ -48,6 +51,7 @@
 //! assert_eq!(result.epochs.len(), 3);
 //! ```
 
+pub mod activation;
 pub mod dist;
 pub mod grid;
 pub mod layer;
@@ -57,11 +61,13 @@ pub mod perfmodel;
 pub mod setup;
 pub mod trainer;
 
+pub use activation::{ActivationStats, ActivationStore, Fetched, ResidencyPolicy};
 pub use dist::{DistContext, SimDistContext};
 pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, LayerRoles};
-pub use layer::{Aggregation, CommOverlap, DistLayer, GemmTuning, TimeSplit};
+pub use layer::{Aggregation, CommOverlap, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
 pub use loader::{
-    preprocess_to_store, LoadStats, LoaderError, LoaderResult, MemoryLedger, Parity, ShardStore,
+    preprocess_to_store, preprocess_to_store_serial, LoadStats, LoaderError, LoaderResult,
+    MemoryLedger, Parity, PreprocessSummary, ShardStore,
 };
 pub use setup::{build_permutations, GlobalProblem, PermutationMode, ProblemMeta, RankData};
 pub use trainer::{

@@ -34,13 +34,14 @@ use plexus_sparse::permute::{inverse_permutation, permuted_row_band};
 use plexus_sparse::shard::split_range;
 use plexus_sparse::Csr;
 use plexus_tensor::Matrix;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: u64 = 0x504c5853_53484152; // "PLXSSHAR"
+pub(crate) const MAGIC: u64 = 0x504c5853_53484152; // "PLXSSHAR"
 /// Current on-disk format. Version 2 added the per-file version header,
 /// manifest checksums, dual-parity adjacency shards, and label files.
 pub const FORMAT_VERSION: u64 = 2;
@@ -148,10 +149,12 @@ pub struct LoadStats {
     pub peak_transient_bytes: u64,
 }
 
-/// Per-rank memory accounting for the ingest pipeline: I/O totals from
-/// [`LoadStats`] plus resident/peak adjacency and feature bytes. The peak
-/// is what the §5.4 claim bounds — `~nnz/(G_r·G_c)` per layer for the
-/// sharded path against `2·nnz` for the in-memory path.
+/// Per-rank memory accounting for the ingest pipeline *and* the training
+/// loop's activation state: I/O totals from [`LoadStats`], resident/peak
+/// adjacency and feature bytes (the §5.4 claim — `~nnz/(G_r·G_c)` per
+/// layer for the sharded path against `2·nnz` for the in-memory path),
+/// plus the activation-residency counters synced from the trainer's
+/// [`ActivationStore`](crate::activation::ActivationStore).
 #[derive(Clone, Debug, Default)]
 pub struct MemoryLedger {
     pub bytes_read: u64,
@@ -162,6 +165,18 @@ pub struct MemoryLedger {
     pub peak_adjacency_bytes: u64,
     pub feature_resident_bytes: u64,
     pub peak_feature_bytes: u64,
+    /// Activation bytes currently held by the trainer's activation store.
+    pub activation_resident_bytes: u64,
+    /// High-water mark of store-held activation bytes across all epochs.
+    pub peak_activation_bytes: u64,
+    /// Total activation bytes written to spill files.
+    pub activation_spilled_bytes: u64,
+    /// Total activation bytes read back from spill files.
+    pub activation_reloaded_bytes: u64,
+    /// Layer caches evicted to disk.
+    pub activation_spill_events: u64,
+    /// Layer caches re-derived from retained inputs during backward.
+    pub activation_recompute_events: u64,
 }
 
 impl MemoryLedger {
@@ -197,16 +212,31 @@ impl MemoryLedger {
         self.peak_feature_bytes = self.peak_feature_bytes.max(self.feature_resident_bytes + bytes);
     }
 
+    /// Overwrite the activation counters with the store's cumulative
+    /// stats. Called by the trainer at the end of every epoch; the peak
+    /// only ever ratchets upward.
+    pub fn sync_activation_stats(&mut self, s: &crate::activation::ActivationStats) {
+        self.activation_resident_bytes = s.resident_bytes;
+        self.peak_activation_bytes = self.peak_activation_bytes.max(s.peak_resident_bytes);
+        self.activation_spilled_bytes = s.spilled_bytes;
+        self.activation_reloaded_bytes = s.reloaded_bytes;
+        self.activation_spill_events = s.spill_events;
+        self.activation_recompute_events = s.recompute_events;
+    }
+
     /// One-line human summary (the example's per-rank report).
     pub fn summary(&self) -> String {
         format!(
-            "read {:>12} B, skipped {:>12} B ({:>3}/{:<3} files), peak adj {:>12} B, peak feat {:>12} B",
+            "read {:>12} B, skipped {:>12} B ({:>3}/{:<3} files), peak adj {:>12} B, peak feat {:>12} B, peak act {:>12} B ({} spills, {} recomputes)",
             self.bytes_read,
             self.bytes_skipped,
             self.files_read,
             self.files_read + self.files_skipped,
             self.peak_adjacency_bytes,
-            self.peak_feature_bytes
+            self.peak_feature_bytes,
+            self.peak_activation_bytes,
+            self.activation_spill_events,
+            self.activation_recompute_events
         )
     }
 }
@@ -234,8 +264,38 @@ pub struct ShardStore {
     /// §5.1 scheme baked into the shards (`None` for raw stores).
     pub perm_mode: Option<PermutationMode>,
     pub perm_seed: u64,
+    /// FNV-1a fingerprint of the source dataset's full contents, so
+    /// incremental re-preprocessing never reuses shards of a different
+    /// graph (0 for raw stores and pre-fingerprint manifests).
+    pub source_fp: u64,
+    /// What the preprocessing run that produced this handle did (zeroed
+    /// for raw stores and stores reopened via [`ShardStore::open`]; not
+    /// persisted in the manifest).
+    pub preprocess: PreprocessSummary,
     /// filename -> (fnv1a checksum, file length in bytes).
     files: BTreeMap<String, (u64, u64)>,
+}
+
+/// What one [`preprocess_to_store`] run wrote vs. reused: with an existing
+/// up-to-date store in the target directory, matching shard files are
+/// verified against the prior manifest's checksums and skipped instead of
+/// regenerated (ROADMAP "Incremental / resumable preprocessing").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreprocessSummary {
+    pub files_written: usize,
+    pub files_skipped: usize,
+    pub bytes_written: u64,
+    pub bytes_skipped: u64,
+}
+
+impl PreprocessSummary {
+    /// One-line human summary (the example's preprocess report).
+    pub fn report(&self) -> String {
+        format!(
+            "wrote {} files ({} B), reused {} files ({} B)",
+            self.files_written, self.bytes_written, self.files_skipped, self.bytes_skipped
+        )
+    }
 }
 
 fn adj_name(parity: Parity, i: usize, j: usize) -> String {
@@ -285,6 +345,8 @@ impl ShardStore {
             total_train: 0,
             perm_mode: None,
             perm_seed: 0,
+            source_fp: 0,
+            preprocess: PreprocessSummary::default(),
             files,
         };
         store.write_manifest()?;
@@ -344,6 +406,10 @@ impl ShardStore {
                 })
             }
         };
+        // Fingerprints arrived after format v2 shipped; absent means "not
+        // recorded", which disables incremental reuse rather than erroring.
+        let source_fp =
+            kv.get("source_fp").and_then(|v| u64::from_str_radix(v, 16).ok()).unwrap_or(0);
         Ok(ShardStore {
             dir: dir.to_path_buf(),
             grid_p: field("p")?,
@@ -356,6 +422,8 @@ impl ShardStore {
             total_train: field("total_train")?,
             perm_mode,
             perm_seed: field("perm_seed")? as u64,
+            source_fp,
+            preprocess: PreprocessSummary::default(),
             files,
         })
     }
@@ -379,6 +447,7 @@ impl ShardStore {
         };
         writeln!(f, "perm_mode = {}", mode)?;
         writeln!(f, "perm_seed = {}", self.perm_seed)?;
+        writeln!(f, "source_fp = {:016x}", self.source_fp)?;
         for (name, (ck, len)) in &self.files {
             writeln!(f, "file {} = {:016x} {}", name, ck, len)?;
         }
@@ -587,7 +656,20 @@ impl ShardStore {
 /// `mode`/`perm_seed` and write it — both layer parities — plus permuted
 /// feature bands and labels/masks into a `p x q` [`ShardStore`] at `dir`,
 /// streaming one row band at a time. Peak extra memory over the source
-/// dataset is one band (`~nnz/p`), never a second full copy of Â.
+/// dataset is one band (`~nnz/p`) per worker, never a second full copy of
+/// Â.
+///
+/// Row bands are processed in parallel (ROADMAP "Parallel store writes"):
+/// each band permutes and writes its shard files under temporary names,
+/// and the coordinator renames them into the final manifest order once
+/// every band has finished — output is byte-for-byte identical to
+/// [`preprocess_to_store_serial`], asserted by the equivalence test.
+///
+/// Re-preprocessing into a directory that already holds an up-to-date
+/// store with the same parameters and the same source fingerprint skips
+/// every shard file whose on-disk bytes still hash to the prior manifest's
+/// checksum; [`ShardStore::preprocess`] reports what was written vs.
+/// reused.
 ///
 /// Training from the resulting store via
 /// [`crate::trainer::train_from_source`] is bitwise identical to the
@@ -600,43 +682,72 @@ pub fn preprocess_to_store(
     p: usize,
     q: usize,
 ) -> LoaderResult<ShardStore> {
+    preprocess_impl(ds, dir, mode, perm_seed, p, q, true)
+}
+
+/// [`preprocess_to_store`] with the band loop forced sequential — the
+/// reference the parallel writer is checked against (and a debugging aid
+/// when filesystem parallelism is suspect).
+pub fn preprocess_to_store_serial(
+    ds: &LoadedDataset,
+    dir: &Path,
+    mode: PermutationMode,
+    perm_seed: u64,
+    p: usize,
+    q: usize,
+) -> LoaderResult<ShardStore> {
+    preprocess_impl(ds, dir, mode, perm_seed, p, q, false)
+}
+
+fn preprocess_impl(
+    ds: &LoadedDataset,
+    dir: &Path,
+    mode: PermutationMode,
+    perm_seed: u64,
+    p: usize,
+    q: usize,
+    parallel: bool,
+) -> LoaderResult<ShardStore> {
     assert!(p > 0 && q > 0, "preprocess_to_store: empty grid");
     let n = ds.num_nodes();
     let (pr, pc) = crate::setup::build_permutations(mode, perm_seed, n);
     fs::create_dir_all(dir)?;
+    let source_fp = dataset_fingerprint(ds);
+    let prior = reusable_prior_files(dir, mode, perm_seed, p, q, n, ds.features.cols(), source_fp);
+
     let mut files = BTreeMap::new();
+    let mut summary = PreprocessSummary::default();
 
     // Adjacency, both parities, band by band.
     for (parity, rowp, colp) in [(Parity::Even, &pr, &pc), (Parity::Odd, &pc, &pr)] {
         let inv_row = inverse_permutation(rowp);
-        for i in 0..p {
-            let (r0, r1) = split_range(n, p, i);
-            let band = permuted_row_band(&ds.adjacency, &inv_row, colp, r0, r1);
-            write_band_shards(dir, &mut files, &band, parity, i, n, q)?;
-        }
+        let outs = run_bands(p, parallel, |i| {
+            adj_band_files(ds, dir, &prior, &inv_row, colp, parity, i, n, p, q)
+        })?;
+        collect_band_files(dir, outs, &mut files, &mut summary)?;
     }
 
     // Features in even-layer input order (`P_c` applied), band by band.
     let inv_pc = inverse_permutation(&pc);
-    for i in 0..p {
-        let (r0, r1) = split_range(n, p, i);
-        let rows: Vec<usize> = inv_pc[r0..r1].iter().map(|&x| x as usize).collect();
-        let name = feat_name(i);
-        let entry = write_matrix(&dir.join(&name), &ds.features.gather_rows(&rows))?;
-        files.insert(name, entry);
-    }
+    let outs = run_bands(p, parallel, |i| feat_band_files(ds, dir, &prior, &inv_pc, i, n, p))?;
+    collect_band_files(dir, outs, &mut files, &mut summary)?;
 
-    // Labels/masks in both output orders.
+    // Labels/masks in both output orders (two small files; serial).
     for (parity, perm) in [(Parity::Even, &pr), (Parity::Odd, &pc)] {
-        let mut labels = vec![0u32; n];
-        let mut mask = vec![false; n];
-        for i in 0..n {
-            labels[perm[i] as usize] = ds.labels[i];
-            mask[perm[i] as usize] = ds.split.train[i];
-        }
         let name = labels_name(parity);
-        let entry = write_labels(&dir.join(&name), &labels, &mask)?;
-        files.insert(name, entry);
+        let out = if let Some(entry) = verified_prior_entry(dir, &prior, &name) {
+            BandFile { name, entry, written: false }
+        } else {
+            let mut labels = vec![0u32; n];
+            let mut mask = vec![false; n];
+            for i in 0..n {
+                labels[perm[i] as usize] = ds.labels[i];
+                mask[perm[i] as usize] = ds.split.train[i];
+            }
+            let entry = write_labels(&temp_path(dir, &name), &labels, &mask)?;
+            BandFile { name, entry, written: true }
+        };
+        collect_band_files(dir, vec![vec![out]], &mut files, &mut summary)?;
     }
 
     let store = ShardStore {
@@ -651,13 +762,236 @@ pub fn preprocess_to_store(
         total_train: ds.split.num_train(),
         perm_mode: Some(mode),
         perm_seed,
+        source_fp,
+        preprocess: summary,
         files,
     };
     store.write_manifest()?;
     Ok(store)
 }
 
-/// Split a row band into `q` column shards and write them.
+/// One file a preprocessing band produced: its manifest entry plus whether
+/// a fresh temp file awaits renaming (vs. an existing verified file that
+/// was reused in place).
+struct BandFile {
+    name: String,
+    entry: (u64, u64),
+    written: bool,
+}
+
+fn temp_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{}.tmp", name))
+}
+
+/// Run `f` over every row band, in parallel (one rayon task per band, each
+/// writing its own temp files — no shared mutable state) or sequentially.
+fn run_bands<F>(p: usize, parallel: bool, f: F) -> LoaderResult<Vec<Vec<BandFile>>>
+where
+    F: Fn(usize) -> LoaderResult<Vec<BandFile>> + Sync,
+{
+    if parallel {
+        let mut slots: Vec<Option<LoaderResult<Vec<BandFile>>>> = (0..p).map(|_| None).collect();
+        slots.as_mut_slice().par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+            slot[0] = Some(f(i));
+        });
+        slots.into_iter().map(|s| s.expect("band slot filled")).collect()
+    } else {
+        (0..p).map(f).collect()
+    }
+}
+
+/// Land every band's files in deterministic (band-major, then shard) order:
+/// fresh temp files are renamed to their final names, reused files are
+/// counted as skipped, and all entries join the manifest map.
+fn collect_band_files(
+    dir: &Path,
+    outs: Vec<Vec<BandFile>>,
+    files: &mut BTreeMap<String, (u64, u64)>,
+    summary: &mut PreprocessSummary,
+) -> LoaderResult<()> {
+    for band in outs {
+        for bf in band {
+            if bf.written {
+                fs::rename(temp_path(dir, &bf.name), dir.join(&bf.name))?;
+                summary.files_written += 1;
+                summary.bytes_written += bf.entry.1;
+            } else {
+                summary.files_skipped += 1;
+                summary.bytes_skipped += bf.entry.1;
+            }
+            files.insert(bf.name, bf.entry);
+        }
+    }
+    Ok(())
+}
+
+/// Permute and shard one adjacency row band. When every one of the band's
+/// `q` shard files verifies against the prior manifest, the permutation
+/// work is skipped entirely; otherwise stale files are rewritten to temp
+/// names.
+#[allow(clippy::too_many_arguments)]
+fn adj_band_files(
+    ds: &LoadedDataset,
+    dir: &Path,
+    prior: &BTreeMap<String, (u64, u64)>,
+    inv_row: &[u32],
+    colp: &[u32],
+    parity: Parity,
+    i: usize,
+    n: usize,
+    p: usize,
+    q: usize,
+) -> LoaderResult<Vec<BandFile>> {
+    let reuse: Vec<Option<(String, (u64, u64))>> = (0..q)
+        .map(|j| {
+            let name = adj_name(parity, i, j);
+            verified_prior_entry(dir, prior, &name).map(|e| (name, e))
+        })
+        .collect();
+    if reuse.iter().all(|r| r.is_some()) {
+        return Ok(reuse
+            .into_iter()
+            .map(|r| {
+                let (name, entry) = r.expect("checked all_some");
+                BandFile { name, entry, written: false }
+            })
+            .collect());
+    }
+    let (r0, r1) = split_range(n, p, i);
+    let band = permuted_row_band(&ds.adjacency, inv_row, colp, r0, r1);
+    let mut out = Vec::with_capacity(q);
+    for (j, r) in reuse.into_iter().enumerate() {
+        if let Some((name, entry)) = r {
+            out.push(BandFile { name, entry, written: false });
+            continue;
+        }
+        let (c0, c1) = split_range(n, q, j);
+        let name = adj_name(parity, i, j);
+        let entry = write_csr(&temp_path(dir, &name), &band.block(0, band.rows(), c0, c1))?;
+        out.push(BandFile { name, entry, written: true });
+    }
+    Ok(out)
+}
+
+/// Gather and write one feature row band (or verify and reuse it).
+fn feat_band_files(
+    ds: &LoadedDataset,
+    dir: &Path,
+    prior: &BTreeMap<String, (u64, u64)>,
+    inv_pc: &[u32],
+    i: usize,
+    n: usize,
+    p: usize,
+) -> LoaderResult<Vec<BandFile>> {
+    let name = feat_name(i);
+    if let Some(entry) = verified_prior_entry(dir, prior, &name) {
+        return Ok(vec![BandFile { name, entry, written: false }]);
+    }
+    let (r0, r1) = split_range(n, p, i);
+    let rows: Vec<usize> = inv_pc[r0..r1].iter().map(|&x| x as usize).collect();
+    let entry = write_matrix(&temp_path(dir, &name), &ds.features.gather_rows(&rows))?;
+    Ok(vec![BandFile { name, entry, written: true }])
+}
+
+/// The prior manifest entry for `name`, but only when the bytes on disk
+/// still hash to it (a tampered or truncated file is rewritten, never
+/// trusted).
+fn verified_prior_entry(
+    dir: &Path,
+    prior: &BTreeMap<String, (u64, u64)>,
+    name: &str,
+) -> Option<(u64, u64)> {
+    let &(ck, len) = prior.get(name)?;
+    match fs::read(dir.join(name)) {
+        Ok(bytes) if bytes.len() as u64 == len && fnv1a(&bytes) == ck => Some((ck, len)),
+        _ => None,
+    }
+}
+
+/// Prior manifest's file map when — and only when — the existing store was
+/// produced by an identical preprocessing run: same grid, permutation
+/// parameters and source-dataset fingerprint. Anything else (raw store,
+/// different seed, different dataset, unreadable manifest) disables reuse.
+#[allow(clippy::too_many_arguments)]
+fn reusable_prior_files(
+    dir: &Path,
+    mode: PermutationMode,
+    perm_seed: u64,
+    p: usize,
+    q: usize,
+    rows: usize,
+    feat_dim: usize,
+    source_fp: u64,
+) -> BTreeMap<String, (u64, u64)> {
+    let Ok(prior) = ShardStore::open(dir) else { return BTreeMap::new() };
+    let matches = prior.perm_mode == Some(mode)
+        && prior.perm_seed == perm_seed
+        && prior.grid_p == p
+        && prior.grid_q == q
+        && prior.rows == rows
+        && prior.cols == rows
+        && prior.feat_dim == feat_dim
+        && prior.parities == 2
+        && source_fp != 0
+        && prior.source_fp == source_fp;
+    if matches {
+        prior.files
+    } else {
+        BTreeMap::new()
+    }
+}
+
+/// Running FNV-1a hasher for the dataset fingerprint.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET_BASIS)
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.0 = bytes.iter().fold(self.0, |h, &b| fnv1a_step(h, b));
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+}
+
+/// Content fingerprint of everything preprocessing consumes: adjacency
+/// structure and values, features, labels, train mask and the shape
+/// constants. Recorded in the manifest so incremental re-preprocessing
+/// never reuses shards of a different graph that happens to share shapes.
+fn dataset_fingerprint(ds: &LoadedDataset) -> u64 {
+    let a = &ds.adjacency;
+    let mut h = Fnv::new();
+    for v in [a.rows(), a.cols(), a.nnz(), ds.features.cols(), ds.num_classes] {
+        h.put_u64(v as u64);
+    }
+    for &ptr in a.row_ptr() {
+        h.put_u64(ptr as u64);
+    }
+    for &c in a.col_idx() {
+        h.put(&c.to_le_bytes());
+    }
+    for &v in a.values() {
+        h.put(&v.to_le_bytes());
+    }
+    for &v in ds.features.as_slice() {
+        h.put(&v.to_le_bytes());
+    }
+    for &l in &ds.labels {
+        h.put(&l.to_le_bytes());
+    }
+    for &m in &ds.split.train {
+        h.put(&[m as u8]);
+    }
+    h.0
+}
+
+/// Split a row band into `q` column shards and write them (the raw
+/// [`ShardStore::create`] path; preprocessed stores go through
+/// [`adj_band_files`]).
 fn write_band_shards(
     dir: &Path,
     files: &mut BTreeMap<String, (u64, u64)>,
@@ -725,29 +1059,31 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// BufWriter wrapper that FNV-hashes every byte as it passes through.
-struct HashingWriter {
+/// Shared with the activation spill path (`crate::activation`), which
+/// writes the same header + checksum format.
+pub(crate) struct HashingWriter {
     inner: BufWriter<File>,
     hash: u64,
     written: u64,
 }
 
 impl HashingWriter {
-    fn create(path: &Path) -> io::Result<Self> {
+    pub(crate) fn create(path: &Path) -> io::Result<Self> {
         Ok(Self { inner: BufWriter::new(File::create(path)?), hash: FNV_OFFSET_BASIS, written: 0 })
     }
 
-    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+    pub(crate) fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.hash = bytes.iter().fold(self.hash, |h, &b| fnv1a_step(h, b));
         self.written += bytes.len() as u64;
         self.inner.write_all(bytes)
     }
 
-    fn header(&mut self) -> io::Result<()> {
+    pub(crate) fn header(&mut self) -> io::Result<()> {
         self.put(&MAGIC.to_le_bytes())?;
         self.put(&FORMAT_VERSION.to_le_bytes())
     }
 
-    fn finish(mut self) -> io::Result<(u64, u64)> {
+    pub(crate) fn finish(mut self) -> io::Result<(u64, u64)> {
         self.inner.flush()?;
         Ok((self.hash, self.written))
     }
@@ -796,15 +1132,16 @@ fn write_labels(path: &Path, labels: &[u32], mask: &[bool]) -> LoaderResult<(u64
     Ok(w.finish()?)
 }
 
-/// Bounds-checked little-endian reader over an in-memory payload.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    path: &'a Path,
+/// Bounds-checked little-endian reader over an in-memory payload. Shared
+/// with the activation spill reload path (`crate::activation`).
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) path: &'a Path,
 }
 
 impl Cursor<'_> {
-    fn take(&mut self, n: usize) -> LoaderResult<&[u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> LoaderResult<&[u8]> {
         if self.pos + n > self.bytes.len() {
             return Err(LoaderError::Truncated { file: self.path.to_path_buf() });
         }
@@ -813,7 +1150,7 @@ impl Cursor<'_> {
         Ok(s)
     }
 
-    fn u64(&mut self) -> LoaderResult<u64> {
+    pub(crate) fn u64(&mut self) -> LoaderResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
     }
 
@@ -821,7 +1158,7 @@ impl Cursor<'_> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
     }
 
-    fn f32(&mut self) -> LoaderResult<f32> {
+    pub(crate) fn f32(&mut self) -> LoaderResult<f32> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
     }
 
@@ -1069,6 +1406,80 @@ mod tests {
             assert_eq!(labels[pr[i] as usize], ds.labels[i]);
             assert_eq!(mask[pr[i] as usize], ds.split.train[i]);
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_preprocess_is_bitwise_identical_to_serial() {
+        use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+        let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(6), 23);
+        let dir_par = temp_dir("par");
+        let dir_ser = temp_dir("ser");
+        let par = preprocess_to_store(&ds, &dir_par, PermutationMode::Double, 9, 4, 3).unwrap();
+        let ser =
+            preprocess_to_store_serial(&ds, &dir_ser, PermutationMode::Double, 9, 4, 3).unwrap();
+        assert_eq!(par.files, ser.files, "manifest entries differ");
+        for name in par.files.keys() {
+            let a = fs::read(dir_par.join(name)).unwrap();
+            let b = fs::read(dir_ser.join(name)).unwrap();
+            assert_eq!(a, b, "{} differs between parallel and serial writers", name);
+        }
+        // Manifests byte-identical too (same fields, same sorted order).
+        assert_eq!(
+            fs::read_to_string(dir_par.join("manifest.txt")).unwrap(),
+            fs::read_to_string(dir_ser.join("manifest.txt")).unwrap()
+        );
+        // No stray temp files survive.
+        for dir in [&dir_par, &dir_ser] {
+            for e in fs::read_dir(dir).unwrap() {
+                let name = e.unwrap().file_name();
+                assert!(!name.to_string_lossy().ends_with(".tmp"), "leftover temp file {:?}", name);
+            }
+        }
+        fs::remove_dir_all(&dir_par).unwrap();
+        fs::remove_dir_all(&dir_ser).unwrap();
+    }
+
+    #[test]
+    fn incremental_preprocess_skips_matching_files() {
+        use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+        let ds = LoadedDataset::generate(OGBN_PRODUCTS, 80, Some(5), 29);
+        let dir = temp_dir("incr");
+        let total_files = 2 * 3 * 3 + 3 + 2; // two adjacency parities + features + labels
+        let first = preprocess_to_store(&ds, &dir, PermutationMode::Double, 7, 3, 3).unwrap();
+        assert_eq!(first.preprocess.files_written, total_files);
+        assert_eq!(first.preprocess.files_skipped, 0);
+
+        // Same parameters, same dataset: everything verifies and skips.
+        let second = preprocess_to_store(&ds, &dir, PermutationMode::Double, 7, 3, 3).unwrap();
+        assert_eq!(second.preprocess.files_written, 0, "rewrote up-to-date files");
+        assert_eq!(second.preprocess.files_skipped, total_files);
+        assert_eq!(second.files, first.files, "reuse changed the manifest");
+
+        // Tamper with one shard: exactly that file is rewritten.
+        let victim = adj_name(Parity::Odd, 1, 2);
+        let mut bytes = fs::read(dir.join(&victim)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(dir.join(&victim), &bytes).unwrap();
+        let third = preprocess_to_store(&ds, &dir, PermutationMode::Double, 7, 3, 3).unwrap();
+        assert_eq!(third.preprocess.files_written, 1, "only the tampered file needs rewriting");
+        assert_eq!(third.preprocess.files_skipped, total_files - 1);
+        assert_eq!(third.files, first.files);
+        let n = ds.num_nodes();
+        let (a, _) = third.load_adjacency_window_parity(Parity::Odd, 0, n, 0, n).unwrap();
+        assert_eq!(a.nnz(), ds.adjacency.nnz(), "rewritten shard corrupt");
+
+        // A different permutation seed invalidates everything.
+        let reseeded = preprocess_to_store(&ds, &dir, PermutationMode::Double, 8, 3, 3).unwrap();
+        assert_eq!(reseeded.preprocess.files_skipped, 0, "stale-seed files were reused");
+        assert_eq!(reseeded.preprocess.files_written, total_files);
+
+        // A different dataset with identical shapes invalidates everything
+        // (the source fingerprint, not just the parameters, gates reuse).
+        let ds2 = LoadedDataset::generate(OGBN_PRODUCTS, 80, Some(5), 31);
+        let refp = preprocess_to_store(&ds2, &dir, PermutationMode::Double, 8, 3, 3).unwrap();
+        assert_eq!(refp.preprocess.files_skipped, 0, "different dataset was reused");
         fs::remove_dir_all(&dir).unwrap();
     }
 

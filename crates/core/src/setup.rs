@@ -134,6 +134,22 @@ impl ProblemMeta {
             .collect()
     }
 
+    /// Per-layer `(rows, contract, feat)` axis sizes — the full role
+    /// assignment behind the per-rank *activation* estimate
+    /// ([`plexus_simnet::estimate_rank_activation_bytes`]).
+    pub fn layer_axis_splits(&self) -> Vec<(usize, usize, usize)> {
+        (0..self.num_layers)
+            .map(|l| {
+                let roles = roles_for_layer(l);
+                (
+                    self.grid.dim(roles.rows),
+                    self.grid.dim(roles.contract),
+                    self.grid.dim(roles.feat),
+                )
+            })
+            .collect()
+    }
+
     /// The model's full padded weight matrices, identical to the serial
     /// model's weights (seed `model_seed`) up to zero padding.
     pub fn full_padded_weights(&self, model_seed: u64) -> Vec<Matrix> {

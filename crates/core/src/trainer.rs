@@ -3,9 +3,10 @@
 //! the thread world, [`simulate_epochs`] runs the same per-rank program on
 //! the cost-only [`SimComm`] backend at grid sizes no machine can run.
 
+use crate::activation::{ActivationStore, Fetched, ResidencyPolicy};
 use crate::dist::DistContext;
 use crate::grid::{roles_for_layer, GridConfig};
-use crate::layer::{Aggregation, CommOverlap, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
+use crate::layer::{Aggregation, CommOverlap, DistLayer, GemmTuning, TimeSplit};
 use crate::loader::{LoaderResult, MemoryLedger, ShardStore};
 use crate::loss::dist_masked_cross_entropy;
 use crate::setup::{GlobalProblem, PermutationMode, ProblemMeta, RankData};
@@ -32,6 +33,10 @@ pub struct DistTrainOptions {
     /// §5.2 comm/compute overlap via nonblocking collectives. Bitwise
     /// identical to `Blocking`; only the waiting moves.
     pub overlap: CommOverlap,
+    /// How inter-layer activation caches are kept between forward and
+    /// backward (resident / spilled under a byte budget / recomputed).
+    /// All three settings are bitwise identical; only residency moves.
+    pub residency: ResidencyPolicy,
 }
 
 impl Default for DistTrainOptions {
@@ -46,6 +51,7 @@ impl Default for DistTrainOptions {
             aggregation: Aggregation::Unblocked,
             tuning: GemmTuning::Reordered,
             overlap: CommOverlap::Overlapped,
+            residency: ResidencyPolicy::Resident,
         }
     }
 }
@@ -63,6 +69,12 @@ pub struct DistEpochStats {
 pub struct RankTrainer<C: Communicator = ThreadComm> {
     ctx: DistContext<C>,
     layers: Vec<DistLayer>,
+    /// Owns all inter-layer state between forward and backward, under the
+    /// configured residency policy.
+    acts: ActivationStore,
+    /// Per-rank memory accounting: ingest I/O and residency from the load
+    /// path plus activation counters synced after every epoch.
+    ledger: MemoryLedger,
     w_stored: Vec<Matrix>,
     w_opts: Vec<Adam>,
     f_stored: Matrix,
@@ -83,17 +95,19 @@ impl<C: Communicator> RankTrainer<C> {
 
     /// Assemble this rank's trainer straight from a preprocessed
     /// [`ShardStore`], loading only the shard files this rank's windows
-    /// intersect (the out-of-core ingest path). Returns the per-rank
-    /// [`MemoryLedger`] alongside.
+    /// intersect (the out-of-core ingest path). The load's I/O accounting
+    /// seeds the trainer's [`MemoryLedger`] (see [`Self::ledger`]).
     pub fn from_store(
         store: &ShardStore,
         meta: &ProblemMeta,
         ctx: DistContext<C>,
         opts: &DistTrainOptions,
-    ) -> LoaderResult<(Self, MemoryLedger)> {
+    ) -> LoaderResult<Self> {
         let (rd, ledger) =
             RankData::load_from_store(store, meta, ctx.world.rank(), opts.model_seed)?;
-        Ok((Self::from_parts(meta, ctx, rd, opts), ledger))
+        let mut rt = Self::from_parts(meta, ctx, rd, opts);
+        rt.ledger = ledger;
+        Ok(rt)
     }
 
     pub fn from_parts(
@@ -124,6 +138,8 @@ impl<C: Communicator> RankTrainer<C> {
         Self {
             ctx,
             layers,
+            acts: ActivationStore::new(opts.residency),
+            ledger: MemoryLedger::default(),
             w_stored,
             w_opts,
             f_stored,
@@ -139,12 +155,19 @@ impl<C: Communicator> RankTrainer<C> {
     /// One full-graph epoch: forward, loss, backward, Adam on the weight
     /// shards and the feature shard.
     ///
+    /// All inter-layer state flows through the [`ActivationStore`]: each
+    /// layer's forward cache (and, under `Recompute`, its consumed input)
+    /// is handed over after the layer runs, and backward fetches it back —
+    /// resident, reloaded from a checksummed spill file, or re-derived via
+    /// [`DistLayer::rebuild_cache`]. Every policy is bitwise identical.
+    ///
     /// Consumed activations and gradients are recycled into the layers'
     /// kernel workspaces, so after the first (warmup) epoch the whole
     /// loop performs no per-call heap allocations for kernel outputs
     /// (see [`Self::kernel_alloc_events`]).
     pub fn train_epoch(&mut self) -> DistEpochStats {
         let mut timing = TimeSplit::default();
+        let rank = self.ctx.world.rank();
 
         // Layer-0 input: all-gather the Z-sharded trainable features
         // (Algorithm 1 line 3).
@@ -153,18 +176,17 @@ impl<C: Communicator> RankTrainer<C> {
         let mut x = self.ctx.all_gather_rows(&self.f_stored, roles0.rows);
         timing.comm_s += t1.elapsed().as_secs_f64();
 
-        // Forward through all layers.
-        let mut caches: Vec<DistLayerCache> = Vec::with_capacity(self.num_layers);
+        // Forward through all layers; the activation store takes custody
+        // of each cache and the consumed input under the residency policy.
         for l in 0..self.num_layers {
             let activated = l + 1 < self.num_layers;
             let (out, cache, t) =
                 self.layers[l].forward(&self.ctx, &x, &self.w_stored[l], activated);
             timing.add(t);
-            caches.push(cache);
-            // The consumed input buffer feeds the pool of the layer that
-            // just read it.
-            let prev = std::mem::replace(&mut x, out);
-            self.layers[l].recycle(prev);
+            let input = std::mem::replace(&mut x, out);
+            self.acts
+                .insert(l, cache, input, self.layers[l].workspace_mut())
+                .unwrap_or_else(|e| panic!("rank {}: activation spill failed: {}", rank, e));
         }
 
         // Distributed loss.
@@ -182,16 +204,34 @@ impl<C: Communicator> RankTrainer<C> {
         timing.comm_s += t1.elapsed().as_secs_f64();
         self.layers[self.num_layers - 1].recycle(x);
 
-        // Backward through all layers (caches consumed in reverse).
+        // Backward through all layers (states fetched back in reverse).
         let mut carried = loss_out.dlogits_local;
         let mut df_stored: Option<Matrix> = None;
         for l in (0..self.num_layers).rev() {
             let df_scatter = l == 0;
             let dout = std::mem::replace(&mut carried, Matrix::zeros(0, 0));
-            let cache = caches.pop().expect("one cache per layer");
+            let fetched = self
+                .acts
+                .fetch(l)
+                .unwrap_or_else(|e| panic!("rank {}: activation reload failed: {}", rank, e));
+            let cache = match fetched {
+                Fetched::Cache(cache) => cache,
+                Fetched::Rebuild { input, activated } => {
+                    let (cache, t) = self.layers[l].rebuild_cache(
+                        &self.ctx,
+                        &input,
+                        &self.w_stored[l],
+                        activated,
+                    );
+                    timing.add(t);
+                    self.layers[l].recycle(input);
+                    cache
+                }
+            };
             let (grads, t) = self.layers[l].backward(&self.ctx, cache, dout, df_scatter);
             timing.add(t);
             self.w_opts[l].step(&mut self.w_stored[l], &grads.dw_stored);
+            self.layers[l].bump_weights_version();
             self.layers[l].recycle(grads.dw_stored);
             if l == 0 {
                 df_stored = Some(grads.df);
@@ -203,13 +243,28 @@ impl<C: Communicator> RankTrainer<C> {
         self.f_opt.step(&mut self.f_stored, &df_stored);
         self.layers[0].recycle(df_stored);
 
+        self.acts.assert_drained();
+        self.ledger.sync_activation_stats(&self.acts.stats());
+
         DistEpochStats { loss: loss_out.loss, train_accuracy: loss_out.train_accuracy, timing }
     }
 
-    /// Total allocator interactions across the layers' kernel workspaces.
-    /// Stable across epochs once the first epoch has sized the pools.
+    /// Total allocator interactions across the layers' kernel workspaces
+    /// and the activation store's reload pool. Stable across epochs once
+    /// the first epoch has sized the pools.
     pub fn kernel_alloc_events(&self) -> u64 {
-        self.layers.iter().map(|l| l.workspace_alloc_events()).sum()
+        self.layers.iter().map(|l| l.workspace_alloc_events()).sum::<u64>()
+            + self.acts.alloc_events()
+    }
+
+    /// This rank's memory ledger: ingest I/O + residency counters, with
+    /// activation stats synced after every epoch.
+    pub fn ledger(&self) -> &MemoryLedger {
+        &self.ledger
+    }
+
+    pub fn ledger_mut(&mut self) -> &mut MemoryLedger {
+        &mut self.ledger
     }
 
     pub fn ctx(&self) -> &DistContext<C> {
@@ -237,6 +292,11 @@ impl DistRunResult {
     /// Worst per-rank peak resident adjacency bytes during ingest.
     pub fn peak_adjacency_bytes(&self) -> u64 {
         self.memory.iter().map(|m| m.peak_adjacency_bytes).max().unwrap_or(0)
+    }
+
+    /// Worst per-rank peak store-held activation bytes across the run.
+    pub fn peak_activation_bytes(&self) -> u64 {
+        self.memory.iter().map(|m| m.peak_activation_bytes).max().unwrap_or(0)
     }
 }
 
@@ -286,16 +346,16 @@ pub fn train_from_source(
                 let world = comm.split(0, comm.rank() as u64, "world");
                 let ctx = DistContext::new(world, grid);
                 let rd = RankData::extract(&gp, ctx.world.rank());
-                let mut ledger = MemoryLedger::default();
+                let rank_adj: u64 =
+                    rd.a_shards.iter().chain(&rd.a_shards_t).map(|a| a.mem_bytes()).sum();
+                let rank_feat = rd.f_stored.mem_bytes();
+                let mut rt = RankTrainer::from_parts(&gp.meta, ctx, rd, opts);
                 // The Arc'd global problem stays resident on every rank for
                 // the whole run — the 2·nnz footprint §5.4 attacks.
-                ledger.note_adjacency_resident(global_adj);
-                ledger.note_adjacency_resident(
-                    rd.a_shards.iter().chain(&rd.a_shards_t).map(|a| a.mem_bytes()).sum(),
-                );
-                ledger.note_feature_resident(global_feat + rd.f_stored.mem_bytes());
-                let mut rt = RankTrainer::from_parts(&gp.meta, ctx, rd, opts);
-                ((0..epochs).map(|_| rt.train_epoch()).collect::<Vec<_>>(), ledger)
+                rt.ledger_mut().note_adjacency_resident(global_adj + rank_adj);
+                rt.ledger_mut().note_feature_resident(global_feat + rank_feat);
+                let stats: Vec<DistEpochStats> = (0..epochs).map(|_| rt.train_epoch()).collect();
+                (stats, rt.ledger().clone())
             })
         }
         ProblemSource::Sharded(store) => {
@@ -311,9 +371,10 @@ pub fn train_from_source(
             run_world_with(grid.total(), |comm| {
                 let world = comm.split(0, comm.rank() as u64, "world");
                 let ctx = DistContext::new(world, grid);
-                let (mut rt, ledger) = RankTrainer::from_store(store, &meta, ctx, opts)
+                let mut rt = RankTrainer::from_store(store, &meta, ctx, opts)
                     .unwrap_or_else(|e| panic!("rank {}: shard load failed: {}", comm.rank(), e));
-                ((0..epochs).map(|_| rt.train_epoch()).collect::<Vec<_>>(), ledger)
+                let stats: Vec<DistEpochStats> = (0..epochs).map(|_| rt.train_epoch()).collect();
+                (stats, rt.ledger().clone())
             })
         }
     };
@@ -555,6 +616,79 @@ mod tests {
     }
 
     #[test]
+    fn residency_policies_are_bitwise_identical() {
+        // The activation-residency contract: Resident, Spill and
+        // Recompute produce the same losses bit for bit — across
+        // aggregation and overlap modes — while the ledger proves the
+        // policies actually moved or dropped state.
+        use crate::activation::ResidencyPolicy;
+        let ds = tiny_ds(96, 53);
+        for (aggregation, overlap) in [
+            (Aggregation::Unblocked, CommOverlap::Blocking),
+            (Aggregation::Unblocked, CommOverlap::Overlapped),
+            (Aggregation::Blocked(3), CommOverlap::Overlapped),
+        ] {
+            let base = DistTrainOptions {
+                hidden_dim: 8,
+                model_seed: 5,
+                permutation: PermutationMode::Double,
+                aggregation,
+                overlap,
+                ..Default::default()
+            };
+            let grid = GridConfig::new(2, 1, 2);
+            let resident = train_distributed(&ds, grid, &base, 3);
+            let baseline_peak = resident.peak_activation_bytes();
+            assert!(baseline_peak > 0, "resident runs must account activation bytes");
+
+            let budget = baseline_peak / 2;
+            let spill_opts = DistTrainOptions {
+                residency: ResidencyPolicy::Spill { budget_bytes: budget },
+                ..base.clone()
+            };
+            let spill = train_distributed(&ds, grid, &spill_opts, 3);
+            assert_eq!(
+                resident.losses(),
+                spill.losses(),
+                "spill diverged under {:?}/{:?}",
+                aggregation,
+                overlap
+            );
+            for (rank, m) in spill.memory.iter().enumerate() {
+                assert!(m.activation_spill_events > 0, "rank {} never spilled", rank);
+                assert_eq!(m.activation_spilled_bytes, m.activation_reloaded_bytes);
+                assert!(
+                    m.peak_activation_bytes <= budget,
+                    "rank {} peak {} above budget {}",
+                    rank,
+                    m.peak_activation_bytes,
+                    budget
+                );
+            }
+
+            let recompute_opts =
+                DistTrainOptions { residency: ResidencyPolicy::Recompute, ..base.clone() };
+            let recompute = train_distributed(&ds, grid, &recompute_opts, 3);
+            assert_eq!(
+                resident.losses(),
+                recompute.losses(),
+                "recompute diverged under {:?}/{:?}",
+                aggregation,
+                overlap
+            );
+            for (rank, m) in recompute.memory.iter().enumerate() {
+                assert!(m.activation_recompute_events > 0, "rank {} never recomputed", rank);
+            }
+            assert!(
+                recompute.peak_activation_bytes() < baseline_peak,
+                "recompute peak {} not below resident baseline {}",
+                recompute.peak_activation_bytes(),
+                baseline_peak
+            );
+        }
+    }
+
+    #[test]
     fn simulated_512_rank_grid_runs_fast() {
         // The cost-only backend's headline: an 8x8x8 grid (512 simulated
         // GPUs) runs the full per-rank epoch program in one thread. The
@@ -664,14 +798,22 @@ mod tests {
     fn kernel_allocations_stop_after_warmup() {
         // The workspace acceptance bar: after the warmup epochs have sized
         // every pool, forward+backward must perform zero heap allocations
-        // for kernel outputs — across both aggregation modes and both
-        // overlap modes.
+        // for kernel outputs — across aggregation, overlap AND residency
+        // modes (spill reloads draw from the store's pool; recompute
+        // rebuilds draw from the layers' pools).
+        use crate::activation::ResidencyPolicy;
         use plexus_comm::run_world;
         let ds = tiny_ds(96, 47);
-        for (aggregation, overlap) in [
-            (Aggregation::Unblocked, CommOverlap::Blocking),
-            (Aggregation::Unblocked, CommOverlap::Overlapped),
-            (Aggregation::Blocked(3), CommOverlap::Overlapped),
+        for (aggregation, overlap, residency) in [
+            (Aggregation::Unblocked, CommOverlap::Blocking, ResidencyPolicy::Resident),
+            (Aggregation::Unblocked, CommOverlap::Overlapped, ResidencyPolicy::Resident),
+            (Aggregation::Blocked(3), CommOverlap::Overlapped, ResidencyPolicy::Resident),
+            (
+                Aggregation::Unblocked,
+                CommOverlap::Overlapped,
+                ResidencyPolicy::Spill { budget_bytes: 0 },
+            ),
+            (Aggregation::Blocked(3), CommOverlap::Overlapped, ResidencyPolicy::Recompute),
         ] {
             let opts = DistTrainOptions {
                 hidden_dim: 8,
@@ -679,6 +821,7 @@ mod tests {
                 permutation: PermutationMode::Double,
                 aggregation,
                 overlap,
+                residency,
                 ..Default::default()
             };
             let grid = GridConfig::new(2, 1, 2);
@@ -707,8 +850,8 @@ mod tests {
             for (rank, (warmed, after)) in results.iter().enumerate() {
                 assert_eq!(
                     warmed, after,
-                    "rank {} allocated after warmup under {:?}/{:?}",
-                    rank, aggregation, overlap
+                    "rank {} allocated after warmup under {:?}/{:?}/{:?}",
+                    rank, aggregation, overlap, residency
                 );
             }
         }

@@ -2,7 +2,9 @@
 //! GCN layers and a hidden dimension of 128" (paper §6.2). The layer count
 //! and dimensions are configurable; the last layer emits raw logits.
 
-use crate::layer::{gcn_layer_backward_ws, gcn_layer_forward_ws, LayerCache};
+use crate::layer::{
+    gcn_layer_backward_ws, gcn_layer_forward_ws, gcn_layer_recompute_cache_ws, LayerCache,
+};
 use plexus_sparse::Csr;
 use plexus_tensor::{glorot_uniform, KernelWorkspace, Matrix};
 
@@ -130,6 +132,82 @@ impl ForwardCaches {
             ws.recycle(cache.q);
         }
         ws.recycle(self.logits);
+    }
+}
+
+/// The recompute-residency counterpart of [`ForwardCaches`]: only each
+/// layer's *input* is retained (`inputs[l]` feeds layer `l`); the `H`/`Q`
+/// intermediates were recycled during forward and are re-derived per layer
+/// in [`Gcn::backward_recompute_ws`]. Peak residency drops from
+/// `L x (|H| + |Q|)` to `L x |F|` — for equal-width layers roughly half.
+pub struct InputCaches {
+    pub inputs: Vec<Matrix>,
+    pub logits: Matrix,
+}
+
+impl InputCaches {
+    /// Return every retained buffer to a workspace pool once backward is
+    /// done with them.
+    pub fn recycle_into(self, ws: &mut KernelWorkspace) {
+        for input in self.inputs {
+            ws.recycle(input);
+        }
+        ws.recycle(self.logits);
+    }
+}
+
+impl Gcn {
+    /// [`Gcn::forward_ws`] under recompute residency: identical kernel
+    /// calls (so identical logits bit for bit), but each layer's `H`/`Q`
+    /// go straight back to the pool and the layer *inputs* are retained
+    /// instead for [`Gcn::backward_recompute_ws`] to re-derive from.
+    pub fn forward_recompute_ws(
+        &self,
+        ws: &mut KernelWorkspace,
+        a: &Csr,
+        features: &Matrix,
+    ) -> InputCaches {
+        let num_layers = self.weights.len();
+        let mut inputs = Vec::with_capacity(num_layers);
+        let mut x = ws.take_scratch(features.rows(), features.cols());
+        x.as_mut_slice().copy_from_slice(features.as_slice());
+        for (l, w) in self.weights.iter().enumerate() {
+            let activated = l + 1 < num_layers;
+            let (out, cache) = gcn_layer_forward_ws(ws, a, &x, w, activated);
+            ws.recycle(cache.h);
+            ws.recycle(cache.q);
+            inputs.push(std::mem::replace(&mut x, out));
+        }
+        InputCaches { inputs, logits: x }
+    }
+
+    /// [`Gcn::backward_ws`] driven from retained inputs: each layer's
+    /// `H = SpMM(A, F)` and `Q = SGEMM(H, W)` are recomputed through the
+    /// same kernels the forward pass ran — same shapes, same accumulation
+    /// order, bitwise-identical values — then the standard backward math
+    /// consumes them and the rebuilt buffers return to the pool.
+    pub fn backward_recompute_ws(
+        &self,
+        ws: &mut KernelWorkspace,
+        a: &Csr,
+        a_t: &Csr,
+        caches: &InputCaches,
+        dlogits: Matrix,
+    ) -> Gradients {
+        let num_layers = self.weights.len();
+        let mut dweights = vec![Matrix::zeros(1, 1); num_layers];
+        let mut dout = dlogits;
+        for l in (0..num_layers).rev() {
+            let activated = l + 1 < num_layers;
+            let cache =
+                gcn_layer_recompute_cache_ws(ws, a, &caches.inputs[l], &self.weights[l], activated);
+            let grads = gcn_layer_backward_ws(ws, a_t, &self.weights[l], &cache, dout);
+            ws.recycle(cache.h);
+            ws.recycle(cache.q);
+            dweights[l] = grads.dw;
+            dout = grads.df;
+        }
+        Gradients { dweights, dfeatures: dout }
     }
 }
 

@@ -13,6 +13,20 @@ use plexus_sparse::Csr;
 use plexus_tensor::{KernelWorkspace, Matrix};
 use std::time::Instant;
 
+/// How the serial trainer keeps per-layer forward intermediates between
+/// forward and backward. Both settings produce bitwise-identical losses;
+/// `Recompute` trades one extra forward's compute for roughly halving
+/// activation residency (the serial counterpart of the distributed
+/// engine's `ResidencyPolicy::Recompute`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SerialResidency {
+    /// Cache every layer's `H`/`Q` until backward consumes them.
+    #[default]
+    Cached,
+    /// Retain only layer inputs; re-derive `H`/`Q` during backward.
+    Recompute,
+}
+
 /// Trainer hyperparameters.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -20,11 +34,18 @@ pub struct TrainConfig {
     pub hidden_dim: usize,
     pub num_layers: usize,
     pub seed: u64,
+    pub residency: SerialResidency,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { adam: AdamConfig::default(), hidden_dim: 128, num_layers: 3, seed: 0 }
+        Self {
+            adam: AdamConfig::default(),
+            hidden_dim: 128,
+            num_layers: 3,
+            seed: 0,
+            residency: SerialResidency::default(),
+        }
     }
 }
 
@@ -47,6 +68,7 @@ pub struct SerialTrainer {
     train_mask: Vec<bool>,
     weight_opts: Vec<Adam>,
     feature_opt: Adam,
+    residency: SerialResidency,
     /// Reusable kernel buffers for the epoch loop; sized by the first
     /// epoch, allocation-free after.
     ws: KernelWorkspace,
@@ -63,14 +85,16 @@ impl SerialTrainer {
             num_layers: cfg.num_layers,
             seed: cfg.seed,
         });
-        Self::from_parts(
+        let mut t = Self::from_parts(
             model,
             ds.features.clone(),
             ds.adjacency.clone(),
             ds.labels.clone(),
             ds.split.train.clone(),
             cfg.adam,
-        )
+        );
+        t.residency = cfg.residency;
+        t
     }
 
     /// Assemble from explicit parts (used by equivalence tests that need
@@ -98,19 +122,43 @@ impl SerialTrainer {
             train_mask,
             weight_opts,
             feature_opt,
+            residency: SerialResidency::Cached,
             ws: KernelWorkspace::new(),
         }
     }
 
     /// One full-graph training epoch. Returns loss/accuracy *before* the
     /// parameter update (the loss of the forward pass just computed).
+    /// Under [`SerialResidency::Recompute`] the epoch runs the
+    /// retain-inputs/re-derive variant — bitwise identical.
     pub fn train_epoch(&mut self) -> EpochStats {
         let start = Instant::now();
-        let fwd = self.model.forward_ws(&mut self.ws, &self.adjacency, &self.features);
-        let loss_out = masked_cross_entropy(&fwd.logits, &self.labels, &self.train_mask);
-        let train_accuracy = accuracy(&fwd.logits, &self.labels, &self.train_mask);
-        let grads = self.model.backward_ws(&mut self.ws, &self.adjacency_t, &fwd, loss_out.dlogits);
-        fwd.recycle_into(&mut self.ws);
+        let (loss, train_accuracy, grads) = match self.residency {
+            SerialResidency::Cached => {
+                let fwd = self.model.forward_ws(&mut self.ws, &self.adjacency, &self.features);
+                let loss_out = masked_cross_entropy(&fwd.logits, &self.labels, &self.train_mask);
+                let acc = accuracy(&fwd.logits, &self.labels, &self.train_mask);
+                let grads =
+                    self.model.backward_ws(&mut self.ws, &self.adjacency_t, &fwd, loss_out.dlogits);
+                fwd.recycle_into(&mut self.ws);
+                (loss_out.loss, acc, grads)
+            }
+            SerialResidency::Recompute => {
+                let fwd =
+                    self.model.forward_recompute_ws(&mut self.ws, &self.adjacency, &self.features);
+                let loss_out = masked_cross_entropy(&fwd.logits, &self.labels, &self.train_mask);
+                let acc = accuracy(&fwd.logits, &self.labels, &self.train_mask);
+                let grads = self.model.backward_recompute_ws(
+                    &mut self.ws,
+                    &self.adjacency,
+                    &self.adjacency_t,
+                    &fwd,
+                    loss_out.dlogits,
+                );
+                fwd.recycle_into(&mut self.ws);
+                (loss_out.loss, acc, grads)
+            }
+        };
         for ((w, opt), dw) in
             self.model.weights.iter_mut().zip(&mut self.weight_opts).zip(&grads.dweights)
         {
@@ -118,7 +166,7 @@ impl SerialTrainer {
         }
         self.feature_opt.step(&mut self.features, &grads.dfeatures);
         grads.recycle_into(&mut self.ws);
-        EpochStats { loss: loss_out.loss, train_accuracy, seconds: start.elapsed().as_secs_f64() }
+        EpochStats { loss, train_accuracy, seconds: start.elapsed().as_secs_f64() }
     }
 
     /// Train for `epochs`, returning per-epoch stats.
@@ -185,6 +233,20 @@ mod tests {
         let stats = trainer.train(40);
         let final_acc = stats.last().unwrap().train_accuracy;
         assert!(final_acc > 0.4, "final train accuracy only {:.3}", final_acc);
+    }
+
+    #[test]
+    fn recompute_residency_is_bitwise_identical() {
+        // The serial counterpart of the distributed residency contract:
+        // dropping H/Q and re-deriving them in backward replays the exact
+        // kernels, so the loss trajectory matches bit for bit.
+        let ds = tiny_dataset();
+        let losses = |residency: SerialResidency| {
+            let cfg = TrainConfig { hidden_dim: 16, residency, ..Default::default() };
+            let mut t = SerialTrainer::new(&ds, &cfg);
+            t.train(5).iter().map(|s| s.loss).collect::<Vec<_>>()
+        };
+        assert_eq!(losses(SerialResidency::Cached), losses(SerialResidency::Recompute));
     }
 
     #[test]

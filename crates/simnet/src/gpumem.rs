@@ -162,6 +162,34 @@ pub fn estimate_rank_adjacency_bytes(
         .sum()
 }
 
+/// Analytic per-rank resident *activation* estimate for the residency
+/// engine's `Resident` baseline: layer `l` holds three dense f32 segments —
+/// the post-all-reduce aggregation `H` (`(n_pad/rdim) x (dims_pad[l]/kdim)`),
+/// the pre-activation `Q` (`(n_pad/rdim) x (dims_pad[l+1]/cdim)`) and the
+/// gathered weights `W_full` (`(dims_pad[l]/kdim) x (dims_pad[l+1]/cdim)`).
+/// `dims_pad` are the `L+1` padded per-boundary feature dims and
+/// `layer_axes[l] = (rdim, cdim, kdim)` the layer's (rows, contract, feat)
+/// axis sizes — `ProblemMeta::layer_axis_splits()` in the engine. Dense
+/// activation shapes are exact functions of these, so the `Resident`
+/// ledger's peak equals this estimate to the byte (asserted end to end).
+pub fn estimate_rank_activation_bytes(
+    n_pad: usize,
+    dims_pad: &[usize],
+    layer_axes: &[(usize, usize, usize)],
+) -> u64 {
+    assert_eq!(dims_pad.len(), layer_axes.len() + 1, "need L+1 boundary dims for L layers");
+    layer_axes
+        .iter()
+        .enumerate()
+        .map(|(l, &(rdim, cdim, kdim))| {
+            let h = (n_pad / rdim) as u64 * (dims_pad[l] / kdim) as u64;
+            let q = (n_pad / rdim) as u64 * (dims_pad[l + 1] / cdim) as u64;
+            let w = (dims_pad[l] / kdim) as u64 * (dims_pad[l + 1] / cdim) as u64;
+            4 * (h + q + w)
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +259,24 @@ mod tests {
         assert!(fine < coarse, "finer splits must shrink the estimate");
         let full = estimate_rank_adjacency_bytes(nnz, np, &[(1, 1)]);
         assert_eq!(full, 2 * (nnz as u64 * 8) + 2 * ((np as u64 + 1) * 8));
+    }
+
+    #[test]
+    fn activation_estimate_scales_with_grid_and_width() {
+        // Doubling every axis split quarters each dense segment; a (1,1,1)
+        // split degenerates to the serial footprint H + Q + W per layer.
+        let (np, d) = (1 << 12, 128);
+        let dims = [d, d, d, d];
+        let coarse = estimate_rank_activation_bytes(np, &dims, &[(2, 2, 2); 3]);
+        let fine = estimate_rank_activation_bytes(np, &dims, &[(4, 4, 4); 3]);
+        assert!(fine < coarse, "finer splits must shrink the estimate");
+        let serial = estimate_rank_activation_bytes(np, &dims[..2], &[(1, 1, 1)]);
+        assert_eq!(serial, 4 * ((np * d) as u64 + (np * d) as u64 + (d * d) as u64));
+        // Asymmetric boundary dims: the input/output widths land on the
+        // right axes (feat splits H's cols, contract splits Q's cols).
+        let asym = estimate_rank_activation_bytes(8, &[4, 2], &[(2, 1, 4)]);
+        // h = (8/2)*(4/4) = 4, q = (8/2)*(2/1) = 8, w = (4/4)*(2/1) = 2.
+        assert_eq!(asym, 4 * (4 + 8 + 2));
     }
 
     #[test]

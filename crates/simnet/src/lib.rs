@@ -26,7 +26,10 @@ pub mod regression;
 pub mod ring;
 pub mod simcomm;
 
-pub use gpumem::{estimate_rank_adjacency_bytes, simulate_spmm_kernel, SpmmKernelMetrics};
+pub use gpumem::{
+    estimate_rank_activation_bytes, estimate_rank_adjacency_bytes, simulate_spmm_kernel,
+    SpmmKernelMetrics,
+};
 pub use machine::{frontier, perlmutter, MachineSpec};
 pub use regression::{LinearModel, RegressionReport};
 pub use ring::{

@@ -121,6 +121,85 @@ pub fn gemm_ws(
     }
 }
 
+/// `C = alpha * A * B + beta * C` (both operands untransposed) with the
+/// packed `B` panels cached in `ws` under `b_version`: the first call for
+/// a given `(b_version, shape)` packs every K-panel of `B` into the
+/// workspace's dedicated cached-B buffer, and subsequent calls — later row
+/// tiles of the same product, recompute-mode cache rebuilds, later steps
+/// before the weight update — skip the packing entirely.
+///
+/// Callers own the version discipline: bump the version whenever `B`'s
+/// contents change (the training engines bump a per-layer counter after
+/// each optimizer step). Reusing a version for different bits is a caller
+/// bug; debug builds catch it with a content-hash assertion.
+///
+/// Results are bitwise identical to [`gemm_ws`] / [`gemm`] on the same
+/// operands: the cached panels hold the same values in the same layout,
+/// and the same microkernel consumes them. Problems below the packing
+/// threshold route to the unpacked kernel exactly as [`gemm`] does (no
+/// caching — packing would not pay there anyway).
+pub fn gemm_nn_cached_b(
+    ws: &mut KernelWorkspace,
+    c: &mut Matrix,
+    a: &Matrix,
+    b: &Matrix,
+    b_version: u64,
+    alpha: f32,
+    beta: f32,
+) {
+    check_shapes(c, a, Trans::N, b, Trans::N);
+    let (m, k) = Trans::N.shape_of(a);
+    let (_, n) = Trans::N.shape_of(b);
+    if k * n < PACK_KN_THRESHOLD {
+        gemm_unpacked(c, a, Trans::N, b, Trans::N, alpha, beta);
+        return;
+    }
+    let key = (b_version, b.rows(), b.cols());
+    if ws.cached_b_key != Some(key) {
+        let before = ws.cached_b.capacity();
+        pack_b_all_panels(&mut ws.cached_b, b, Trans::N, k, n);
+        ws.note_grown(before, ws.cached_b.capacity());
+        ws.cached_b_key = Some(key);
+        #[cfg(debug_assertions)]
+        {
+            ws.cached_b_fnv = fnv_f32(b.as_slice());
+        }
+    }
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        ws.cached_b_fnv,
+        fnv_f32(b.as_slice()),
+        "gemm_nn_cached_b: version {} reused for different operand contents",
+        b_version
+    );
+    scale_output(c, beta);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut pc = 0;
+    let mut offset = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let nstrips = n.div_ceil(NR);
+        let panel = &ws.cached_b[offset..offset + nstrips * kc * NR];
+        packed_strip_pass(panel, c, a, Trans::N, pc, kc, alpha);
+        offset += nstrips * kc * NR;
+        pc += kc;
+    }
+}
+
+/// FNV-1a over the raw bits of an f32 slice (cached-B content guard).
+#[cfg(debug_assertions)]
+fn fnv_f32(data: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in data {
+        for byte in v.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// The small-`k*n` path: tall-skinny products (huge `m`, tiny `k*n`) still
 /// have plenty of row parallelism even though packing would not pay, so
 /// split rows across workers above [`PAR_THRESHOLD`] and run [`gemm_seq`]
@@ -364,25 +443,42 @@ pub fn gemm_packed_into(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let nstrips = n.div_ceil(NR);
     let mut pc = 0;
     while pc < k {
         let kc = KC.min(k - pc);
         pack_b_panel(b_pack, b, tb, pc, kc, n);
-        let bp: &[f32] = b_pack;
-        c.as_mut_slice().par_chunks_mut(MR * n).enumerate().for_each(|(si, crows)| {
-            let i0 = si * MR;
-            let mr = MR.min(m - i0);
-            let mut ap = [0.0f32; MR * KC];
-            pack_a_strip(&mut ap, a, ta, i0, mr, pc, kc);
-            for js in 0..nstrips {
-                let nr = NR.min(n - js * NR);
-                let bstrip = &bp[js * kc * NR..(js + 1) * kc * NR];
-                microkernel(&ap, bstrip, kc, alpha, crows, n, js * NR, mr, nr);
-            }
-        });
+        packed_strip_pass(b_pack, c, a, ta, pc, kc, alpha);
         pc += kc;
     }
+}
+
+/// One K-panel's worth of the packed kernel: every `MR`-row strip of `C`
+/// packs its `op(A)` slice and streams over the packed `op(B)` panel `bp`.
+/// Shared by the per-call packing path ([`gemm_packed_into`]) and the
+/// cached-B path ([`gemm_nn_cached_b`]) so both produce identical bits.
+fn packed_strip_pass(
+    bp: &[f32],
+    c: &mut Matrix,
+    a: &Matrix,
+    ta: Trans,
+    pc: usize,
+    kc: usize,
+    alpha: f32,
+) {
+    let (m, _) = ta.shape_of(a);
+    let n = c.cols();
+    let nstrips = n.div_ceil(NR);
+    c.as_mut_slice().par_chunks_mut(MR * n).enumerate().for_each(|(si, crows)| {
+        let i0 = si * MR;
+        let mr = MR.min(m - i0);
+        let mut ap = [0.0f32; MR * KC];
+        pack_a_strip(&mut ap, a, ta, i0, mr, pc, kc);
+        for js in 0..nstrips {
+            let nr = NR.min(n - js * NR);
+            let bstrip = &bp[js * kc * NR..(js + 1) * kc * NR];
+            microkernel(&ap, bstrip, kc, alpha, crows, n, js * NR, mr, nr);
+        }
+    });
 }
 
 /// Pack `op(B)[pc..pc+kc, 0..n]` into `NR`-wide column strips:
@@ -399,6 +495,41 @@ fn pack_b_panel(buf: &mut Vec<f32>, b: &Matrix, tb: Trans, pc: usize, kc: usize,
     } else {
         buf.resize(needed, 0.0);
     }
+    pack_b_panel_slice(&mut buf[..needed], b, tb, pc, kc, n);
+}
+
+/// Pack every K-panel of `op(B)` back to back into `buf` — the layout
+/// [`gemm_nn_cached_b`] walks with a running offset. Each panel's interior
+/// layout is exactly what [`pack_b_panel`] produces for that `pc`.
+fn pack_b_all_panels(buf: &mut Vec<f32>, b: &Matrix, tb: Trans, k: usize, n: usize) {
+    let nstrips = n.div_ceil(NR);
+    let mut needed = 0;
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        needed += nstrips * kc * NR;
+        pc += kc;
+    }
+    if buf.len() > needed {
+        buf.truncate(needed);
+    } else {
+        buf.resize(needed, 0.0);
+    }
+    let mut offset = 0;
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let len = nstrips * kc * NR;
+        pack_b_panel_slice(&mut buf[offset..offset + len], b, tb, pc, kc, n);
+        offset += len;
+        pc += kc;
+    }
+}
+
+/// The panel-packing core over an exactly-sized destination slice.
+fn pack_b_panel_slice(buf: &mut [f32], b: &Matrix, tb: Trans, pc: usize, kc: usize, n: usize) {
+    let nstrips = n.div_ceil(NR);
+    debug_assert_eq!(buf.len(), nstrips * kc * NR);
     let nr_edge = n % NR;
     if nr_edge != 0 {
         let base = (nstrips - 1) * kc * NR;
@@ -650,6 +781,63 @@ mod tests {
             assert_eq!(c.as_slice(), expect.as_slice());
             ws.recycle(c);
         }
+    }
+
+    #[test]
+    fn cached_b_matches_gemm_ws_bitwise() {
+        // 120x90: k*n above the packing threshold, multiple NR strips plus
+        // an edge strip. Repeated calls, row tiles and version bumps must
+        // all agree bitwise with the per-call packing path.
+        let b = test_mat(120, 90, 0.2);
+        let mut ws = KernelWorkspace::new();
+        for (version, rows) in [(1u64, 50usize), (1, 50), (1, 33), (2, 50)] {
+            let a = test_mat(rows, 120, 0.1 + version as f32);
+            let mut expect = Matrix::zeros(rows, 90);
+            gemm_ws(&mut ws, &mut expect, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
+            let mut c = Matrix::zeros(rows, 90);
+            gemm_nn_cached_b(&mut ws, &mut c, &a, &b, version, 1.0, 0.0);
+            assert_eq!(c.as_slice(), expect.as_slice(), "cached-B diverged (v{})", version);
+        }
+        // Multi-panel k (> KC) through the cached path.
+        let a = test_mat(20, 700, 0.4);
+        let b = test_mat(700, 40, 0.5);
+        let mut expect = Matrix::zeros(20, 40);
+        gemm_ws(&mut ws, &mut expect, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
+        let mut c = Matrix::zeros(20, 40);
+        gemm_nn_cached_b(&mut ws, &mut c, &a, &b, 7, 1.0, 0.0);
+        assert_eq!(c.as_slice(), expect.as_slice(), "multi-panel cached-B diverged");
+    }
+
+    #[test]
+    fn cached_b_stops_allocating_across_versions() {
+        // Packing a same-shaped operand under a new version reuses the
+        // cached buffer's capacity: after the first pack, version bumps
+        // cause repacks but no allocator interaction.
+        let a = test_mat(40, 100, 0.3);
+        let mut ws = KernelWorkspace::new();
+        let mut c = Matrix::zeros(40, 80);
+        let b0 = test_mat(100, 80, 0.6);
+        gemm_nn_cached_b(&mut ws, &mut c, &a, &b0, 0, 1.0, 0.0);
+        let warmed = ws.alloc_events();
+        for v in 1..6u64 {
+            let b = test_mat(100, 80, 0.6 + v as f32);
+            gemm_nn_cached_b(&mut ws, &mut c, &a, &b, v, 1.0, 0.0);
+        }
+        assert_eq!(ws.alloc_events(), warmed, "version repacks allocated");
+    }
+
+    #[test]
+    fn cached_b_below_threshold_matches_unpacked() {
+        // Tiny k*n dispatches to the unpacked kernel — exactly like gemm —
+        // so small-model configs see no behavior change.
+        let a = test_mat(30, 8, 0.7);
+        let b = test_mat(8, 8, 0.8);
+        let mut expect = Matrix::zeros(30, 8);
+        gemm(&mut expect, &a, Trans::N, &b, Trans::N, 1.0, 0.0);
+        let mut ws = KernelWorkspace::new();
+        let mut c = Matrix::zeros(30, 8);
+        gemm_nn_cached_b(&mut ws, &mut c, &a, &b, 3, 1.0, 0.0);
+        assert_eq!(c.as_slice(), expect.as_slice());
     }
 
     #[test]

@@ -35,6 +35,16 @@ const POOL_CAP: usize = 24;
 pub struct KernelWorkspace {
     /// Packed `op(B)` panel for the blocked GEMM.
     pub(crate) b_pack: Vec<f32>,
+    /// Version-keyed packed `B` spanning every K-panel, for operands that
+    /// survive across calls (the combination GEMM's gathered weight
+    /// matrix). See [`gemm_nn_cached_b`](crate::gemm::gemm_nn_cached_b).
+    pub(crate) cached_b: Vec<f32>,
+    /// `(version, rows, cols)` of the operand packed in `cached_b`.
+    pub(crate) cached_b_key: Option<(u64, usize, usize)>,
+    /// Content hash of the cached operand; guards against a caller reusing
+    /// a version number for different bits (debug builds only).
+    #[cfg(debug_assertions)]
+    pub(crate) cached_b_fnv: u64,
     /// Recycled output buffers, reused by capacity.
     pool: Vec<Vec<f32>>,
     alloc_events: u64,

@@ -1,17 +1,20 @@
-//! Out-of-core ingest end to end: generate an RMAT graph through the
-//! chunked edge stream, preprocess it into a §5.4 [`ShardStore`] without
-//! ever holding two full copies of Â, then train the same problem twice —
-//! once through the classic in-memory path and once with every rank
-//! loading only the shard files its 3D windows intersect — and show that
-//! the losses match bitwise while the per-rank memory ledger stays far
-//! below the in-memory `2·nnz` adjacency footprint.
+//! Out-of-core ingest and activation residency end to end: generate an
+//! RMAT graph through the chunked edge stream, preprocess it into a §5.4
+//! [`ShardStore`] without ever holding two full copies of Â (and show the
+//! incremental re-preprocess skipping every up-to-date shard), train the
+//! same problem through the in-memory and sharded ingest paths, then train
+//! it twice more under the `Spill` and `Recompute` activation residency
+//! policies — every run bitwise identical, with the budgeted runs' peak
+//! activation residency at most half the `Resident` baseline.
 //!
 //! ```text
 //! cargo run --release --example out_of_core            # RMAT scale 20, 4x4x4
 //! cargo run --release --example out_of_core -- --scale 12 --epochs 2
 //! cargo run --release --example out_of_core -- --grid 2x4x4 --hidden 8
+//! cargo run --release --example out_of_core -- --act-budget 1000000
 //! ```
 
+use plexus::activation::ResidencyPolicy;
 use plexus::grid::GridConfig;
 use plexus::loader::{preprocess_to_store, ShardStore};
 use plexus::setup::{pad_to_multiple, PermutationMode, ProblemMeta};
@@ -20,7 +23,7 @@ use plexus_graph::{
     degree_based_labels, rmat_edge_chunks, train_val_test_masks, DatasetKind, DatasetSpec, Graph,
     LoadedDataset,
 };
-use plexus_simnet::estimate_rank_adjacency_bytes;
+use plexus_simnet::{estimate_rank_activation_bytes, estimate_rank_adjacency_bytes};
 use plexus_tensor::uniform_matrix;
 
 struct Args {
@@ -29,11 +32,19 @@ struct Args {
     grid: GridConfig,
     epochs: usize,
     hidden: usize,
+    /// Spill budget in bytes; 0 = auto (35% of the Resident baseline).
+    act_budget: u64,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { scale: 20, edge_factor: 8, grid: GridConfig::new(4, 4, 4), epochs: 2, hidden: 16 };
+    let mut args = Args {
+        scale: 20,
+        edge_factor: 8,
+        grid: GridConfig::new(4, 4, 4),
+        epochs: 2,
+        hidden: 16,
+        act_budget: 0,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| panic!("missing value for {}", flag));
@@ -44,6 +55,9 @@ fn parse_args() -> Args {
             }
             "--epochs" => args.epochs = value.parse().expect("--epochs takes an integer"),
             "--hidden" => args.hidden = value.parse().expect("--hidden takes an integer"),
+            "--act-budget" => {
+                args.act_budget = value.parse().expect("--act-budget takes bytes (0 = auto)")
+            }
             "--grid" => {
                 let dims: Vec<usize> =
                     value.split('x').map(|d| d.parse().expect("--grid takes GXxGYxGZ")).collect();
@@ -105,13 +119,26 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("plexus_out_of_core_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let t0 = std::time::Instant::now();
-    preprocess_to_store(&ds, &dir, opts.permutation, opts.perm_seed, 8, 8).unwrap();
-    let store = ShardStore::open(&dir).unwrap();
+    let written = preprocess_to_store(&ds, &dir, opts.permutation, opts.perm_seed, 8, 8).unwrap();
     println!(
-        "Preprocessed into an 8x8 store ({:.1} MB, both parities) in {:.1}s.",
-        mb(store.total_bytes().unwrap()),
-        t0.elapsed().as_secs_f64()
+        "Preprocessed into an 8x8 store ({:.1} MB, both parities) in {:.1}s: {}.",
+        mb(written.total_bytes().unwrap()),
+        t0.elapsed().as_secs_f64(),
+        written.preprocess.report()
     );
+
+    // Incremental re-preprocess: every shard verifies against the prior
+    // manifest and is skipped instead of regenerated.
+    let t0 = std::time::Instant::now();
+    let again = preprocess_to_store(&ds, &dir, opts.permutation, opts.perm_seed, 8, 8).unwrap();
+    println!(
+        "Re-preprocess (incremental) in {:.1}s: {}.",
+        t0.elapsed().as_secs_f64(),
+        again.preprocess.report()
+    );
+    assert_eq!(again.preprocess.files_written, 0, "incremental run rewrote up-to-date shards");
+    assert!(again.preprocess.files_skipped > 0);
+    let store = ShardStore::open(&dir).unwrap();
 
     // 3. Train through both ingest paths on the same grid.
     let grid = args.grid;
@@ -163,5 +190,85 @@ fn main() {
         grid.label()
     );
     println!("\nOut-of-core ingest verified: < 40% of the in-memory footprint, same losses.");
+
+    // 6. Activation residency: the same sharded problem under the Spill
+    //    and Recompute policies. The sharded run above IS the Resident
+    //    baseline — its ledger already carries the activation counters.
+    let act_baseline = sharded.peak_activation_bytes();
+    let act_estimate =
+        estimate_rank_activation_bytes(meta.n_pad, &meta.dims_pad, &meta.layer_axis_splits());
+    assert_eq!(
+        act_baseline, act_estimate,
+        "Resident activation peak diverged from the analytic estimate"
+    );
+    let budget = if args.act_budget > 0 { args.act_budget } else { (act_baseline * 35) / 100 };
+    println!(
+        "\nActivation residency (Resident baseline peak {:.1} MB per rank, \
+         analytic estimate matches exactly; spill budget {:.1} MB):",
+        mb(act_baseline),
+        mb(budget)
+    );
+
+    let spill_opts = DistTrainOptions {
+        residency: ResidencyPolicy::Spill { budget_bytes: budget },
+        ..opts.clone()
+    };
+    println!("  Training with ResidencyPolicy::Spill...");
+    let spill =
+        train_from_source(ProblemSource::Sharded(&store), grid, &spill_opts, args.epochs).unwrap();
+    let rec_opts = DistTrainOptions { residency: ResidencyPolicy::Recompute, ..opts.clone() };
+    println!("  Training with ResidencyPolicy::Recompute...");
+    let recompute =
+        train_from_source(ProblemSource::Sharded(&store), grid, &rec_opts, args.epochs).unwrap();
+
+    for (e, (r, (s, c))) in
+        sharded.losses().iter().zip(spill.losses().into_iter().zip(recompute.losses())).enumerate()
+    {
+        assert_eq!(*r, s, "epoch {}: Spill diverged from Resident", e);
+        assert_eq!(*r, c, "epoch {}: Recompute diverged from Resident", e);
+    }
+    println!("  Losses are bitwise identical across all three residency policies.");
+
+    let spills: u64 = spill.memory.iter().map(|m| m.activation_spill_events).sum();
+    let recomputes: u64 = recompute.memory.iter().map(|m| m.activation_recompute_events).sum();
+    println!(
+        "\n  policy    | peak act/rank | % of resident | spills | recomputes\n  \
+         Resident  | {:>10.2} MB | {:>12}% | {:>6} | {:>10}\n  \
+         Spill     | {:>10.2} MB | {:>12.1}% | {:>6} | {:>10}\n  \
+         Recompute | {:>10.2} MB | {:>12.1}% | {:>6} | {:>10}",
+        mb(act_baseline),
+        100,
+        0,
+        0,
+        mb(spill.peak_activation_bytes()),
+        100.0 * spill.peak_activation_bytes() as f64 / act_baseline as f64,
+        spills,
+        0,
+        mb(recompute.peak_activation_bytes()),
+        100.0 * recompute.peak_activation_bytes() as f64 / act_baseline as f64,
+        0,
+        recomputes
+    );
+
+    // The CI gate: a budgeted run that never evicts means the policy
+    // engine is dead — fail loudly.
+    assert!(spills > 0, "budgeted spill run recorded zero evictions");
+    assert!(recomputes > 0, "recompute run recorded zero recomputed caches");
+    assert!(
+        2 * spill.peak_activation_bytes() <= act_baseline,
+        "spill peak {} B above 50% of the resident baseline {} B",
+        spill.peak_activation_bytes(),
+        act_baseline
+    );
+    assert!(
+        2 * recompute.peak_activation_bytes() <= act_baseline,
+        "recompute peak {} B above 50% of the resident baseline {} B",
+        recompute.peak_activation_bytes(),
+        act_baseline
+    );
+    println!(
+        "\nActivation residency verified: both policies stay at <= 50% of the \
+         Resident baseline with bitwise-identical losses."
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -3,13 +3,14 @@
 //! model, train with the 3D engine — from RAM and straight from the store,
 //! bitwise identically — and check the model actually learned.
 
+use plexus::activation::ResidencyPolicy;
 use plexus::grid::GridConfig;
 use plexus::loader::{preprocess_to_store, ShardStore};
 use plexus::perfmodel::{choose_config, rank_configs, Workload};
 use plexus::setup::{PermutationMode, ProblemMeta};
 use plexus::trainer::{train_distributed, train_from_source, DistTrainOptions, ProblemSource};
 use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
-use plexus_simnet::{estimate_rank_adjacency_bytes, perlmutter};
+use plexus_simnet::{estimate_rank_activation_bytes, estimate_rank_adjacency_bytes, perlmutter};
 
 #[test]
 fn full_pipeline_from_disk_to_trained_model() {
@@ -100,6 +101,95 @@ fn sharded_ingest_trains_bitwise_identically_to_in_memory() {
         estimate
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn residency_policies_match_bitwise_and_halve_activation_residency() {
+    // The activation-residency acceptance bar: Resident, Spill and
+    // Recompute produce bitwise-identical losses over >= 3 epochs (loss
+    // equality across epochs transitively pins the gradients: a single
+    // differing gradient bit would diverge every later epoch), the
+    // Resident ledger's peak matches the analytic estimate to the byte,
+    // and both budgeted policies land at <= 50% of the Resident baseline.
+    //
+    // Balanced layer widths (classes == hidden == input dim, the RMAT
+    // acceptance scenario): with 47-class logits the last layer's cache
+    // alone exceeds half the total, which layer-granularity spilling
+    // cannot get under — a documented limitation, not a bug.
+    let spec = plexus_graph::DatasetSpec {
+        kind: plexus_graph::DatasetKind::OgbnProducts,
+        name: "balanced",
+        nodes: 256,
+        edges: 2048,
+        nonzeros: 4352,
+        features: 16,
+        classes: 16,
+    };
+    let ds = LoadedDataset::generate(spec, 256, Some(16), 59);
+    let grid = GridConfig::new(2, 2, 2);
+    let base = DistTrainOptions {
+        hidden_dim: 16,
+        model_seed: 4,
+        permutation: PermutationMode::Double,
+        ..Default::default()
+    };
+    let resident = train_distributed(&ds, grid, &base, 4);
+    let baseline = resident.peak_activation_bytes();
+
+    // The Resident peak is a pure function of the padded shapes: the
+    // simnet estimate must reproduce it exactly.
+    let meta = ProblemMeta::derive(
+        ds.num_nodes(),
+        ds.feature_dim(),
+        ds.num_classes,
+        ds.split.num_train(),
+        grid,
+        base.hidden_dim,
+        base.num_layers,
+    );
+    let estimate =
+        estimate_rank_activation_bytes(meta.n_pad, &meta.dims_pad, &meta.layer_axis_splits());
+    assert_eq!(baseline, estimate, "resident ledger peak diverged from the analytic estimate");
+
+    let budget = (2 * baseline) / 5; // 40% of the resident baseline
+    let spill = train_distributed(
+        &ds,
+        grid,
+        &DistTrainOptions {
+            residency: ResidencyPolicy::Spill { budget_bytes: budget },
+            ..base.clone()
+        },
+        4,
+    );
+    let recompute = train_distributed(
+        &ds,
+        grid,
+        &DistTrainOptions { residency: ResidencyPolicy::Recompute, ..base.clone() },
+        4,
+    );
+    assert_eq!(resident.losses(), spill.losses(), "spill policy changed the losses");
+    assert_eq!(resident.losses(), recompute.losses(), "recompute policy changed the losses");
+
+    assert!(
+        2 * spill.peak_activation_bytes() <= baseline,
+        "budgeted spill peak {} above 50% of resident baseline {}",
+        spill.peak_activation_bytes(),
+        baseline
+    );
+    assert!(
+        2 * recompute.peak_activation_bytes() <= baseline,
+        "recompute peak {} above 50% of resident baseline {}",
+        recompute.peak_activation_bytes(),
+        baseline
+    );
+    for m in &spill.memory {
+        assert!(m.activation_spill_events > 0, "budgeted run never spilled");
+        assert_eq!(m.activation_spilled_bytes, m.activation_reloaded_bytes);
+    }
+    for m in &recompute.memory {
+        assert!(m.activation_recompute_events > 0, "recompute run never recomputed");
+        assert_eq!(m.activation_spill_events, 0, "recompute must not touch disk");
+    }
 }
 
 #[test]

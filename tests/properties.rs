@@ -261,6 +261,72 @@ proptest! {
 }
 
 proptest! {
+    // Activation spill round-trips: arbitrary layer caches written to
+    // checksummed spill files and reloaded must come back bit for bit,
+    // through arbitrary insertion orders and budgets.
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spilled_layer_caches_round_trip_bitwise(
+        num_layers in 1usize..5,
+        seed in any::<u64>(),
+        budget_div in 1u64..20,
+    ) {
+        use plexus::activation::{ActivationStore, Fetched, ResidencyPolicy};
+        use plexus::layer::DistLayerCache;
+        let gen = |r: usize, c: usize, s: u64| {
+            Matrix::from_fn(r, c, |i, j| {
+                (((i * 31 + j * 7) as f32) * 0.013 + (s % 4093) as f32 * 0.21).sin()
+            })
+        };
+        // Seed-derived arbitrary shapes per layer (1..=24 rows/cols, 1..=12 k).
+        let shape = |l: usize| {
+            let s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(l as u64);
+            (1 + (s % 24) as usize, 1 + ((s >> 8) % 24) as usize, 1 + ((s >> 16) % 12) as usize)
+        };
+        let caches: Vec<DistLayerCache> = (0..num_layers)
+            .map(|l| {
+                let (rows, cols, k) = shape(l);
+                DistLayerCache {
+                    h: gen(rows, k, seed ^ l as u64),
+                    q: gen(rows, cols, seed ^ (l as u64) << 8),
+                    w_full: gen(k, cols, seed ^ (l as u64) << 16),
+                    activated: (seed >> l) & 1 == 1,
+                }
+            })
+            .collect();
+        let total: u64 =
+            caches.iter().map(|c| c.h.mem_bytes() + c.q.mem_bytes() + c.w_full.mem_bytes()).sum();
+        // Budgets from "spill everything" up to "spill nothing".
+        let budget = total / budget_div;
+        let mut store = ActivationStore::new(ResidencyPolicy::Spill { budget_bytes: budget });
+        let mut ws = KernelWorkspace::new();
+        let keeps: Vec<(Matrix, Matrix, Matrix, bool)> = caches
+            .iter()
+            .map(|c| (c.h.clone(), c.q.clone(), c.w_full.clone(), c.activated))
+            .collect();
+        for (l, c) in caches.into_iter().enumerate() {
+            store.insert(l, c, Matrix::zeros(1, 1), &mut ws).unwrap();
+        }
+        prop_assert!(store.stats().resident_bytes <= budget);
+        for l in (0..keeps.len()).rev() {
+            match store.fetch(l).unwrap() {
+                Fetched::Cache(c) => {
+                    prop_assert_eq!(&c.h, &keeps[l].0);
+                    prop_assert_eq!(&c.q, &keeps[l].1);
+                    prop_assert_eq!(&c.w_full, &keeps[l].2);
+                    prop_assert_eq!(c.activated, keeps[l].3);
+                }
+                Fetched::Rebuild { .. } => prop_assert!(false, "spill policy ordered a rebuild"),
+            }
+        }
+        let s = store.stats();
+        prop_assert_eq!(s.spilled_bytes, s.reloaded_bytes);
+        prop_assert_eq!(s.spill_events, s.reload_events);
+    }
+}
+
+proptest! {
     // Disk round-trips are cheap but not free; a couple dozen cases cover
     // the mode x grid x window space well.
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
