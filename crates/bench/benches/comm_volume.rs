@@ -1,0 +1,122 @@
+//! Dense all-gather vs `CommPlan::SparseRows` for the layer-0 feature
+//! exchange: real epoch time on the thread backend, plus the exact
+//! per-rank gather bytes the two plans put on the wire.
+//!
+//! Timing arms run the full 3D trainer on a 2x1x4 thread world over a
+//! low-degree RMAT graph (average directed degree 4, the sparse end of
+//! the paper's Table 4 range) and differ only in `comm_plan`; losses are
+//! bitwise identical between them. After the timed arms, one
+//! instrumented run per plan reads the `TrafficLedger` back and prints a
+//! dense-vs-sparse byte table — on the thread backend with its
+//! served-union accounting, and on the cost-only `SimComm` backend at
+//! 8x8x8 (512 ranks) where the per-rank charge reflects each rank's own
+//! request set (the number the §4 model cares about at scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plexus::grid::GridConfig;
+use plexus::layer::CommPlan;
+use plexus::setup::{GlobalProblem, PermutationMode};
+use plexus::trainer::{simulate_epochs, train_distributed, DistTrainOptions, RankTrainer};
+use plexus::DistContext;
+use plexus_comm::{run_world, CollOp, CommEvent, Communicator};
+use plexus_graph::{DatasetKind, DatasetSpec, LoadedDataset};
+use plexus_simnet::SimCostModel;
+use std::sync::Arc;
+
+fn lowdeg_rmat(nodes: usize, features: usize, seed: u64) -> LoadedDataset {
+    let spec = DatasetSpec {
+        kind: DatasetKind::OgbnProducts,
+        name: "rmat-lowdeg",
+        nodes,
+        edges: nodes * 4, // degree 4 -> RMAT edge factor 2
+        nonzeros: nodes * 9,
+        features,
+        classes: 8,
+    };
+    LoadedDataset::generate(spec, nodes, Some(features), seed)
+}
+
+fn feature_gather_bytes(traffic: &[CommEvent]) -> (usize, usize) {
+    let dense: usize = traffic
+        .iter()
+        .filter(|e| e.op == CollOp::AllGather && e.group == "z")
+        .map(|e| e.bytes)
+        .sum();
+    let sparse: usize =
+        traffic.iter().filter(|e| e.op == CollOp::AllGatherRows).map(|e| e.bytes).sum();
+    (dense, sparse)
+}
+
+fn bench_comm_volume(c: &mut Criterion) {
+    let ds = lowdeg_rmat(2048, 32, 13);
+    let grid = GridConfig::new(2, 1, 4);
+    let opts_for = |plan: CommPlan| DistTrainOptions {
+        hidden_dim: 32,
+        model_seed: 3,
+        permutation: PermutationMode::Double,
+        comm_plan: plan,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("comm_volume");
+    group.sample_size(10);
+    for (plan, name) in [(CommPlan::Dense, "dense_epoch"), (CommPlan::SparseRows, "sparse_epoch")] {
+        let opts = opts_for(plan);
+        let gp = Arc::new(GlobalProblem::build(
+            &ds,
+            grid,
+            opts.hidden_dim,
+            opts.num_layers,
+            opts.model_seed,
+            opts.permutation,
+            opts.perm_seed,
+        ));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let losses = run_world(grid.total(), |comm| {
+                    let world = comm.split(0, comm.rank() as u64, "world");
+                    let ctx = DistContext::with_spec(world, opts.grid_spec(grid));
+                    let mut rt = RankTrainer::new(&gp, ctx, &opts);
+                    rt.train_epoch().loss
+                });
+                losses[0]
+            });
+        });
+    }
+    group.finish();
+
+    // Byte accounting: one instrumented epoch per plan, read back from the
+    // ledger. Thread backend (rank 0, served-union convention) and the
+    // 512-rank SimComm study (own-request convention).
+    let thread_dense = train_distributed(&ds, grid, &opts_for(CommPlan::Dense), 1);
+    let thread_sparse = train_distributed(&ds, grid, &opts_for(CommPlan::SparseRows), 1);
+    assert_eq!(thread_dense.losses(), thread_sparse.losses(), "plans must be bitwise identical");
+    let (td, _) = feature_gather_bytes(&thread_dense.traffic[0]);
+    let (tw, ts) = feature_gather_bytes(&thread_sparse.traffic[0]);
+
+    let sim_grid = GridConfig::new(8, 8, 8);
+    let sim = |plan: CommPlan| {
+        simulate_epochs(&ds, sim_grid, &opts_for(plan), 1, SimCostModel::new(25e9, 1e-6))
+    };
+    let (sd, _) = feature_gather_bytes(&sim(CommPlan::Dense).traffic);
+    let (sw, ss) = feature_gather_bytes(&sim(CommPlan::SparseRows).traffic);
+
+    println!();
+    println!("comm_volume: layer-0 feature-gather bytes per epoch (rank 0)");
+    println!(
+        "  thread {}: dense {} B vs sparse {} B (indexed, served-union)",
+        grid.label(),
+        td - tw,
+        ts
+    );
+    println!(
+        "  sim    {}: dense {} B vs sparse {} B ({:.2}x less on the wire)",
+        sim_grid.label(),
+        sd - sw,
+        ss,
+        (sd - sw) as f64 / ss as f64
+    );
+}
+
+criterion_group!(benches, bench_comm_volume);
+criterion_main!(benches);

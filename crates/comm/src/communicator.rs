@@ -17,15 +17,40 @@
 //!
 //! Each reduction/gather collective exists in two forms:
 //!
-//! * the blocking form (`all_reduce`, `all_gather`, `reduce_scatter`)
-//!   returns only when the result is available on this rank;
 //! * the nonblocking form (`start_all_reduce`, `start_all_gather`,
-//!   `start_reduce_scatter`) *launches* the collective and returns a
+//!   `start_reduce_scatter`, `start_all_gather_rows`,
+//!   `start_all_to_all_rows`) *launches* the collective and returns a
 //!   [`PendingCollective`] immediately; the caller overlaps local compute
 //!   with the in-flight collective and calls [`PendingCollective::wait`]
 //!   when it needs the result. This is the §5.2 comm/compute-overlap seam:
 //!   `DistLayer` launches the axis all-reduce of one tile while the next
 //!   tile's GEMM/SpMM is still running.
+//! * the blocking form (`all_reduce`, `all_gather`, `reduce_scatter`,
+//!   `all_gather_rows`, `all_to_all_rows`) returns only when the result is
+//!   available on this rank. Blocking forms are default-implemented as
+//!   `start_*(...).wait()`, so a backend implements exactly one data path
+//!   per collective — the nonblocking one.
+//!
+//! # Sparse (row-indexed) collectives
+//!
+//! Dense all-gathers ship every rank's full padded block even when the
+//! consumer only reads a few rows of it. The sparse collectives carry only
+//! the rows the adjacency structure demands (the CAGNET/"reducing
+//! communication in GNN training" observation):
+//!
+//! * [`all_gather_rows`](Communicator::all_gather_rows) is a *pull*
+//!   gather over a row space sharded equally across the group: each rank
+//!   names the global rows it wants and receives exactly those, in request
+//!   order. Different ranks may request different row sets.
+//! * [`all_to_all_rows`](Communicator::all_to_all_rows) is the
+//!   request-driven exchange underneath: per-peer row-index lists (built
+//!   once per epoch by a `RowRequestPlan`) select which of each owner's
+//!   local rows travel to this rank.
+//!
+//! Both record ledger events with their *indexed* sizes — the rows this
+//! rank actually served plus the index upload — so cost-model replay and
+//! the simulated studies see honest sparse message volumes, directly
+//! comparable with the dense events' contributed-payload convention.
 //!
 //! Nonblocking calls count as collectives for ordering purposes *at their
 //! start call*: all ranks must start them at the same point of the
@@ -136,11 +161,20 @@ pub trait Communicator: Sized {
 
     /// All-reduce in place: after the call every rank's `buf` holds the
     /// elementwise reduction over all ranks' inputs.
-    fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp);
+    ///
+    /// Default: `start_all_reduce(buf, op).wait()` copied back into `buf`.
+    fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp) {
+        let out = self.start_all_reduce(buf, op).wait();
+        buf.copy_from_slice(&out);
+    }
 
     /// All-gather equal-size shards: the concatenation of every rank's
     /// `src` in rank order (length `src.len() * size()`).
-    fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T>;
+    ///
+    /// Default: `start_all_gather(src).wait()`.
+    fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T> {
+        self.start_all_gather(src).wait()
+    }
 
     /// All-gather with per-rank lengths preserved (ragged).
     fn all_gather_varlen<T: CommElem>(&self, src: &[T]) -> Vec<Vec<T>>;
@@ -148,7 +182,53 @@ pub trait Communicator: Sized {
     /// Reduce all ranks' equal-length buffers elementwise, then return
     /// this rank's `1/size()` chunk of the result. `buf.len()` must be
     /// divisible by the group size.
-    fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T>;
+    ///
+    /// Default: `start_reduce_scatter(buf, op).wait()`.
+    fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
+        self.start_reduce_scatter(buf, op).wait()
+    }
+
+    /// Row-indexed sparse all-gather over a row space sharded equally
+    /// across the group.
+    ///
+    /// Every rank holds `local_rows = src.len() / row_width` rows; the
+    /// *global* row space is the concatenation of all ranks' blocks in
+    /// rank order (`rows_total = local_rows * size()`), so global row `g`
+    /// lives on rank `g / local_rows` at local index `g % local_rows`.
+    /// `row_ids` names the global rows **this** rank wants — a *pull*:
+    /// different ranks may request different (even empty) sets, but every
+    /// rank must still make the call (it is a collective). Returns the
+    /// requested rows concatenated in `row_ids` order
+    /// (`row_ids.len() * row_width` elements).
+    ///
+    /// Requesting every global row in ascending order reproduces the dense
+    /// [`all_gather`](Communicator::all_gather) bitwise — the conformance
+    /// suite holds backends to that.
+    ///
+    /// Default: `start_all_gather_rows(...).wait()`.
+    fn all_gather_rows<T: CommElem>(&self, src: &[T], row_ids: &[u32], row_width: usize) -> Vec<T> {
+        self.start_all_gather_rows(src, row_ids, row_width).wait()
+    }
+
+    /// Request-driven sparse all-to-all: `requests[p]` lists the *local*
+    /// row indices of rank `p`'s `src` this rank wants (`requests.len() ==
+    /// size()`; self-requests allowed). Returns the rows flattened
+    /// owner-major — rank 0's rows in `requests[0]` order, then rank 1's,
+    /// and so on (`sum(requests[p].len()) * row_width` elements).
+    ///
+    /// Unlike [`all_gather_rows`](Communicator::all_gather_rows) the `src`
+    /// blocks need not be equal-sized across ranks; indices are validated
+    /// against each owner's actual block.
+    ///
+    /// Default: `start_all_to_all_rows(...).wait()`.
+    fn all_to_all_rows<T: CommElem>(
+        &self,
+        src: &[T],
+        requests: &[Vec<u32>],
+        row_width: usize,
+    ) -> Vec<T> {
+        self.start_all_to_all_rows(src, requests, row_width).wait()
+    }
 
     /// Broadcast `buf` from `root` to every rank.
     fn broadcast<T: CommElem>(&self, buf: &mut Vec<T>, root: usize);
@@ -173,32 +253,46 @@ pub trait Communicator: Sized {
 
     /// Nonblocking [`all_reduce`](Communicator::all_reduce): launches the
     /// collective over `src` and returns a handle; `wait()` yields the
-    /// reduced vector. Default: complete eagerly (no overlap).
+    /// reduced vector. This is the collective a backend *implements*; the
+    /// blocking form is derived from it.
     fn start_all_reduce<'c, T: CommElem>(
         &'c self,
         src: &[T],
         op: ReduceOp,
-    ) -> PendingCollective<'c, T> {
-        let mut buf = src.to_vec();
-        self.all_reduce(&mut buf, op);
-        PendingCollective::ready(buf)
-    }
+    ) -> PendingCollective<'c, T>;
 
-    /// Nonblocking [`all_gather`](Communicator::all_gather). Default:
-    /// complete eagerly (no overlap).
-    fn start_all_gather<'c, T: CommElem>(&'c self, src: &[T]) -> PendingCollective<'c, T> {
-        PendingCollective::ready(self.all_gather(src))
-    }
+    /// Nonblocking [`all_gather`](Communicator::all_gather); the blocking
+    /// form is derived from it.
+    fn start_all_gather<'c, T: CommElem>(&'c self, src: &[T]) -> PendingCollective<'c, T>;
 
-    /// Nonblocking [`reduce_scatter`](Communicator::reduce_scatter).
-    /// Default: complete eagerly (no overlap).
+    /// Nonblocking [`reduce_scatter`](Communicator::reduce_scatter); the
+    /// blocking form is derived from it.
     fn start_reduce_scatter<'c, T: CommElem>(
         &'c self,
         src: &[T],
         op: ReduceOp,
-    ) -> PendingCollective<'c, T> {
-        PendingCollective::ready(self.reduce_scatter(src, op))
-    }
+    ) -> PendingCollective<'c, T>;
+
+    /// Nonblocking [`all_gather_rows`](Communicator::all_gather_rows); the
+    /// blocking form is derived from it. Launching posts this rank's
+    /// request (and makes its block servable); `wait()` completes the
+    /// exchange, which lets the trainer prepare the scatter target while
+    /// rows are in flight.
+    fn start_all_gather_rows<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        row_ids: &[u32],
+        row_width: usize,
+    ) -> PendingCollective<'c, T>;
+
+    /// Nonblocking [`all_to_all_rows`](Communicator::all_to_all_rows); the
+    /// blocking form is derived from it.
+    fn start_all_to_all_rows<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        requests: &[Vec<u32>],
+        row_width: usize,
+    ) -> PendingCollective<'c, T>;
 }
 
 #[cfg(test)]

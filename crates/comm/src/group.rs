@@ -16,8 +16,17 @@
 //! seam: the *start* call runs step 1 (post) and returns immediately, and
 //! [`PendingCollective::wait`] runs steps 2–5 — so a rank that posted early
 //! keeps computing instead of idling in the barrier while stragglers
-//! arrive. Results are bitwise identical to the blocking forms (the
-//! blocking forms are literally `start_*(..).wait()`).
+//! arrive. The blocking forms are the trait defaults, literally
+//! `start_*(..).wait()`, so this backend implements exactly one data path
+//! per collective.
+//!
+//! The sparse collectives (`start_all_gather_rows`,
+//! `start_all_to_all_rows`) run the protocol *twice* inside one
+//! collective: phase one exchanges the row-index requests (posted at start
+//! time), phase two ships only the requested rows. Their ledger events
+//! record the indexed sizes — the rows this rank actually served plus its
+//! index upload — which is what makes the dense-vs-sparse volume studies
+//! honest.
 //!
 //! This is O(G·M) per rank instead of a ring's O(M), which is irrelevant
 //! for correctness runs (G ≤ 64 threads) — the *cost* of the real ring
@@ -188,20 +197,6 @@ impl ThreadComm {
         self.clear_own_slot();
     }
 
-    /// Completion of an in-flight all-reduce, folding into `out` (which
-    /// already holds this rank's contribution — overwritten by rank 0's).
-    fn finish_all_reduce_into<T: CommElem>(&self, out: &mut [T], op: ReduceOp) {
-        self.consume_slots::<T>("all_reduce", out.len(), |r, v| {
-            if r == 0 {
-                out.copy_from_slice(v);
-            } else {
-                for (acc, &x) in out.iter_mut().zip(v.iter()) {
-                    *acc = T::reduce(op, *acc, x);
-                }
-            }
-        });
-    }
-
     /// Completion of an in-flight all-reduce, building the result vector.
     fn finish_all_reduce<T: CommElem>(&self, len: usize, op: ReduceOp) -> Vec<T> {
         let mut out: Vec<T> = Vec::with_capacity(len);
@@ -239,6 +234,137 @@ impl ThreadComm {
                 }
             }
         });
+        out
+    }
+
+    /// Completion of an in-flight sparse row gather. Phase one (index
+    /// exchange) was posted at start time; this runs: barrier → read every
+    /// rank's `row_ids` and derive each owner's *serve list* (the sorted,
+    /// deduplicated local rows anyone requested of it — every rank derives
+    /// all `size` lists identically from the same index table, so owners
+    /// and readers agree on row placement without another exchange) →
+    /// barrier → repost this rank's served rows → barrier → copy each
+    /// requested row out of its owner's served block → barrier → clear.
+    fn finish_all_gather_rows<T: CommElem>(
+        &self,
+        src: Vec<T>,
+        row_ids: Vec<u32>,
+        row_width: usize,
+    ) -> Vec<T> {
+        let local_rows = src.len() / row_width;
+        self.shared.barrier.wait();
+        let all_ids = self.read_all::<Vec<u32>, Vec<u32>>(|_, v| v.clone());
+        let mut serve: Vec<Vec<u32>> = vec![Vec::new(); self.size];
+        for ids in &all_ids {
+            for &g in ids {
+                assert!(
+                    (g as usize) < local_rows * self.size,
+                    "all_gather_rows on group '{}': row id {} out of {} global rows",
+                    self.shared.label,
+                    g,
+                    local_rows * self.size
+                );
+                serve[g as usize / local_rows].push(g % local_rows as u32);
+            }
+        }
+        for s in &mut serve {
+            s.sort_unstable();
+            s.dedup();
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        let mut mine: Vec<T> = Vec::with_capacity(serve[self.rank].len() * row_width);
+        for &l in &serve[self.rank] {
+            mine.extend_from_slice(&src[l as usize * row_width..][..row_width]);
+        }
+        // Indexed sizes: the rows this rank actually serves plus its index
+        // upload — never the dense block.
+        self.record(
+            CollOp::AllGatherRows,
+            mine.len() * T::BYTES + row_ids.len() * std::mem::size_of::<u32>(),
+        );
+        self.post(Box::new(mine));
+        self.shared.barrier.wait();
+        let mut out: Vec<T> = Vec::with_capacity(row_ids.len() * row_width);
+        {
+            let slots = self.shared.slots.lock();
+            for &g in &row_ids {
+                let owner = g as usize / local_rows;
+                let local = g % local_rows as u32;
+                let served = slots[owner]
+                    .as_ref()
+                    .expect("all_gather_rows: owner posted no rows")
+                    .downcast_ref::<Vec<T>>()
+                    .expect("all_gather_rows row-phase type mismatch");
+                let pos = serve[owner]
+                    .binary_search(&local)
+                    .expect("all_gather_rows: requested row missing from serve list");
+                out.extend_from_slice(&served[pos * row_width..][..row_width]);
+            }
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        out
+    }
+
+    /// Completion of an in-flight request-driven row exchange. The request
+    /// table (`requests[p]` = local rows of rank `p` this rank wants) was
+    /// posted at start time; each owner reads what every peer wants *from
+    /// it*, reposts per-requester row chunks, and each requester takes its
+    /// chunk from every owner in ascending owner order.
+    fn finish_all_to_all_rows<T: CommElem>(
+        &self,
+        src: Vec<T>,
+        requests: Vec<Vec<u32>>,
+        row_width: usize,
+    ) -> Vec<T> {
+        let local_rows = src.len() / row_width;
+        self.shared.barrier.wait();
+        let wants_from_me =
+            self.read_all::<Vec<Vec<u32>>, Vec<u32>>(|_, per_owner| per_owner[self.rank].clone());
+        self.shared.barrier.wait();
+        self.clear_own_slot();
+        let chunks: Vec<Vec<T>> = wants_from_me
+            .iter()
+            .enumerate()
+            .map(|(r, ids)| {
+                let mut rows = Vec::with_capacity(ids.len() * row_width);
+                for &l in ids {
+                    assert!(
+                        (l as usize) < local_rows,
+                        "all_to_all_rows on group '{}': rank {} requested local row {} of a \
+                         {}-row block",
+                        self.shared.label,
+                        r,
+                        l,
+                        local_rows
+                    );
+                    rows.extend_from_slice(&src[l as usize * row_width..][..row_width]);
+                }
+                rows
+            })
+            .collect();
+        let outgoing_rows: usize = chunks.iter().map(|c| c.len() * T::BYTES).sum();
+        let outgoing_ids: usize =
+            requests.iter().map(|r| r.len() * std::mem::size_of::<u32>()).sum();
+        self.record(CollOp::AllToAllRows, outgoing_rows + outgoing_ids);
+        self.post(Box::new(chunks));
+        self.shared.barrier.wait();
+        let out_len: usize = requests.iter().map(|r| r.len() * row_width).sum();
+        let mut out: Vec<T> = Vec::with_capacity(out_len);
+        {
+            let slots = self.shared.slots.lock();
+            for owner in 0..self.size {
+                let per_requester = slots[owner]
+                    .as_ref()
+                    .expect("all_to_all_rows: owner posted no rows")
+                    .downcast_ref::<Vec<Vec<T>>>()
+                    .expect("all_to_all_rows row-phase type mismatch");
+                out.extend_from_slice(&per_requester[self.rank]);
+            }
+        }
+        self.shared.barrier.wait();
+        self.clear_own_slot();
         out
     }
 
@@ -311,18 +437,23 @@ impl Communicator for ThreadComm {
         self.shared.barrier.wait();
     }
 
+    // Specializes the trait's `start_all_reduce().wait()` default: the
+    // hottest collective reduces straight into `buf`, skipping the
+    // default's result allocation and copy-back. Semantics are identical
+    // (same ascending-rank fold `consume_slots` drives everywhere).
     fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp) {
-        // In-place twin of `start_all_reduce(..).wait()`: same protocol,
-        // same reduction order, but reduces into the caller's buffer
-        // instead of allocating a result vector — this is the trainer's
-        // hottest collective.
         self.record(CollOp::AllReduce, buf.len() * T::BYTES);
         self.post(Box::new(buf.to_vec()));
-        self.finish_all_reduce_into(buf, op);
-    }
-
-    fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T> {
-        self.start_all_gather(src).wait()
+        let len = buf.len();
+        self.consume_slots::<T>("all_reduce", len, |r, v| {
+            if r == 0 {
+                buf.copy_from_slice(v);
+            } else {
+                for (acc, &x) in buf.iter_mut().zip(v.iter()) {
+                    *acc = T::reduce(op, *acc, x);
+                }
+            }
+        });
     }
 
     fn all_gather_varlen<T: CommElem>(&self, src: &[T]) -> Vec<Vec<T>> {
@@ -333,10 +464,6 @@ impl Communicator for ThreadComm {
         self.shared.barrier.wait();
         self.clear_own_slot();
         out
-    }
-
-    fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
-        self.start_reduce_scatter(buf, op).wait()
     }
 
     fn broadcast<T: CommElem>(&self, buf: &mut Vec<T>, root: usize) {
@@ -422,5 +549,54 @@ impl Communicator for ThreadComm {
         self.post(Box::new(src.to_vec()));
         let len = src.len();
         PendingCollective::deferred(move || self.finish_reduce_scatter(len, op))
+    }
+
+    fn start_all_gather_rows<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        row_ids: &[u32],
+        row_width: usize,
+    ) -> PendingCollective<'c, T> {
+        assert!(row_width > 0, "all_gather_rows: row_width must be positive");
+        assert_eq!(
+            src.len() % row_width,
+            0,
+            "all_gather_rows: src length {} not a multiple of row_width {}",
+            src.len(),
+            row_width
+        );
+        // Phase one (the index exchange) posts at start time; the ledger
+        // event lands at completion, once this rank knows its serve list.
+        self.post(Box::new(row_ids.to_vec()));
+        let src = src.to_vec();
+        let row_ids = row_ids.to_vec();
+        PendingCollective::deferred(move || self.finish_all_gather_rows(src, row_ids, row_width))
+    }
+
+    fn start_all_to_all_rows<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        requests: &[Vec<u32>],
+        row_width: usize,
+    ) -> PendingCollective<'c, T> {
+        assert!(row_width > 0, "all_to_all_rows: row_width must be positive");
+        assert_eq!(
+            src.len() % row_width,
+            0,
+            "all_to_all_rows: src length {} not a multiple of row_width {}",
+            src.len(),
+            row_width
+        );
+        assert_eq!(
+            requests.len(),
+            self.size,
+            "all_to_all_rows: expected {} per-owner request lists, got {}",
+            self.size,
+            requests.len()
+        );
+        self.post(Box::new(requests.to_vec()));
+        let src = src.to_vec();
+        let requests = requests.to_vec();
+        PendingCollective::deferred(move || self.finish_all_to_all_rows(src, requests, row_width))
     }
 }

@@ -63,6 +63,10 @@ pub enum CollOp {
     Broadcast,
     AllToAll,
     Barrier,
+    /// Row-indexed sparse all-gather: only requested rows travel.
+    AllGatherRows,
+    /// Request-driven sparse all-to-all over row indices.
+    AllToAllRows,
 }
 
 /// One recorded collective call on one rank.

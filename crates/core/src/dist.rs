@@ -7,7 +7,7 @@
 //! per-rank program as a single-process cost study at grid sizes no one
 //! machine can execute.
 
-use crate::grid::{Axis, GridConfig, GridCoords};
+use crate::grid::{Axis, GridConfig, GridCoords, GridSpec};
 use plexus_comm::{Communicator, ReduceOp, ThreadComm};
 use plexus_tensor::Matrix;
 
@@ -17,11 +17,21 @@ use plexus_tensor::Matrix;
 /// cost-only variant.
 pub struct DistContext<C: Communicator = ThreadComm> {
     pub grid: GridConfig,
+    /// 1.5D replication factor over the layer-0 feature axis (Z); 1 means
+    /// no replication (see [`GridSpec`]).
+    pub replication: usize,
     pub coords: GridCoords,
     pub world: C,
     x_group: C,
     y_group: C,
     z_group: C,
+    /// The `replication`-sized group of replicas inside one Z-cluster
+    /// (ranks sharing `x`, `y`, `z / c`). Present only when `c > 1`.
+    intra_replica: Option<C>,
+    /// The `Gz / replication` feature *owners* (ranks sharing `x`, `y`,
+    /// `z % c`); the epoch feature gather runs over this group. Present
+    /// only when `c > 1`.
+    cross_replica: Option<C>,
 }
 
 /// The cost-only variant of [`DistContext`], for perf-model studies on
@@ -33,6 +43,22 @@ impl<C: Communicator> DistContext<C> {
     /// called collectively by every rank. Panics if the world size does not
     /// match the grid.
     pub fn new(world: C, grid: GridConfig) -> Self {
+        Self::with_spec(world, GridSpec::new(grid))
+    }
+
+    /// [`new`](DistContext::new) plus the spec's replication groups: when
+    /// `spec.replication > 1`, additionally splits the Z axis into the
+    /// intra-cluster replica group and the cross-cluster owner group the
+    /// 1.5D feature path communicates over. `replication = 1` builds
+    /// exactly what [`new`](DistContext::new) builds.
+    pub fn with_spec(world: C, spec: GridSpec) -> Self {
+        let grid = spec.grid;
+        assert!(
+            grid.gz.is_multiple_of(spec.replication),
+            "DistContext: replication {} does not divide Gz = {}",
+            spec.replication,
+            grid.gz
+        );
         assert_eq!(
             world.size(),
             grid.total(),
@@ -72,7 +98,44 @@ impl<C: Communicator> DistContext<C> {
         debug_assert_eq!(x_group.rank(), c.x);
         debug_assert_eq!(y_group.rank(), c.y);
         debug_assert_eq!(z_group.rank(), c.z);
-        Self { grid, coords: c, world, x_group, y_group, z_group }
+        let rep = spec.replication;
+        let (intra_replica, cross_replica) = if rep > 1 {
+            // Clusters of `rep` consecutive Z-ranks. Intra: same cluster,
+            // ordered by member index. Cross: same member index, ordered
+            // by cluster — so cross rank r owns feature span r.
+            let intra = world.split_by(
+                |r| {
+                    let rc = grid.coords(r);
+                    ((rc.x + (rc.y + (rc.z / rep) * grid.gy) * grid.gx) as u64, (rc.z % rep) as u64)
+                },
+                "zr",
+            );
+            let cross = world.split_by(
+                |r| {
+                    let rc = grid.coords(r);
+                    ((rc.x + (rc.y + (rc.z % rep) * grid.gy) * grid.gx) as u64, (rc.z / rep) as u64)
+                },
+                "zc",
+            );
+            debug_assert_eq!(intra.size(), rep);
+            debug_assert_eq!(cross.size(), grid.gz / rep);
+            debug_assert_eq!(intra.rank(), c.z % rep);
+            debug_assert_eq!(cross.rank(), c.z / rep);
+            (Some(intra), Some(cross))
+        } else {
+            (None, None)
+        };
+        Self {
+            grid,
+            replication: rep,
+            coords: c,
+            world,
+            x_group,
+            y_group,
+            z_group,
+            intra_replica,
+            cross_replica,
+        }
     }
 
     /// The process group along `axis`.
@@ -82,6 +145,18 @@ impl<C: Communicator> DistContext<C> {
             Axis::Y => &self.y_group,
             Axis::Z => &self.z_group,
         }
+    }
+
+    /// The group the epoch feature gather (and the feature-gradient
+    /// scatter's second stage) runs over: the cross-cluster owner group
+    /// under replication, the plain Z group otherwise.
+    pub fn feature_owner_group(&self) -> &C {
+        self.cross_replica.as_ref().unwrap_or(&self.z_group)
+    }
+
+    /// The intra-cluster replica group, when `replication > 1`.
+    pub fn replica_group(&self) -> Option<&C> {
+        self.intra_replica.as_ref()
     }
 
     /// Sum-all-reduce a matrix in place across the `axis` group.
@@ -114,6 +189,32 @@ impl<C: Communicator> DistContext<C> {
                 let src = &part[r * m.cols()..(r + 1) * m.cols()];
                 out.row_mut(r)[gr * m.cols()..(gr + 1) * m.cols()].copy_from_slice(src);
             }
+        }
+        out
+    }
+
+    /// Reduce-scatter the layer-0 feature-gradient block onto this rank's
+    /// stored feature rows. Without replication this is exactly
+    /// [`reduce_scatter_rows`](Self::reduce_scatter_rows) over Z. Under
+    /// replication the sum over the Z axis completes in two stages:
+    /// scatter across the feature owners (same cluster position, different
+    /// clusters), then all-reduce the span chunk across the cluster's
+    /// replicas — every replica ends with the identical full-sum span
+    /// gradient, which is what keeps the redundant optimizer states in
+    /// lockstep.
+    pub fn reduce_scatter_feature_rows(&self, m: &Matrix) -> Matrix {
+        let owners = self.feature_owner_group();
+        assert_eq!(
+            m.rows() % owners.size(),
+            0,
+            "reduce_scatter_feature_rows: {} rows not divisible by {} owners",
+            m.rows(),
+            owners.size()
+        );
+        let chunk = owners.reduce_scatter(m.as_slice(), ReduceOp::Sum);
+        let mut out = Matrix::from_vec(m.rows() / owners.size(), m.cols(), chunk);
+        if let Some(replicas) = self.replica_group() {
+            replicas.all_reduce(out.as_mut_slice(), ReduceOp::Sum);
         }
         out
     }
@@ -198,6 +299,43 @@ mod tests {
         // Sum over both ranks of row i = 2*i + 1.
         assert_eq!(results[0].as_slice(), &[1.0, 1.0, 3.0, 3.0]);
         assert_eq!(results[1].as_slice(), &[5.0, 5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn replication_groups_decompose_the_z_axis() {
+        // 1x2x4 grid, c = 2: Z splits into 2 clusters of 2 replicas. The
+        // intra group pairs the replicas of one cluster; the cross group
+        // pairs same-position members of different clusters (the feature
+        // owners).
+        let grid = GridConfig::new(1, 2, 4);
+        let spec = GridSpec::new(grid).with_replication(2);
+        let results = run_world(8, |world| {
+            let rank = world.rank();
+            let ctx = DistContext::with_spec(world.split(0, rank as u64, "w"), spec);
+            let intra = ctx.replica_group().expect("c > 1 must build the replica group");
+            let owners = ctx.feature_owner_group();
+            (intra.size(), intra.rank(), owners.size(), owners.rank(), owners.label())
+        });
+        for (rank, &(isz, irk, osz, ork, olabel)) in results.iter().enumerate() {
+            let z = rank / 2;
+            assert_eq!((isz, osz), (2, 2));
+            assert_eq!(irk, z % 2, "rank {} intra position", rank);
+            assert_eq!(ork, z / 2, "rank {} cluster index", rank);
+            assert_eq!(olabel, "zc");
+        }
+    }
+
+    #[test]
+    fn unreplicated_feature_owners_are_the_z_group() {
+        let grid = GridConfig::new(2, 1, 2);
+        run_world(4, |world| {
+            let rank = world.rank();
+            let ctx = DistContext::new(world.split(0, rank as u64, "w"), grid);
+            assert_eq!(ctx.replication, 1);
+            assert!(ctx.replica_group().is_none());
+            assert_eq!(ctx.feature_owner_group().label(), "z");
+            assert_eq!(ctx.feature_owner_group().size(), 2);
+        });
     }
 
     #[test]

@@ -104,6 +104,54 @@ impl GridConfig {
     }
 }
 
+/// A grid shape plus the 1.5D-style replication factor.
+///
+/// `replication = c` makes each rank store the feature rows of its whole
+/// *cluster* of `c` consecutive Z-ranks (layer 0's row axis is always Z),
+/// trading `c`× feature/optimizer memory for an epoch feature gather that
+/// runs over `Gz / c` owners instead of `Gz` — fewer, larger blocks, so a
+/// ring moves `(G/c-1)/(G/c)` of the volume instead of `(G-1)/G`, and a
+/// sparse row plan splits its requests across `c`× fewer owners. `c = 1`
+/// is exactly the unreplicated engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridSpec {
+    pub grid: GridConfig,
+    /// Replication factor `c >= 1`; must divide `Gz`.
+    pub replication: usize,
+}
+
+impl GridSpec {
+    /// The plain, unreplicated spec for `grid`.
+    pub fn new(grid: GridConfig) -> Self {
+        Self { grid, replication: 1 }
+    }
+
+    /// Set the replication factor. Panics unless `1 <= c` and `c | Gz`.
+    pub fn with_replication(mut self, c: usize) -> Self {
+        assert!(c >= 1, "GridSpec: replication factor must be >= 1");
+        assert!(
+            self.grid.gz.is_multiple_of(c),
+            "GridSpec: replication {} does not divide Gz = {}",
+            c,
+            self.grid.gz
+        );
+        self.replication = c;
+        self
+    }
+
+    /// Owners of the layer-0 feature row space under this spec
+    /// (`Gz / replication`).
+    pub fn feature_owners(&self) -> usize {
+        self.grid.gz / self.replication
+    }
+}
+
+impl From<GridConfig> for GridSpec {
+    fn from(grid: GridConfig) -> Self {
+        Self::new(grid)
+    }
+}
+
 /// A rank's grid coordinates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GridCoords {
@@ -209,6 +257,18 @@ mod tests {
         assert_eq!(configs.len(), 10);
         assert!(configs.contains(&GridConfig::new(2, 2, 2)));
         assert!(configs.contains(&GridConfig::new(8, 1, 1)));
+    }
+
+    #[test]
+    fn grid_spec_validates_replication() {
+        let spec = GridSpec::new(GridConfig::new(2, 2, 4)).with_replication(2);
+        assert_eq!(spec.replication, 2);
+        assert_eq!(spec.feature_owners(), 2);
+        assert_eq!(GridSpec::from(GridConfig::new(2, 2, 4)).replication, 1);
+        let bad = std::panic::catch_unwind(|| {
+            GridSpec::new(GridConfig::new(2, 2, 4)).with_replication(3)
+        });
+        assert!(bad.is_err(), "replication must divide Gz");
     }
 
     #[test]

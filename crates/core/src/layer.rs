@@ -40,6 +40,7 @@
 use crate::dist::DistContext;
 use crate::grid::LayerRoles;
 use plexus_comm::{Communicator, PendingCollective, ReduceOp};
+use plexus_graph::RowRequestPlan;
 use plexus_sparse::blocked::RowBlocks;
 use plexus_sparse::{spmm_into, Csr};
 use plexus_tensor::ops::{relu_backward_inplace, relu_into};
@@ -83,6 +84,21 @@ pub enum CommOverlap {
     /// Reductions are launched nonblocking and waited as late as the data
     /// dependences allow. Bitwise identical to `Blocking`.
     Overlapped,
+}
+
+/// How the layer-0 feature gather moves rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommPlan {
+    /// Dense all-gather of every owner's full feature block — the paper's
+    /// Algorithm 1 line 3 as written.
+    #[default]
+    Dense,
+    /// Row-indexed sparse gather driven by a cached [`RowRequestPlan`]:
+    /// only the rows in the adjacency shard's column support travel; all
+    /// other rows of the gathered input are zero-filled and — because the
+    /// SpMM reads exactly the support columns — never touched. Bitwise
+    /// identical losses to `Dense`.
+    SparseRows,
 }
 
 /// Row-tile count for the overlapped combination GEMM: enough tiles to
@@ -236,6 +252,72 @@ impl DistLayer {
     /// calls this after every optimizer step on this layer's weights.
     pub fn bump_weights_version(&mut self) {
         self.weights_version += 1;
+    }
+
+    /// Layer-0 input gather (Algorithm 1 line 3) under the configured
+    /// [`CommPlan`]. `f_stored` is this rank's stored span of the trainable
+    /// features; the result is the full `rows_total x fcols` input block
+    /// shared by the rank's whole (x, y) plane.
+    ///
+    /// * `plan == None` (dense): all-gather every owner's block across the
+    ///   feature-owner group.
+    /// * `plan == Some(..)` (sparse): `start_all_gather_rows` fetches only
+    ///   the plan's support rows; while they are in flight the scatter
+    ///   target is taken from the workspace and zero-filled (that fill is
+    ///   the compute hidden behind the collective under
+    ///   [`CommOverlap::Overlapped`]), then each returned row lands at its
+    ///   global position. Rows outside the support stay zero and are never
+    ///   read by the SpMM, so downstream results are bitwise identical to
+    ///   the dense path.
+    pub fn gather_input<C: Communicator>(
+        &mut self,
+        ctx: &DistContext<C>,
+        f_stored: &Matrix,
+        plan: Option<&RowRequestPlan>,
+        t: &mut TimeSplit,
+    ) -> Matrix {
+        let group = ctx.feature_owner_group();
+        let width = f_stored.cols();
+        let Some(plan) = plan else {
+            let t1 = Instant::now();
+            let data = group.all_gather(f_stored.as_slice());
+            let x = Matrix::from_vec(f_stored.rows() * group.size(), width, data);
+            t.comm_s += t1.elapsed().as_secs_f64();
+            return x;
+        };
+        assert_eq!(
+            plan.rows_per_owner,
+            f_stored.rows(),
+            "gather_input: plan block size {} != stored feature rows {}",
+            plan.rows_per_owner,
+            f_stored.rows()
+        );
+        assert_eq!(
+            plan.requests.len(),
+            group.size(),
+            "gather_input: plan built for {} owners, group has {}",
+            plan.requests.len(),
+            group.size()
+        );
+        let t1 = Instant::now();
+        let pending = group.start_all_gather_rows(f_stored.as_slice(), &plan.row_ids, width);
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut x = self.ws.take_scratch(plan.rows_total(), width);
+        x.as_mut_slice().fill(0.0);
+        t.compute_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let rows = pending.wait();
+        t.comm_s += t1.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        for (i, &g) in plan.row_ids.iter().enumerate() {
+            x.row_mut(g as usize).copy_from_slice(&rows[i * width..(i + 1) * width]);
+        }
+        t.compute_s += t0.elapsed().as_secs_f64();
+        x
     }
 
     /// Algorithm 1, lines 2–12, for this layer's roles. `f_full` is the
@@ -525,7 +607,11 @@ impl DistLayer {
             dw_stored = Matrix::from_vec(dw_rows / r_group.size(), dw_cols, p.wait());
         }
         let df = if df_scatter {
-            let df = ctx.reduce_scatter_rows(&df_partial, roles.rows);
+            // Layer 0: land the feature gradient on the stored span. Under
+            // replication this completes the R-axis sum in two stages
+            // (scatter across owners, all-reduce across replicas); with
+            // c = 1 it is exactly the reduce-scatter across R.
+            let df = ctx.reduce_scatter_feature_rows(&df_partial);
             ws.recycle(df_partial);
             df
         } else {

@@ -63,8 +63,10 @@ pub mod trainer;
 
 pub use activation::{ActivationStats, ActivationStore, Fetched, ResidencyPolicy};
 pub use dist::{DistContext, SimDistContext};
-pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, LayerRoles};
-pub use layer::{Aggregation, CommOverlap, DistLayer, DistLayerCache, GemmTuning, TimeSplit};
+pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, GridSpec, LayerRoles};
+pub use layer::{
+    Aggregation, CommOverlap, CommPlan, DistLayer, DistLayerCache, GemmTuning, TimeSplit,
+};
 pub use loader::{
     preprocess_to_store, preprocess_to_store_serial, LoadStats, LoaderError, LoaderResult,
     MemoryLedger, Parity, PreprocessSummary, ShardStore,

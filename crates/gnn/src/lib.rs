@@ -22,6 +22,7 @@ pub mod gin;
 pub mod layer;
 pub mod loss;
 pub mod model;
+pub mod spill;
 pub mod trainer;
 
 pub use adam::{Adam, AdamConfig};

@@ -1,0 +1,128 @@
+//! Minimal matrix spill files for the serial trainer's
+//! [`SerialResidency::Spill`](crate::trainer::SerialResidency) mode:
+//! little-endian f32 payload behind a checksummed header, one file per
+//! spilled matrix. The distributed engine has its own richer spill store;
+//! this one exists so the serial baseline can exercise the same
+//! keep/spill/reload contract without depending on it.
+
+use plexus_tensor::{KernelWorkspace, Matrix};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u64 = 0x504c5853_53504c31; // "PLXS SPL1"
+
+/// FNV-1a over the payload bytes — cheap, deterministic, catches the
+/// truncation/corruption cases a reload must refuse to silently accept.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One spilled matrix on disk. Created by [`SpillFile::write`]; consumed
+/// (verified, loaded into a workspace buffer, deleted) by
+/// [`SpillFile::read`].
+pub struct SpillFile {
+    path: PathBuf,
+    rows: usize,
+    cols: usize,
+}
+
+impl SpillFile {
+    /// Serialize `m` to `dir/tag.spill`: magic, shape, payload checksum,
+    /// then the values as little-endian f32.
+    pub fn write(dir: &Path, tag: &str, m: &Matrix) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.spill", tag));
+        let mut payload = Vec::with_capacity(m.as_slice().len() * 4);
+        for v in m.as_slice() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut f = fs::File::create(&path)?;
+        f.write_all(&MAGIC.to_le_bytes())?;
+        f.write_all(&(m.rows() as u64).to_le_bytes())?;
+        f.write_all(&(m.cols() as u64).to_le_bytes())?;
+        f.write_all(&fnv1a(&payload).to_le_bytes())?;
+        f.write_all(&payload)?;
+        f.sync_all()?;
+        Ok(Self { path, rows: m.rows(), cols: m.cols() })
+    }
+
+    /// Verify, reload into a buffer drawn from `ws`, and delete the file.
+    /// A bad magic, shape or checksum is an `InvalidData` error — a spill
+    /// reload must never hand back silently corrupted activations.
+    pub fn read(self, ws: &mut KernelWorkspace) -> io::Result<Matrix> {
+        let mut f = fs::File::open(&self.path)?;
+        let mut head = [0u8; 32];
+        f.read_exact(&mut head)?;
+        let word = |i: usize| u64::from_le_bytes(head[i * 8..(i + 1) * 8].try_into().unwrap());
+        if word(0) != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "spill file: bad magic"));
+        }
+        if (word(1) as usize, word(2) as usize) != (self.rows, self.cols) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "spill file: shape mismatch"));
+        }
+        let mut payload = vec![0u8; self.rows * self.cols * 4];
+        f.read_exact(&mut payload)?;
+        if fnv1a(&payload) != word(3) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "spill file: bad checksum"));
+        }
+        let mut m = ws.take_scratch(self.rows, self.cols);
+        for (dst, src) in m.as_mut_slice().iter_mut().zip(payload.chunks_exact(4)) {
+            *dst = f32::from_le_bytes(src.try_into().unwrap());
+        }
+        fs::remove_file(&self.path)?;
+        Ok(m)
+    }
+
+    /// Bytes of matrix payload this file holds.
+    pub fn payload_bytes(&self) -> u64 {
+        (self.rows * self.cols * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "plexus_gnn_spill_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn round_trip_is_bitwise() {
+        let dir = tmp();
+        let m = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.5 - 2.0).collect());
+        let file = SpillFile::write(&dir, "rt", &m).unwrap();
+        assert_eq!(file.payload_bytes(), 48);
+        let mut ws = KernelWorkspace::new();
+        let back = file.read(&mut ws).unwrap();
+        assert_eq!(back.as_slice(), m.as_slice());
+        assert!(!dir.join("rt.spill").exists(), "read must delete the file");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmp();
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let file = SpillFile::write(&dir, "bad", &m).unwrap();
+        // Flip one payload byte behind the header.
+        let path = dir.join("bad.spill");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[32] ^= 0xff;
+        fs::write(&path, bytes).unwrap();
+        let mut ws = KernelWorkspace::new();
+        let err = file.read(&mut ws).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,10 +14,16 @@
 //!   generated input features with a size of 128, and generated labels with
 //!   32 classes based on the distribution of node degrees" (§6.2).
 
+//!
+//! It also hosts [`rowplan::RowRequestPlan`] — the adjacency-derived row
+//! request sets that drive the sparse collectives (the row demand is a
+//! property of the graph's structure, so it lives with the graphs).
+
 pub mod datasets;
 pub mod generators;
 pub mod graph;
 pub mod labels;
+pub mod rowplan;
 
 pub use datasets::{paper_datasets, DatasetKind, DatasetSpec, LoadedDataset};
 pub use generators::{
@@ -25,3 +31,4 @@ pub use generators::{
 };
 pub use graph::Graph;
 pub use labels::{degree_based_labels, train_val_test_masks, Split};
+pub use rowplan::RowRequestPlan;

@@ -1,0 +1,140 @@
+//! [`RowRequestPlan`]: the once-per-epoch row-request sets that drive the
+//! sparse collectives.
+//!
+//! A rank's SpMM only ever reads the gathered input rows named by the
+//! *column support* of its adjacency shard — every other row of the dense
+//! all-gather is shipped and then ignored. The plan extracts that support
+//! once (adjacency is static across epochs, so "once per epoch" is
+//! construction time on the trainer) and pre-splits it into the per-owner
+//! request lists `Communicator::all_to_all_rows` consumes, with the flat
+//! sorted id list `Communicator::all_gather_rows` wants alongside.
+
+use plexus_sparse::Csr;
+
+/// Row-request sets derived from one adjacency shard's column support,
+/// against a row space sharded equally across `owners` ranks.
+///
+/// Built by [`RowRequestPlan::from_column_support`]; cached on the trainer
+/// and reused every epoch (the adjacency never changes between epochs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowRequestPlan {
+    /// Sorted, distinct global row ids this rank needs — the shard's
+    /// column support. Feed to `all_gather_rows`.
+    pub row_ids: Vec<u32>,
+    /// `requests[o]` = the local indices of owner `o`'s block covered by
+    /// `row_ids`, ascending. Feed to `all_to_all_rows`; because `row_ids`
+    /// is sorted, its order equals the owner-major flattening of these
+    /// lists, so both collectives return byte-identical payloads.
+    pub requests: Vec<Vec<u32>>,
+    /// Rows each owner holds (the row space is `owners` equal blocks).
+    pub rows_per_owner: usize,
+}
+
+impl RowRequestPlan {
+    /// Derive the plan from `shard`'s column support, with the shard's
+    /// column window (`shard.cols()`) split equally across `owners` ranks.
+    pub fn from_column_support(shard: &Csr, owners: usize) -> Self {
+        assert!(owners > 0, "RowRequestPlan: owners must be positive");
+        assert_eq!(
+            shard.cols() % owners,
+            0,
+            "RowRequestPlan: row space {} not divisible by {} owners",
+            shard.cols(),
+            owners
+        );
+        let rows_per_owner = shard.cols() / owners;
+        let mut row_ids: Vec<u32> = shard.col_idx().to_vec();
+        row_ids.sort_unstable();
+        row_ids.dedup();
+        let mut requests: Vec<Vec<u32>> = vec![Vec::new(); owners];
+        for &g in &row_ids {
+            requests[g as usize / rows_per_owner].push(g % rows_per_owner as u32);
+        }
+        Self { row_ids, requests, rows_per_owner }
+    }
+
+    /// Total rows in the sharded row space.
+    pub fn rows_total(&self) -> usize {
+        self.rows_per_owner * self.requests.len()
+    }
+
+    /// Rows this rank actually requests.
+    pub fn num_requested(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Fraction of the dense row space the plan touches (1.0 means the
+    /// sparse exchange would carry as many rows as the dense gather).
+    pub fn coverage(&self) -> f64 {
+        if self.rows_total() == 0 {
+            return 0.0;
+        }
+        self.row_ids.len() as f64 / self.rows_total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plexus_sparse::Coo;
+
+    fn shard() -> Csr {
+        // 4x8 block touching columns {1, 2, 5, 7}.
+        let mut coo = Coo::new(4, 8);
+        coo.push(0, 5, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 1, 2.0);
+        coo.push(2, 7, 1.0);
+        coo.push(3, 2, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn support_is_sorted_and_distinct() {
+        let plan = RowRequestPlan::from_column_support(&shard(), 4);
+        assert_eq!(plan.row_ids, vec![1, 2, 5, 7]);
+        assert_eq!(plan.rows_per_owner, 2);
+        assert_eq!(plan.rows_total(), 8);
+        assert_eq!(plan.num_requested(), 4);
+        assert!((plan.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requests_partition_the_support_by_owner() {
+        let plan = RowRequestPlan::from_column_support(&shard(), 4);
+        // Owner o holds rows [2o, 2o+2): 1 → (0,1), 2 → (1,0), 5 → (2,1),
+        // 7 → (3,1).
+        assert_eq!(plan.requests, vec![vec![1], vec![0], vec![1], vec![1]]);
+        // Owner-major flattening of local ids reproduces the sorted
+        // global ids — the invariant that makes all_to_all_rows and
+        // all_gather_rows interchangeable on this plan.
+        let rebuilt: Vec<u32> = plan
+            .requests
+            .iter()
+            .enumerate()
+            .flat_map(|(o, ids)| ids.iter().map(move |&l| (o * plan.rows_per_owner) as u32 + l))
+            .collect();
+        assert_eq!(rebuilt, plan.row_ids);
+    }
+
+    #[test]
+    fn dense_support_covers_everything() {
+        let mut coo = Coo::new(2, 4);
+        for r in 0..2u32 {
+            for c in 0..4u32 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let plan = RowRequestPlan::from_column_support(&coo.to_csr(), 2);
+        assert_eq!(plan.row_ids, vec![0, 1, 2, 3]);
+        assert_eq!(plan.coverage(), 1.0);
+    }
+
+    #[test]
+    fn empty_shard_requests_nothing() {
+        let plan = RowRequestPlan::from_column_support(&Csr::empty(4, 8), 2);
+        assert!(plan.row_ids.is_empty());
+        assert_eq!(plan.requests, vec![Vec::<u32>::new(), Vec::new()]);
+        assert_eq!(plan.coverage(), 0.0);
+    }
+}

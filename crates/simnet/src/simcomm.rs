@@ -32,7 +32,9 @@ use crate::ring::{
     all_gather_time, all_reduce_time, all_to_all_time, broadcast_time, reduce_scatter_time,
 };
 use parking_lot::Mutex;
-use plexus_comm::{CollOp, CommElem, CommEvent, Communicator, ReduceOp, TrafficLedger};
+use plexus_comm::{
+    CollOp, CommElem, CommEvent, Communicator, PendingCollective, ReduceOp, TrafficLedger,
+};
 use std::sync::Arc;
 
 /// The link-cost parameters a [`SimComm`] world charges.
@@ -188,46 +190,11 @@ impl Communicator for SimComm {
         }
     }
 
-    fn all_reduce<T: CommElem>(&self, buf: &mut [T], op: ReduceOp) {
-        let bytes = buf.len() * T::BYTES;
-        self.record(CollOp::AllReduce, bytes);
-        self.charge(all_reduce_time(bytes as f64, self.size, self.beta()));
-        Self::mirror_reduce(buf, self.size, op);
-    }
-
-    fn all_gather<T: CommElem>(&self, src: &[T]) -> Vec<T> {
-        self.record(CollOp::AllGather, src.len() * T::BYTES);
-        let result_bytes = (src.len() * self.size * T::BYTES) as f64;
-        self.charge(all_gather_time(result_bytes, self.size, self.beta()));
-        let mut out = Vec::with_capacity(src.len() * self.size);
-        for _ in 0..self.size {
-            out.extend_from_slice(src);
-        }
-        out
-    }
-
     fn all_gather_varlen<T: CommElem>(&self, src: &[T]) -> Vec<Vec<T>> {
         self.record(CollOp::AllGather, src.len() * T::BYTES);
         let result_bytes = (src.len() * self.size * T::BYTES) as f64;
         self.charge(all_gather_time(result_bytes, self.size, self.beta()));
         (0..self.size).map(|_| src.to_vec()).collect()
-    }
-
-    fn reduce_scatter<T: CommElem>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
-        assert_eq!(
-            buf.len() % self.size,
-            0,
-            "reduce_scatter: buffer length {} not divisible by group size {}",
-            buf.len(),
-            self.size
-        );
-        let bytes = buf.len() * T::BYTES;
-        self.record(CollOp::ReduceScatter, bytes);
-        self.charge(reduce_scatter_time(bytes as f64, self.size, self.beta()));
-        let chunk = buf.len() / self.size;
-        let mut out = buf[self.rank * chunk..(self.rank + 1) * chunk].to_vec();
-        Self::mirror_reduce(&mut out, self.size, op);
-        out
     }
 
     fn broadcast<T: CommElem>(&self, buf: &mut Vec<T>, root: usize) {
@@ -251,6 +218,159 @@ impl Communicator for SimComm {
         // Every mirrored peer sent us the chunk it addressed to our rank —
         // which mirrors our own chunk for our rank.
         (0..self.size).map(|_| sends[self.rank].clone()).collect()
+    }
+
+    // The `start_*` forms are the one data path each collective has (the
+    // blocking forms are trait defaults). A cost-only world has nothing to
+    // overlap with, so each completes eagerly and returns a ready handle —
+    // the time was charged at start, exactly as a real overlapped
+    // collective would occupy the link while compute proceeds.
+
+    fn start_all_reduce<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        op: ReduceOp,
+    ) -> PendingCollective<'c, T> {
+        let bytes = src.len() * T::BYTES;
+        self.record(CollOp::AllReduce, bytes);
+        self.charge(all_reduce_time(bytes as f64, self.size, self.beta()));
+        let mut buf = src.to_vec();
+        Self::mirror_reduce(&mut buf, self.size, op);
+        PendingCollective::ready(buf)
+    }
+
+    fn start_all_gather<'c, T: CommElem>(&'c self, src: &[T]) -> PendingCollective<'c, T> {
+        self.record(CollOp::AllGather, src.len() * T::BYTES);
+        let result_bytes = (src.len() * self.size * T::BYTES) as f64;
+        self.charge(all_gather_time(result_bytes, self.size, self.beta()));
+        let mut out = Vec::with_capacity(src.len() * self.size);
+        for _ in 0..self.size {
+            out.extend_from_slice(src);
+        }
+        PendingCollective::ready(out)
+    }
+
+    fn start_reduce_scatter<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        op: ReduceOp,
+    ) -> PendingCollective<'c, T> {
+        assert_eq!(
+            src.len() % self.size,
+            0,
+            "reduce_scatter: buffer length {} not divisible by group size {}",
+            src.len(),
+            self.size
+        );
+        let bytes = src.len() * T::BYTES;
+        self.record(CollOp::ReduceScatter, bytes);
+        self.charge(reduce_scatter_time(bytes as f64, self.size, self.beta()));
+        let chunk = src.len() / self.size;
+        let mut out = src[self.rank * chunk..(self.rank + 1) * chunk].to_vec();
+        Self::mirror_reduce(&mut out, self.size, op);
+        PendingCollective::ready(out)
+    }
+
+    fn start_all_gather_rows<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        row_ids: &[u32],
+        row_width: usize,
+    ) -> PendingCollective<'c, T> {
+        assert!(row_width > 0, "all_gather_rows: row_width must be positive");
+        assert_eq!(
+            src.len() % row_width,
+            0,
+            "all_gather_rows: src length {} not a multiple of row_width {}",
+            src.len(),
+            row_width
+        );
+        let local_rows = src.len() / row_width;
+        let rows_total = local_rows * self.size;
+        // Mirror world: every peer requests this rank's `row_ids`, so the
+        // serve list is the distinct requested rows that fall in this
+        // rank's ownership range. Ledger bytes follow the thread backend's
+        // indexed-size convention (rows served + index upload), which is
+        // what makes the dense-vs-sparse volume comparison apples-to-apples
+        // with the dense AllGather events' contributed-payload convention.
+        let mut owned: Vec<u32> = row_ids
+            .iter()
+            .copied()
+            .inspect(|&g| {
+                assert!(
+                    (g as usize) < rows_total,
+                    "all_gather_rows: row id {} out of {} global rows",
+                    g,
+                    rows_total
+                );
+            })
+            .filter(|&g| g as usize / local_rows == self.rank)
+            .collect();
+        owned.sort_unstable();
+        owned.dedup();
+        let served_bytes = owned.len() * row_width * T::BYTES;
+        let index_bytes = std::mem::size_of_val(row_ids);
+        self.record(CollOp::AllGatherRows, served_bytes + index_bytes);
+        // Ring-gather of the *actual* sparse volume: the requested rows
+        // plus the index exchange, not the dense padded block.
+        let sparse_bytes = (row_ids.len() * row_width * T::BYTES + index_bytes) as f64;
+        self.charge(all_gather_time(sparse_bytes, self.size, self.beta()));
+        let mut out = Vec::with_capacity(row_ids.len() * row_width);
+        for &g in row_ids {
+            let local = g as usize % local_rows;
+            out.extend_from_slice(&src[local * row_width..][..row_width]);
+        }
+        PendingCollective::ready(out)
+    }
+
+    fn start_all_to_all_rows<'c, T: CommElem>(
+        &'c self,
+        src: &[T],
+        requests: &[Vec<u32>],
+        row_width: usize,
+    ) -> PendingCollective<'c, T> {
+        assert!(row_width > 0, "all_to_all_rows: row_width must be positive");
+        assert_eq!(
+            src.len() % row_width,
+            0,
+            "all_to_all_rows: src length {} not a multiple of row_width {}",
+            src.len(),
+            row_width
+        );
+        assert_eq!(
+            requests.len(),
+            self.size,
+            "all_to_all_rows: expected {} per-owner request lists, got {}",
+            self.size,
+            requests.len()
+        );
+        let local_rows = src.len() / row_width;
+        // Mirror world: every peer's request table is this rank's, so each
+        // of the `size` peers wants `requests[self.rank]` from us.
+        let outgoing_rows = self.size * requests[self.rank].len() * row_width * T::BYTES;
+        let outgoing_ids: usize =
+            requests.iter().map(|r| r.len() * std::mem::size_of::<u32>()).sum();
+        self.record(CollOp::AllToAllRows, outgoing_rows + outgoing_ids);
+        self.charge(all_to_all_time(
+            (outgoing_rows + outgoing_ids) as f64,
+            self.size,
+            self.beta(),
+            self.cost.latency,
+        ));
+        let out_len: usize = requests.iter().map(|r| r.len() * row_width).sum();
+        let mut out = Vec::with_capacity(out_len);
+        for per_owner in requests {
+            for &l in per_owner {
+                assert!(
+                    (l as usize) < local_rows,
+                    "all_to_all_rows: local row {} of a {}-row block",
+                    l,
+                    local_rows
+                );
+                out.extend_from_slice(&src[l as usize * row_width..][..row_width]);
+            }
+        }
+        PendingCollective::ready(out)
     }
 
     fn split_by<F>(&self, f: F, label: &'static str) -> Self

@@ -282,6 +282,110 @@ mod laws {
         }
     }
 
+    pub fn full_row_set_sparse_gather_equals_dense<B: Backend>(b: &B) {
+        // Requesting every global row in ascending order degenerates the
+        // sparse collective to the dense one — bitwise, on both backends.
+        for size in [1usize, 2, 4] {
+            let results = b.run(size, move |comm| {
+                let src: Vec<f32> =
+                    (0..4 * 3).map(|i| (i + comm.rank() * 100) as f32 * 0.5).collect();
+                let all_rows: Vec<u32> = (0..(4 * comm.size()) as u32).collect();
+                let sparse = comm.all_gather_rows(&src, &all_rows, 3);
+                let dense = comm.all_gather(&src);
+                (sparse, dense)
+            });
+            for (sparse, dense) in results {
+                assert_eq!(sparse, dense, "{}: full row set != dense gather", b.name());
+            }
+        }
+    }
+
+    pub fn sparse_gather_returns_requested_rows_in_order<B: Backend>(b: &B) {
+        // Pull semantics: each rank's result is exactly its own row_ids,
+        // in order — duplicated, unsorted and empty requests included.
+        // Rank-uniform blocks make the expected values backend-agnostic.
+        let results = b.run(4, |comm| {
+            let src: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect(); // 4 rows x 2
+            let ids: Vec<u32> = match comm.rank() {
+                0 => vec![],
+                1 => vec![13, 2, 2, 7],
+                _ => vec![0, 15],
+            };
+            (comm.all_gather_rows(&src, &ids, 2), ids)
+        });
+        for (rows, ids) in results {
+            assert_eq!(rows.len(), ids.len() * 2, "{}: one row per id", b.name());
+            for (i, &g) in ids.iter().enumerate() {
+                let l = (g % 4) as usize;
+                assert_eq!(
+                    &rows[i * 2..i * 2 + 2],
+                    &[l as f64, l as f64 + 0.5],
+                    "{}: row {} landed wrong",
+                    b.name(),
+                    g
+                );
+            }
+        }
+    }
+
+    pub fn all_to_all_rows_agrees_with_gather_rows_on_a_plan<B: Backend>(b: &B) {
+        // A RowRequestPlan invariant restated as a trait law: when the
+        // owner-major flattening of the per-owner request lists equals the
+        // sorted id list, both sparse collectives return identical bytes.
+        let results = b.run(3, |comm| {
+            let src: Vec<f32> = (0..8).map(|i| (i * i) as f32).collect(); // uniform 4 x 2
+            let row_ids: Vec<u32> = vec![1, 3, 5, 10];
+            let requests: Vec<Vec<u32>> = vec![vec![1, 3], vec![1], vec![2]];
+            let gathered = comm.all_gather_rows(&src, &row_ids, 2);
+            let exchanged = comm.all_to_all_rows(&src, &requests, 2);
+            (gathered, exchanged)
+        });
+        for (g, e) in results {
+            assert_eq!(g, e, "{}: plan-equivalent collectives disagree", b.name());
+        }
+    }
+
+    pub fn sparse_gather_ledger_records_indexed_sizes<B: Backend>(b: &B) {
+        // The indexed-size convention: contributed payload (rows this rank
+        // serves) plus this rank's uploaded index list — the sparse
+        // analogue of dense AllGather's src-bytes entry, so dense-vs-sparse
+        // volume comparisons read straight off the ledger.
+        let results = b.run(2, |comm| {
+            let src = vec![1.0f32; 8]; // 4 rows x 2
+            let ids: Vec<u32> = vec![0, 2, 5];
+            let _ = comm.all_gather_rows(&src, &ids, 2);
+            let ev = comm
+                .ledger()
+                .snapshot()
+                .into_iter()
+                .rfind(|e| e.op == CollOp::AllGatherRows)
+                .expect("sparse gather must be ledgered");
+            (ev.bytes, comm.rank())
+        });
+        for (bytes, rank) in results {
+            // Rank 0 owns rows 0..4 and serves {0, 2}; rank 1 owns 4..8
+            // and serves {5}. Indexed size = served * width * 4 + ids * 4.
+            let served = if rank == 0 { 2 } else { 1 };
+            assert_eq!(bytes, served * 2 * 4 + 3 * 4, "{}: rank {} bytes", b.name(), rank);
+        }
+    }
+
+    pub fn nonblocking_sparse_equals_blocking<B: Backend>(b: &B) {
+        let results = b.run(3, |comm| {
+            let src: Vec<f32> = (0..8).map(|i| (i + comm.rank() * 3) as f32).collect();
+            let ids: Vec<u32> = (0..(4 * comm.size()) as u32).step_by(2).collect();
+            let nb_gather = comm.start_all_gather_rows(&src, &ids, 2).wait();
+            let bl_gather = comm.all_gather_rows(&src, &ids, 2);
+            let reqs: Vec<Vec<u32>> = (0..comm.size()).map(|_| vec![0, 2]).collect();
+            let nb_exchange = comm.start_all_to_all_rows(&src, &reqs, 2).wait();
+            let bl_exchange = comm.all_to_all_rows(&src, &reqs, 2);
+            (nb_gather == bl_gather, nb_exchange == bl_exchange)
+        });
+        for (g, e) in results {
+            assert!(g && e, "{}: sparse start_*(..).wait() must equal blocking", b.name());
+        }
+    }
+
     pub fn all<B: Backend>(b: &B) {
         gather_places_own_shard_at_own_rank(b);
         varlen_gather_has_one_part_per_rank(b);
@@ -295,6 +399,11 @@ mod laws {
         rank_uniform_reductions_have_exact_values(b);
         runs_are_bitwise_deterministic(b);
         ledger_accounts_every_collective(b);
+        full_row_set_sparse_gather_equals_dense(b);
+        sparse_gather_returns_requested_rows_in_order(b);
+        all_to_all_rows_agrees_with_gather_rows_on_a_plan(b);
+        sparse_gather_ledger_records_indexed_sizes(b);
+        nonblocking_sparse_equals_blocking(b);
     }
 }
 
@@ -332,6 +441,53 @@ mod thread_only {
         for (rank, recv) in results.iter().enumerate() {
             for (src, chunk) in recv.iter().enumerate() {
                 assert_eq!(chunk, &vec![(src * 10 + rank) as u32; rank + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_gather_fetches_true_owner_rows() {
+        // Cross-rank value law: requested rows carry the *owner's* data,
+        // with per-rank request sets that all differ.
+        let results = run_world(4, |comm| {
+            // Owner r's row l = [r*100 + l*10, r*100 + l*10 + 1].
+            let src: Vec<f32> = (0..2)
+                .flat_map(|l| {
+                    let base = (comm.rank() * 100 + l * 10) as f32;
+                    [base, base + 1.0]
+                })
+                .collect();
+            let ids: Vec<u32> = vec![comm.rank() as u32 * 2 + 1, 6, 0];
+            (comm.all_gather_rows(&src, &ids, 2), ids)
+        });
+        for (rows, ids) in results {
+            for (i, &g) in ids.iter().enumerate() {
+                let base = ((g / 2) * 100 + (g % 2) * 10) as f32;
+                assert_eq!(&rows[i * 2..i * 2 + 2], &[base, base + 1.0], "row {}", g);
+            }
+        }
+    }
+
+    #[test]
+    fn request_driven_exchange_routes_exact_rows() {
+        // Every rank asks each owner for a different local row; the
+        // returned owner-major payload must carry exactly those rows.
+        let results = run_world(3, |comm| {
+            let src: Vec<f64> = (0..3)
+                .flat_map(|l| {
+                    let v = (comm.rank() * 10 + l) as f64;
+                    [v, -v]
+                })
+                .collect();
+            let reqs: Vec<Vec<u32>> =
+                (0..3).map(|o| vec![((comm.rank() + o) % 3) as u32]).collect();
+            (comm.all_to_all_rows(&src, &reqs, 2), comm.rank())
+        });
+        for (rows, rank) in results {
+            assert_eq!(rows.len(), 6);
+            for o in 0..3usize {
+                let v = (o * 10 + (rank + o) % 3) as f64;
+                assert_eq!(&rows[o * 2..o * 2 + 2], &[v, -v], "owner {} chunk", o);
             }
         }
     }

@@ -244,6 +244,31 @@ proptest! {
     }
 
     #[test]
+    fn full_row_set_sparse_gather_equals_dense_gather(
+        ranks in 1usize..5,
+        local_rows in 1usize..9,
+        width in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        // The sparse collective's degenerate case: requesting every global
+        // row in ascending order must reproduce the dense all_gather bit
+        // for bit, for arbitrary world sizes, block heights and row widths.
+        let results = run_world(ranks, move |comm| {
+            use rand::{rngs::StdRng, RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(comm.rank() as u64 * 7919));
+            let src: Vec<f32> =
+                (0..local_rows * width).map(|_| rng.random_range(-3.0f32..3.0)).collect();
+            let all_rows: Vec<u32> = (0..(local_rows * comm.size()) as u32).collect();
+            let sparse = comm.all_gather_rows(&src, &all_rows, width);
+            let dense = comm.all_gather(&src);
+            (sparse, dense)
+        });
+        for (rank, (sparse, dense)) in results.iter().enumerate() {
+            prop_assert!(sparse == dense, "rank {} sparse != dense", rank);
+        }
+    }
+
+    #[test]
     fn reduce_scatter_concat_equals_all_reduce(ranks in 1usize..5, chunk in 1usize..16) {
         let results = run_world(ranks, move |comm| {
             let len = chunk * comm.size();
