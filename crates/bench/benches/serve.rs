@@ -1,0 +1,214 @@
+//! BENCH_serve: inference-serving throughput and latency over a frozen
+//! artifact.
+//!
+//! Two sections:
+//!
+//! 1. Criterion arms (`serve/...`) — the regression-gated ids for
+//!    `compare_bench`: single-query and batched engine forwards, plus the
+//!    k-hop extraction alone (the mmap-decode hot path).
+//! 2. An open-loop load test against the full [`Server`] front end —
+//!    requests arrive on a fixed schedule regardless of completions (so
+//!    queueing delay is *measured*, not hidden as in closed loop) —
+//!    reporting throughput and p50/p95/p99 latency.
+//!
+//! `PLEXUS_BENCH_SAMPLES` shrinks both sections for CI smoke runs.
+
+use criterion::{criterion_group, Criterion};
+use plexus_bench::Table;
+use plexus_gnn::{Gcn, GcnConfig};
+use plexus_graph::{extract_sub_csr, khop_node_sets, rmat_graph};
+use plexus_serve::{freeze, Artifact, QueryEngine, ServeConfig, Server};
+use plexus_tensor::uniform_matrix;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const SCALE: u32 = 13;
+const HIDDEN: usize = 16;
+const CLASSES: usize = 12;
+
+/// Smoke runs (small `PLEXUS_BENCH_SAMPLES`) scale the open-loop section
+/// down with the criterion sample count.
+fn smoke_factor() -> usize {
+    match std::env::var("PLEXUS_BENCH_SAMPLES").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n < 10 => 8,
+        _ => 1,
+    }
+}
+
+fn build_artifact() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plexus_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 1usize << SCALE;
+    let graph = rmat_graph(SCALE, 8, 11);
+    let a_hat = graph.normalized_adjacency();
+    let features = uniform_matrix(n, HIDDEN, -0.5, 0.5, 12);
+    let gcn = Gcn::new(GcnConfig {
+        input_dim: HIDDEN,
+        hidden_dim: HIDDEN,
+        num_classes: CLASSES,
+        num_layers: 3,
+        seed: 13,
+    });
+    freeze(&dir, &a_hat, &gcn, &features, 4, 4).unwrap();
+    dir
+}
+
+fn query_nodes(n: usize, count: usize, salt: usize) -> Vec<u32> {
+    (0..count).map(|i| ((i * 2654435761 + salt * 40503) % n) as u32).collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let dir = build_artifact();
+    let art = Artifact::open(&dir).unwrap();
+    let snap = art.snapshot();
+    let n = art.num_nodes();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+
+    // K-hop extraction alone: sets + per-layer sub-CSRs straight off the
+    // mapped shards. This is the path the mmap refactor feeds.
+    let batch32 = query_nodes(n, 32, 1);
+    group.bench_function("khop_extract_32", |b| {
+        b.iter(|| {
+            let sets = khop_node_sets(&art, &batch32, 3);
+            (0..3).map(|l| extract_sub_csr(&art, &sets[l + 1], &sets[l]).nnz()).sum::<usize>()
+        });
+    });
+
+    // Full engine forwards at three batch sizes; the workspaces warm up
+    // during criterion's first samples, steady state is zero-alloc.
+    let mut engine = QueryEngine::new(3);
+    for &batch in &[1usize, 32, 256] {
+        // Salt 0 starts the sequence at node 0 — an RMAT hub, so the
+        // single-query arm is a worst-case receptive field, not an
+        // accidentally isolated node.
+        let nodes = query_nodes(n, batch, 0);
+        group.bench_function(format!("predict_batch_{batch}"), |b| {
+            b.iter(|| engine.predict_batch(&art, &snap, &nodes).len());
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Latency percentile from a sorted sample set.
+fn pct(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Open-loop load: `total` requests arrive at a fixed `rate` (per
+/// second). Client threads pick up arrival slots from a shared counter
+/// and wait for their scheduled time before submitting, so a slow server
+/// builds queueing delay into the measured latency instead of slowing the
+/// arrival process down. `base` offsets the node id sequence so separate
+/// runs query disjoint node windows (no cross-run cache pollution).
+fn open_loop(
+    server: &Server,
+    n: usize,
+    rate: f64,
+    total: usize,
+    base: usize,
+    clients: usize,
+) -> Vec<Duration> {
+    let next = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::with_capacity(total));
+    let start = Instant::now() + Duration::from_millis(20);
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= total {
+                        break;
+                    }
+                    let due = start + Duration::from_secs_f64(slot as f64 / rate);
+                    // Sleep the bulk of the wait (the bench container may
+                    // be single-core; spinning would starve the workers),
+                    // spin only the tail for schedule fidelity.
+                    loop {
+                        let now = Instant::now();
+                        if now >= due {
+                            break;
+                        }
+                        let left = due - now;
+                        if left > Duration::from_micros(200) {
+                            std::thread::sleep(left - Duration::from_micros(100));
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let node = (((base + slot) * 2654435761) % n) as u32;
+                    server.query(node);
+                    local.push(due.elapsed());
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut all = latencies.into_inner().unwrap();
+    all.sort();
+    all
+}
+
+fn main() {
+    benches();
+
+    // ---- Open-loop front-end load test (reported, not criterion-timed).
+    let dir = build_artifact();
+    let shrink = smoke_factor();
+    // Three disjoint node windows (3 * 2600 < 2^13) so every rate's miss
+    // profile is the same; within-run duplicates never occur either (the
+    // stride is odd, hence coprime with the power-of-two node count).
+    let total = 2600 / shrink;
+    let mut table = Table::new(
+        "plexus-serve open-loop load (RMAT scale 13, 3-layer GCN, 2 workers)",
+        &["Offered load (req/s)", "Achieved (req/s)", "p50 (us)", "p95 (us)", "p99 (us)"],
+    );
+    let server = Server::start(
+        &dir,
+        ServeConfig {
+            workers: 2,
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let n = server.artifact().num_nodes();
+    // Warm the per-worker workspaces so percentiles reflect steady state.
+    let warm: Vec<u32> = query_nodes(n, 256, 3);
+    server.query_many(&warm);
+
+    for (run, &rate) in [500.0f64, 2000.0, 8000.0].iter().enumerate() {
+        let t0 = Instant::now();
+        let lat = open_loop(&server, n, rate, total, run * total, 8);
+        let secs = t0.elapsed().as_secs_f64();
+        let us = |d: Duration| format!("{:.0}", d.as_secs_f64() * 1e6);
+        table.row(vec![
+            format!("{:.0}", rate),
+            format!("{:.0}", lat.len() as f64 / secs),
+            us(pct(&lat, 50.0)),
+            us(pct(&lat, 95.0)),
+            us(pct(&lat, 99.0)),
+        ]);
+    }
+    let stats = server.stats();
+    table.print();
+    table.write_csv("serve_open_loop");
+    println!(
+        "\nServed {} predictions in {} batches (avg batch {:.1}), {} cache hits, {} reloads.",
+        stats.served,
+        stats.batches,
+        stats.served as f64 / stats.batches.max(1) as f64,
+        stats.cache_hits,
+        stats.reloads
+    );
+    drop(server);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+criterion_group!(benches, bench_engine);

@@ -44,7 +44,9 @@ use plexus_graph::RowRequestPlan;
 use plexus_sparse::blocked::RowBlocks;
 use plexus_sparse::{spmm_into, Csr};
 use plexus_tensor::ops::{relu_backward_inplace, relu_into};
-use plexus_tensor::{gemm_nn_cached_b, gemm_reference_tn, gemm_ws, KernelWorkspace, Matrix, Trans};
+use plexus_tensor::{
+    gemm_nn_cached_b, gemm_nt_cached_b, gemm_reference_tn, gemm_ws, KernelWorkspace, Matrix, Trans,
+};
 use std::time::Instant;
 
 /// How `∂L/∂W = SGEMM(Hᵀ, ∂L/∂Q)` is computed (§5.3).
@@ -525,7 +527,8 @@ impl DistLayer {
         mut dout: Matrix,
         df_scatter: bool,
     ) -> (DistLayerGrads, TimeSplit) {
-        let Self { ws, a_shard_t, roles, overlap, tuning, .. } = self;
+        let Self { ws, a_shard_t, roles, overlap, tuning, weights_version, .. } = self;
+        let wv = *weights_version;
         let (roles, overlap, tuning) = (*roles, *overlap, *tuning);
         let DistLayerCache { h, q, w_full, activated } = cache;
         let mut t = TimeSplit::default();
@@ -583,10 +586,12 @@ impl DistLayer {
         ws.recycle(dw_full);
         t.comm_s += t1.elapsed().as_secs_f64();
 
-        // ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ); all-reduce across C.
+        // ∂L/∂H = SGEMM(∂L/∂Q, Wᵀ); all-reduce across C. The transposed
+        // weight pack is cached under the same per-layer version the
+        // forward pack uses, so steady-state backward never repacks.
         let t0 = Instant::now();
         let mut dh = ws.take_scratch(h_rows, h_cols);
-        gemm_ws(ws, &mut dh, &dq, Trans::N, &w_full, Trans::T, 1.0, 0.0);
+        gemm_nt_cached_b(ws, &mut dh, &dq, &w_full, wv, 1.0, 0.0);
         ws.recycle(dq);
         t.compute_s += t0.elapsed().as_secs_f64();
 

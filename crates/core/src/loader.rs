@@ -29,7 +29,7 @@
 //! garbage data.
 
 use crate::setup::PermutationMode;
-use plexus_graph::LoadedDataset;
+use plexus_graph::{LoadedDataset, MappedFile};
 use plexus_sparse::permute::{inverse_permutation, permuted_row_band};
 use plexus_sparse::shard::split_range;
 use plexus_sparse::Csr;
@@ -41,7 +41,9 @@ use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-pub(crate) const MAGIC: u64 = 0x504c5853_53484152; // "PLXSSHAR"
+/// Magic prefix of every Plexus shard-format file ("PLXSSHAR"). Public so
+/// downstream artifact formats (the serving freezer) can reuse the header.
+pub const MAGIC: u64 = 0x504c5853_53484152;
 /// Current on-disk format. Version 2 added the per-file version header,
 /// manifest checksums, dual-parity adjacency shards, and label files.
 pub const FORMAT_VERSION: u64 = 2;
@@ -144,9 +146,29 @@ pub struct LoadStats {
     pub bytes_skipped: u64,
     pub files_read: usize,
     pub files_skipped: usize,
+    /// Of `bytes_read`, the bytes accessed through a read-only memory
+    /// mapping (no heap copy of the file).
+    pub bytes_mapped: u64,
+    /// Of `bytes_read`, the bytes copied into an owned heap buffer (the
+    /// portable fallback when mmap is unavailable).
+    pub bytes_copied: u64,
     /// Peak bytes of shard/band buffers alive at once while merging,
     /// beyond the returned object itself.
     pub peak_transient_bytes: u64,
+}
+
+impl LoadStats {
+    /// Count one verified file, classifying its bytes as mapped or copied
+    /// by which path [`MappedFile::open`] took.
+    fn note_file_read(&mut self, map: &MappedFile) {
+        self.files_read += 1;
+        self.bytes_read += map.len() as u64;
+        if map.is_mapped() {
+            self.bytes_mapped += map.len() as u64;
+        } else {
+            self.bytes_copied += map.len() as u64;
+        }
+    }
 }
 
 /// Per-rank memory accounting for the ingest pipeline *and* the training
@@ -161,6 +183,10 @@ pub struct MemoryLedger {
     pub bytes_skipped: u64,
     pub files_read: usize,
     pub files_skipped: usize,
+    /// Of `bytes_read`, bytes served through memory mappings.
+    pub bytes_mapped: u64,
+    /// Of `bytes_read`, bytes copied into owned heap buffers.
+    pub bytes_copied: u64,
     pub adjacency_resident_bytes: u64,
     pub peak_adjacency_bytes: u64,
     pub feature_resident_bytes: u64,
@@ -186,6 +212,8 @@ impl MemoryLedger {
         self.bytes_skipped += s.bytes_skipped;
         self.files_read += s.files_read;
         self.files_skipped += s.files_skipped;
+        self.bytes_mapped += s.bytes_mapped;
+        self.bytes_copied += s.bytes_copied;
     }
 
     /// Account `bytes` of adjacency that stay resident after a load.
@@ -227,8 +255,10 @@ impl MemoryLedger {
     /// One-line human summary (the example's per-rank report).
     pub fn summary(&self) -> String {
         format!(
-            "read {:>12} B, skipped {:>12} B ({:>3}/{:<3} files), peak adj {:>12} B, peak feat {:>12} B, peak act {:>12} B ({} spills, {} recomputes)",
+            "read {:>12} B ({} mapped / {} copied), skipped {:>12} B ({:>3}/{:<3} files), peak adj {:>12} B, peak feat {:>12} B, peak act {:>12} B ({} spills, {} recomputes)",
             self.bytes_read,
+            self.bytes_mapped,
+            self.bytes_copied,
             self.bytes_skipped,
             self.files_read,
             self.files_read + self.files_skipped,
@@ -483,37 +513,34 @@ impl ShardStore {
             .ok_or_else(|| LoaderError::BadManifest { reason: format!("{} not in manifest", name) })
     }
 
-    /// Read and checksum-verify a file; returns its bytes plus the offset
-    /// where the payload starts (just past the magic/version header), so
-    /// callers parse in place without copying the payload.
-    fn read_verified(&self, name: &str) -> LoaderResult<(Vec<u8>, usize)> {
+    /// Map and checksum-verify a file; returns the read-only mapping plus
+    /// the offset where the payload starts (just past the magic/version
+    /// header), so callers decode in place without copying the file.
+    fn read_verified(&self, name: &str) -> LoaderResult<(MappedFile, usize)> {
         let path = self.dir.join(name);
         let &(stored_ck, stored_len) = self.files.get(name).ok_or_else(|| {
             LoaderError::BadManifest { reason: format!("{} not in manifest", name) }
         })?;
-        let bytes = fs::read(&path)?;
-        if bytes.len() as u64 != stored_len {
-            return Err(LoaderError::Truncated { file: path });
-        }
-        let computed = fnv1a(&bytes);
-        if computed != stored_ck {
-            return Err(LoaderError::ChecksumMismatch { file: path, stored: stored_ck, computed });
-        }
-        let mut cur = Cursor { bytes: &bytes, pos: 0, path: &path };
-        let magic = cur.u64()?;
-        if magic != MAGIC {
-            return Err(LoaderError::BadMagic { file: path.clone() });
-        }
-        let version = cur.u64()?;
-        if version != FORMAT_VERSION {
-            return Err(LoaderError::VersionMismatch {
-                file: path.clone(),
-                found: version,
-                expected: FORMAT_VERSION,
-            });
-        }
-        let payload_at = cur.pos;
-        Ok((bytes, payload_at))
+        let map = MappedFile::open(&path)?;
+        let payload_at = verify_shard_bytes(map.bytes(), &path, stored_ck, stored_len)?;
+        Ok((map, payload_at))
+    }
+
+    /// Public form of the verified-map open, for downstream readers (the
+    /// serving artifact keeps every adjacency shard mapped for its whole
+    /// lifetime and decodes k-hop rows straight out of the mapping).
+    pub fn map_verified(&self, name: &str) -> LoaderResult<(MappedFile, usize)> {
+        self.read_verified(name)
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// On-disk name of the adjacency shard at grid position `(i, j)`.
+    pub fn shard_name(parity: Parity, i: usize, j: usize) -> String {
+        adj_name(parity, i, j)
     }
 
     /// Load the even-parity adjacency window `[r0, r1) x [c0, c1)`,
@@ -560,18 +587,25 @@ impl ShardStore {
                     stats.bytes_skipped += self.file_len(&name)?;
                     continue;
                 }
-                let (bytes, payload_at) = self.read_verified(&name)?;
-                stats.files_read += 1;
-                stats.bytes_read += bytes.len() as u64;
-                let shard = parse_csr(&bytes[payload_at..], &self.dir.join(&name))?;
-                transient.probe(bands_bytes + parts_bytes + shard.mem_bytes());
-                // Slice to the window intersection, in shard-local coords.
+                let (map, payload_at) = self.read_verified(&name)?;
+                stats.note_file_read(&map);
+                // Slice to the window intersection, in shard-local coords,
+                // decoding only the intersecting rows straight out of the
+                // mapping — the shard is never materialized whole.
                 let lr0 = r0.max(sr0) - sr0;
                 let lr1 = r1.min(sr1) - sr0;
                 let lc0 = c0.max(sc0) - sc0;
                 let lc1 = c1.min(sc1) - sc0;
-                let block = shard.block(lr0, lr1, lc0, lc1);
+                let block = parse_csr_block(
+                    &map.bytes()[payload_at..],
+                    &self.dir.join(&name),
+                    lr0,
+                    lr1,
+                    lc0,
+                    lc1,
+                )?;
                 parts_bytes += block.mem_bytes();
+                transient.probe(bands_bytes + parts_bytes);
                 band_parts.push((sc0.max(c0), block));
             }
             if row_hit {
@@ -607,13 +641,16 @@ impl ShardStore {
                 stats.bytes_skipped += self.file_len(&name)?;
                 continue;
             }
-            let (bytes, payload_at) = self.read_verified(&name)?;
-            stats.files_read += 1;
-            stats.bytes_read += bytes.len() as u64;
-            let band = parse_matrix(&bytes[payload_at..], &self.dir.join(&name))?;
-            transient.probe(blocks_bytes + band.mem_bytes());
-            let block = band.row_block(r0.max(sr0) - sr0, r1.min(sr1) - sr0);
+            let (map, payload_at) = self.read_verified(&name)?;
+            stats.note_file_read(&map);
+            let block = parse_matrix_rows(
+                &map.bytes()[payload_at..],
+                &self.dir.join(&name),
+                r0.max(sr0) - sr0,
+                r1.min(sr1) - sr0,
+            )?;
             blocks_bytes += block.mem_bytes();
+            transient.probe(blocks_bytes);
             blocks.push(block);
         }
         let merged = if blocks.is_empty() {
@@ -634,11 +671,11 @@ impl ShardStore {
             return Err(LoaderError::Missing { what: "labels (raw store)" });
         }
         let name = labels_name(parity);
-        let (bytes, payload_at) = self.read_verified(&name)?;
-        let stats =
-            LoadStats { bytes_read: bytes.len() as u64, files_read: 1, ..LoadStats::default() };
+        let (map, payload_at) = self.read_verified(&name)?;
+        let mut stats = LoadStats::default();
+        stats.note_file_read(&map);
         let path = self.dir.join(&name);
-        let mut cur = Cursor { bytes: &bytes[payload_at..], pos: 0, path: &path };
+        let mut cur = Cursor { bytes: &map.bytes()[payload_at..], pos: 0, path: &path };
         let n = cur.u64()? as usize;
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1059,31 +1096,37 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// BufWriter wrapper that FNV-hashes every byte as it passes through.
-/// Shared with the activation spill path (`crate::activation`), which
-/// writes the same header + checksum format.
-pub(crate) struct HashingWriter {
+/// Shared with the activation spill path (`crate::activation`) and the
+/// serving artifact freezer, which write the same header + checksum
+/// format.
+pub struct HashingWriter {
     inner: BufWriter<File>,
     hash: u64,
     written: u64,
 }
 
 impl HashingWriter {
-    pub(crate) fn create(path: &Path) -> io::Result<Self> {
+    /// Start a checksummed file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
         Ok(Self { inner: BufWriter::new(File::create(path)?), hash: FNV_OFFSET_BASIS, written: 0 })
     }
 
-    pub(crate) fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+    /// Write `bytes`, folding them into the running FNV-1a hash.
+    pub fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.hash = bytes.iter().fold(self.hash, |h, &b| fnv1a_step(h, b));
         self.written += bytes.len() as u64;
         self.inner.write_all(bytes)
     }
 
-    pub(crate) fn header(&mut self) -> io::Result<()> {
+    /// Emit the shared `[MAGIC][FORMAT_VERSION]` header.
+    pub fn header(&mut self) -> io::Result<()> {
         self.put(&MAGIC.to_le_bytes())?;
         self.put(&FORMAT_VERSION.to_le_bytes())
     }
 
-    pub(crate) fn finish(mut self) -> io::Result<(u64, u64)> {
+    /// Flush and return `(fnv1a checksum, total bytes written)` — the
+    /// manifest entry for the file.
+    pub fn finish(mut self) -> io::Result<(u64, u64)> {
         self.inner.flush()?;
         Ok((self.hash, self.written))
     }
@@ -1133,15 +1176,17 @@ fn write_labels(path: &Path, labels: &[u32], mask: &[bool]) -> LoaderResult<(u64
 }
 
 /// Bounds-checked little-endian reader over an in-memory payload. Shared
-/// with the activation spill reload path (`crate::activation`).
-pub(crate) struct Cursor<'a> {
-    pub(crate) bytes: &'a [u8],
-    pub(crate) pos: usize,
-    pub(crate) path: &'a Path,
+/// with the activation spill reload path (`crate::activation`) and the
+/// serving artifact reader.
+pub struct Cursor<'a> {
+    pub bytes: &'a [u8],
+    pub pos: usize,
+    pub path: &'a Path,
 }
 
 impl Cursor<'_> {
-    pub(crate) fn take(&mut self, n: usize) -> LoaderResult<&[u8]> {
+    /// The next `n` bytes, or a typed `Truncated` error.
+    pub fn take(&mut self, n: usize) -> LoaderResult<&[u8]> {
         if self.pos + n > self.bytes.len() {
             return Err(LoaderError::Truncated { file: self.path.to_path_buf() });
         }
@@ -1150,52 +1195,221 @@ impl Cursor<'_> {
         Ok(s)
     }
 
-    pub(crate) fn u64(&mut self) -> LoaderResult<u64> {
+    /// Decode a little-endian `u64`.
+    pub fn u64(&mut self) -> LoaderResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
     }
 
-    fn u32(&mut self) -> LoaderResult<u32> {
+    /// Decode a little-endian `u32`.
+    pub fn u32(&mut self) -> LoaderResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
     }
 
-    pub(crate) fn f32(&mut self) -> LoaderResult<f32> {
+    /// Decode a little-endian `f32`.
+    pub fn f32(&mut self) -> LoaderResult<f32> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
     }
 
-    fn u8(&mut self) -> LoaderResult<u8> {
+    /// Decode one byte.
+    pub fn u8(&mut self) -> LoaderResult<u8> {
         Ok(self.take(1)?[0])
     }
 }
 
-fn parse_csr(payload: &[u8], path: &Path) -> LoaderResult<Csr> {
-    let mut cur = Cursor { bytes: payload, pos: 0, path };
-    let rows = cur.u64()? as usize;
-    let cols = cur.u64()? as usize;
-    let nnz = cur.u64()? as usize;
-    let mut row_ptr = Vec::with_capacity(rows + 1);
-    for _ in 0..=rows {
-        row_ptr.push(cur.u64()? as usize);
+/// Verify a shard-format file's manifest entry (length + FNV-1a checksum)
+/// and its `[MAGIC][FORMAT_VERSION]` header against `bytes`, returning the
+/// payload offset. This is the one gate every mapped or copied shard file
+/// passes through; the serving artifact reuses it for its model files.
+pub fn verify_shard_bytes(
+    bytes: &[u8],
+    path: &Path,
+    stored_ck: u64,
+    stored_len: u64,
+) -> LoaderResult<usize> {
+    if bytes.len() as u64 != stored_len {
+        return Err(LoaderError::Truncated { file: path.to_path_buf() });
     }
-    let mut col_idx = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        col_idx.push(cur.u32()?);
+    let computed = fnv1a(bytes);
+    if computed != stored_ck {
+        return Err(LoaderError::ChecksumMismatch {
+            file: path.to_path_buf(),
+            stored: stored_ck,
+            computed,
+        });
     }
-    let mut values = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        values.push(cur.f32()?);
+    let mut cur = Cursor { bytes, pos: 0, path };
+    let magic = cur.u64()?;
+    if magic != MAGIC {
+        return Err(LoaderError::BadMagic { file: path.to_path_buf() });
     }
-    Ok(Csr::from_raw(rows, cols, row_ptr, col_idx, values))
+    let version = cur.u64()?;
+    if version != FORMAT_VERSION {
+        return Err(LoaderError::VersionMismatch {
+            file: path.to_path_buf(),
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    Ok(cur.pos)
 }
 
-fn parse_matrix(payload: &[u8], path: &Path) -> LoaderResult<Matrix> {
-    let mut cur = Cursor { bytes: payload, pos: 0, path };
-    let rows = cur.u64()? as usize;
-    let cols = cur.u64()? as usize;
-    let mut data = Vec::with_capacity(rows * cols);
-    for _ in 0..rows * cols {
-        data.push(cur.f32()?);
+/// Geometry of a CSR payload: byte offsets of the row-pointer, column and
+/// value arrays, computed once so rows can be decoded in place from a
+/// mapping without materializing the shard. Payload layout (after the
+/// 16-byte file header): `rows u64, cols u64, nnz u64, row_ptr
+/// (rows+1)×u64, col_idx nnz×u32, values nnz×f32`, little-endian.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrPayload {
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    /// Byte offset (within the payload) of `row_ptr[0]`.
+    pub row_ptr_at: usize,
+    /// Byte offset of `col_idx[0]`.
+    pub col_idx_at: usize,
+    /// Byte offset of `values[0]`.
+    pub values_at: usize,
+}
+
+impl CsrPayload {
+    /// Parse and bounds-check the header of a CSR payload.
+    pub fn parse(payload: &[u8], path: &Path) -> LoaderResult<CsrPayload> {
+        if payload.len() < 24 {
+            return Err(LoaderError::Truncated { file: path.to_path_buf() });
+        }
+        let rows = le_u64(payload, 0) as usize;
+        let cols = le_u64(payload, 8) as usize;
+        let nnz = le_u64(payload, 16) as usize;
+        let row_ptr_at = 24;
+        let col_idx_at = row_ptr_at + 8 * (rows + 1);
+        let values_at = col_idx_at + 4 * nnz;
+        if payload.len() < values_at + 4 * nnz {
+            return Err(LoaderError::Truncated { file: path.to_path_buf() });
+        }
+        Ok(CsrPayload { rows, cols, nnz, row_ptr_at, col_idx_at, values_at })
     }
-    Ok(Matrix::from_vec(rows, cols, data))
+
+    /// `row_ptr[r]`, decoded from the payload.
+    pub fn row_start(&self, payload: &[u8], r: usize) -> usize {
+        le_u64(payload, self.row_ptr_at + 8 * r) as usize
+    }
+
+    /// Column id of entry `k`.
+    pub fn col(&self, payload: &[u8], k: usize) -> u32 {
+        le_u32(payload, self.col_idx_at + 4 * k)
+    }
+
+    /// Value of entry `k`.
+    pub fn val(&self, payload: &[u8], k: usize) -> f32 {
+        le_f32(payload, self.values_at + 4 * k)
+    }
+}
+
+/// Decode the `[r0, r1) x [c0, c1)` block of a CSR payload in place: only
+/// the window's row pointers and entry ranges are ever touched, so a
+/// mapped shard contributes exactly the pages the window needs.
+pub fn parse_csr_block(
+    payload: &[u8],
+    path: &Path,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+) -> LoaderResult<Csr> {
+    let geom = CsrPayload::parse(payload, path)?;
+    assert!(
+        r0 <= r1 && r1 <= geom.rows && c0 <= c1 && c1 <= geom.cols,
+        "parse_csr_block: window out of bounds"
+    );
+    let mut row_ptr = Vec::with_capacity(r1 - r0 + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for r in r0..r1 {
+        let p0 = geom.row_start(payload, r);
+        let p1 = geom.row_start(payload, r + 1);
+        if p0 > p1 || p1 > geom.nnz {
+            return Err(LoaderError::Truncated { file: path.to_path_buf() });
+        }
+        // Columns are sorted ascending within the row: binary-search the
+        // window's entry range instead of scanning the whole row.
+        let s = lower_bound(p0, p1, |k| geom.col(payload, k) < c0 as u32);
+        let e = lower_bound(s, p1, |k| geom.col(payload, k) < c1 as u32);
+        for k in s..e {
+            col_idx.push(geom.col(payload, k) - c0 as u32);
+            values.push(geom.val(payload, k));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Csr::from_raw(r1 - r0, c1 - c0, row_ptr, col_idx, values))
+}
+
+/// Decode rows `[r0, r1)` of a matrix payload in place. Payload layout:
+/// `rows u64, cols u64, rows·cols×f32` row-major, little-endian.
+pub fn parse_matrix_rows(
+    payload: &[u8],
+    path: &Path,
+    r0: usize,
+    r1: usize,
+) -> LoaderResult<Matrix> {
+    if payload.len() < 16 {
+        return Err(LoaderError::Truncated { file: path.to_path_buf() });
+    }
+    let rows = le_u64(payload, 0) as usize;
+    let cols = le_u64(payload, 8) as usize;
+    if payload.len() < 16 + 4 * rows * cols {
+        return Err(LoaderError::Truncated { file: path.to_path_buf() });
+    }
+    assert!(r0 <= r1 && r1 <= rows, "parse_matrix_rows: window out of bounds");
+    let mut data = Vec::with_capacity((r1 - r0) * cols);
+    for k in r0 * cols..r1 * cols {
+        data.push(le_f32(payload, 16 + 4 * k));
+    }
+    Ok(Matrix::from_vec(r1 - r0, cols, data))
+}
+
+/// Decode a full CSR payload (a [`parse_csr_block`] over the whole shard).
+pub fn parse_csr(payload: &[u8], path: &Path) -> LoaderResult<Csr> {
+    let geom = CsrPayload::parse(payload, path)?;
+    parse_csr_block(payload, path, 0, geom.rows, 0, geom.cols)
+}
+
+/// Decode a full matrix payload.
+pub fn parse_matrix(payload: &[u8], path: &Path) -> LoaderResult<Matrix> {
+    if payload.len() < 16 {
+        return Err(LoaderError::Truncated { file: path.to_path_buf() });
+    }
+    let rows = le_u64(payload, 0) as usize;
+    parse_matrix_rows(payload, path, 0, rows)
+}
+
+#[inline]
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("offset bounds-checked by caller"))
+}
+
+#[inline]
+fn le_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("offset bounds-checked by caller"))
+}
+
+#[inline]
+fn le_f32(b: &[u8], off: usize) -> f32 {
+    f32::from_le_bytes(b[off..off + 4].try_into().expect("offset bounds-checked by caller"))
+}
+
+/// First index in `[lo, hi)` for which `below` is false (all `below`
+/// entries precede all non-`below` ones — the sorted-columns invariant).
+fn lower_bound(mut lo: usize, mut hi: usize, mut below: impl FnMut(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if below(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -1278,6 +1492,26 @@ mod tests {
             .map(|n| store.file_len(&n).unwrap())
             .sum();
         assert_eq!(stats.bytes_read + stats.bytes_skipped, adj_total);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_read_byte_is_classified_mapped_or_copied() {
+        let dir = temp_dir("mapped");
+        let a = random_csr(64, 19);
+        let f = uniform_matrix(64, 8, -1.0, 1.0, 20);
+        let store = ShardStore::create(&dir, &a, &f, 8, 8).unwrap();
+        let mut ledger = MemoryLedger::default();
+        let (_, stats) = store.load_adjacency_window(0, 8, 0, 8).unwrap();
+        ledger.absorb(&stats);
+        let (_, fstats) = store.load_feature_rows(0, 8).unwrap();
+        ledger.absorb(&fstats);
+        // The mapped/copied split partitions bytes_read exactly, and on
+        // x86_64-linux the mmap path serves everything.
+        assert_eq!(ledger.bytes_mapped + ledger.bytes_copied, ledger.bytes_read);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert_eq!(ledger.bytes_copied, 0, "window loads still copy files through the heap");
+        assert!(ledger.summary().contains("mapped"));
         fs::remove_dir_all(&dir).unwrap();
     }
 

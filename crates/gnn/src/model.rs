@@ -5,8 +5,9 @@
 use crate::layer::{
     gcn_layer_backward_ws, gcn_layer_forward_ws, gcn_layer_recompute_cache_ws, LayerCache,
 };
-use plexus_sparse::Csr;
-use plexus_tensor::{glorot_uniform, KernelWorkspace, Matrix};
+use plexus_sparse::{spmm_into, Csr};
+use plexus_tensor::ops::relu_into;
+use plexus_tensor::{gemm_nn_cached_b, glorot_uniform, KernelWorkspace, Matrix};
 
 /// Model hyperparameters.
 #[derive(Clone, Debug)]
@@ -70,9 +71,75 @@ impl Gcn {
         Self { config, weights }
     }
 
+    /// Wrap externally provided (frozen) weights — e.g. decoded from a
+    /// serving artifact — without touching an RNG. Shapes are validated
+    /// against `config.layer_dims()`.
+    pub fn from_parts(config: GcnConfig, weights: Vec<Matrix>) -> Self {
+        let dims = config.layer_dims();
+        assert_eq!(dims.len(), weights.len(), "Gcn::from_parts: layer count mismatch");
+        for (l, (w, &(din, dout))) in weights.iter().zip(&dims).enumerate() {
+            assert_eq!(w.shape(), (din, dout), "Gcn::from_parts: layer {l} weight shape mismatch");
+        }
+        Self { config, weights }
+    }
+
     /// Full forward pass over the (normalized) adjacency.
     pub fn forward(&self, a: &Csr, features: &Matrix) -> ForwardCaches {
         self.forward_ws(&mut KernelWorkspace::new(), a, features)
+    }
+
+    /// Inference forward over per-layer extracted sub-adjacencies — the
+    /// serving engine's batch (and single-query) entry point. `subs[l]` is
+    /// layer `l`'s k-hop sub-CSR (rows = that layer's output nodes, cols =
+    /// its input nodes) and `x0` holds the gathered input-feature rows for
+    /// `subs[0]`'s columns. Returns the logits, one row per row of the
+    /// last sub-adjacency.
+    ///
+    /// Uses one workspace per layer so each layer's packed weight panels
+    /// stay cached under `weights_version` across batches: at steady state
+    /// a batch runs with zero allocations and zero repacking. Every row of
+    /// the result is bitwise identical to the same node's row under
+    /// [`Gcn::forward`] on the full graph — the kernels, their dispatch
+    /// (which looks only at operand shapes) and the per-row accumulation
+    /// order (ascending CSR entries, preserved by the monotone k-hop
+    /// column remap) are all identical.
+    pub fn forward_extracted_ws(
+        &self,
+        layer_ws: &mut [KernelWorkspace],
+        subs: &[Csr],
+        x0: &Matrix,
+        weights_version: u64,
+    ) -> Matrix {
+        let num_layers = self.weights.len();
+        assert_eq!(subs.len(), num_layers, "forward_extracted_ws: one sub-CSR per layer");
+        assert_eq!(layer_ws.len(), num_layers, "forward_extracted_ws: one workspace per layer");
+        let mut x = layer_ws[0].take_scratch(x0.rows(), x0.cols());
+        x.as_mut_slice().copy_from_slice(x0.as_slice());
+        // Pool that owns `x` right now: recycling a buffer back into the
+        // pool it was taken from keeps every per-layer pool self-contained
+        // at steady state (no cross-pool migration, no repeat allocations).
+        let mut src = 0;
+        for l in 0..num_layers {
+            let (a, w) = (&subs[l], &self.weights[l]);
+            assert_eq!(a.cols(), x.rows(), "forward_extracted_ws: layer {l} input mismatch");
+            let mut h = layer_ws[l].take_scratch(a.rows(), x.cols());
+            spmm_into(a, &x, &mut h);
+            layer_ws[src].recycle(x);
+            src = l;
+            let ws = &mut layer_ws[l];
+            let mut q = ws.take_scratch(h.rows(), w.cols());
+            gemm_nn_cached_b(ws, &mut q, &h, w, weights_version, 1.0, 0.0);
+            ws.recycle(h);
+            if l + 1 < num_layers {
+                let mut out = ws.take_scratch(q.rows(), q.cols());
+                relu_into(&q, &mut out);
+                ws.recycle(q);
+                x = out;
+            } else {
+                x = q;
+            }
+        }
+        x
     }
 
     /// [`Gcn::forward`] with caller-owned kernel buffers: every layer's

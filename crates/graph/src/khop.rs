@@ -1,0 +1,169 @@
+//! K-hop receptive-field extraction for inference serving.
+//!
+//! An `L`-layer GCN prediction for a query set `Q` only reads the rows
+//! of the normalized adjacency reachable within `L` hops of `Q`. This
+//! module computes, per layer, the exact node sets and sub-CSR blocks a
+//! batched serve forward needs, with an ordering discipline chosen for
+//! the tree's bitwise-equality contract:
+//!
+//! * every node set is **sorted ascending and deduplicated**, so the
+//!   global→local column remap is monotone;
+//! * a monotone remap preserves CSR entry order within each row, and the
+//!   SpMM kernels accumulate per row in ascending-entry order — so a
+//!   served row of `A·X` is bit-identical to the same row computed on
+//!   the full graph.
+//!
+//! Adjacency rows are pulled through the [`RowSource`] trait: an
+//! in-memory [`Csr`] implements it directly, and the serving artifact
+//! implements it by decoding rows in place from mmapped shard files.
+
+use plexus_sparse::Csr;
+
+/// A source of adjacency rows, keyed by global node id.
+///
+/// Implementations must append the row's column support (and matching
+/// values, for [`RowSource::row_entries`]) in **ascending column
+/// order** — the order a [`Csr`] stores them in.
+pub trait RowSource {
+    /// Number of nodes (rows) in the graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Appends the column ids of row `v`'s nonzeros to `out`.
+    fn row_support(&self, v: u32, out: &mut Vec<u32>);
+
+    /// Appends the column ids and values of row `v`'s nonzeros.
+    fn row_entries(&self, v: u32, cols: &mut Vec<u32>, vals: &mut Vec<f32>);
+}
+
+impl RowSource for Csr {
+    fn num_nodes(&self) -> usize {
+        self.rows()
+    }
+
+    fn row_support(&self, v: u32, out: &mut Vec<u32>) {
+        let (cols, _) = self.row_entries(v as usize);
+        out.extend_from_slice(cols);
+    }
+
+    fn row_entries(&self, v: u32, cols: &mut Vec<u32>, vals: &mut Vec<f32>) {
+        let (c, v) = Csr::row_entries(self, v as usize);
+        cols.extend_from_slice(c);
+        vals.extend_from_slice(v);
+    }
+}
+
+/// Computes the per-layer node sets of the `layers`-hop receptive field
+/// of `queries`.
+///
+/// Returns `layers + 1` sorted, deduplicated sets: `sets[layers]` is the
+/// sorted query set (the rows of the last layer's sub-adjacency), and
+/// for `l < layers`, `sets[l]` is the union of the column supports of
+/// `sets[l + 1]` — simultaneously the columns of layer `l`'s
+/// sub-adjacency and the rows of layer `l - 1`'s. `sets[0]` is the set
+/// of input-feature rows the forward pass gathers.
+pub fn khop_node_sets(src: &impl RowSource, queries: &[u32], layers: usize) -> Vec<Vec<u32>> {
+    assert!(layers > 0, "a GCN has at least one layer");
+    let n = src.num_nodes() as u32;
+    let mut top: Vec<u32> = queries.to_vec();
+    top.sort_unstable();
+    top.dedup();
+    if let Some(&max) = top.last() {
+        assert!(max < n, "query node {max} out of range (graph has {n} nodes)");
+    }
+    let mut sets = vec![Vec::new(); layers + 1];
+    sets[layers] = top;
+    for l in (0..layers).rev() {
+        let mut support = Vec::new();
+        for &v in &sets[l + 1] {
+            src.row_support(v, &mut support);
+        }
+        support.sort_unstable();
+        support.dedup();
+        sets[l] = support;
+    }
+    sets
+}
+
+/// Builds the sub-CSR with rows `row_set` and columns `col_set` (both
+/// sorted ascending), pulling each row's entries from `src`.
+///
+/// Every column appearing in a fetched row must be present in
+/// `col_set`; with the sets produced by [`khop_node_sets`] this holds by
+/// construction. The monotone remap keeps each row's entries in
+/// ascending local-column order, so [`Csr::from_raw`]'s invariants hold
+/// and downstream SpMM accumulation order matches the full graph.
+pub fn extract_sub_csr(src: &impl RowSource, row_set: &[u32], col_set: &[u32]) -> Csr {
+    let mut row_ptr = Vec::with_capacity(row_set.len() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    let mut gcols = Vec::new();
+    let mut gvals = Vec::new();
+    for &r in row_set {
+        gcols.clear();
+        gvals.clear();
+        src.row_entries(r, &mut gcols, &mut gvals);
+        for (i, &c) in gcols.iter().enumerate() {
+            let local = col_set
+                .binary_search(&c)
+                .expect("adjacency column outside the extracted k-hop column set");
+            col_idx.push(local as u32);
+            values.push(gvals[i]);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(row_set.len(), col_set.len(), row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::rmat_graph;
+
+    fn test_adjacency() -> Csr {
+        rmat_graph(8, 8, 42).normalized_adjacency()
+    }
+
+    #[test]
+    fn khop_sets_are_sorted_unique_and_nested_by_support() {
+        let a = test_adjacency();
+        let sets = khop_node_sets(&a, &[5, 200, 5, 17], 3);
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[3], vec![5, 17, 200]);
+        for l in 0..3 {
+            assert!(sets[l].windows(2).all(|w| w[0] < w[1]), "layer {l} set not sorted-unique");
+            // Every column referenced by the rows above appears in the set.
+            for &v in &sets[l + 1] {
+                let (cols, _) = a.row_entries(v as usize);
+                for &c in cols {
+                    assert!(sets[l].binary_search(&c).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extracted_block_matches_dense_gather() {
+        let a = test_adjacency();
+        let sets = khop_node_sets(&a, &[3, 99], 2);
+        let sub = extract_sub_csr(&a, &sets[2], &sets[1]);
+        assert_eq!(sub.shape(), (sets[2].len(), sets[1].len()));
+        for (lr, &gr) in sets[2].iter().enumerate() {
+            let (gcols, gvals) = a.row_entries(gr as usize);
+            let (lcols, lvals) = sub.row_entries(lr);
+            assert_eq!(lvals, gvals, "row {gr} values must be carried over bit-exactly");
+            let mapped: Vec<u32> =
+                gcols.iter().map(|c| sets[1].binary_search(c).unwrap() as u32).collect();
+            assert_eq!(lcols, &mapped[..]);
+        }
+    }
+
+    #[test]
+    fn single_query_single_layer_is_one_row() {
+        let a = test_adjacency();
+        let sets = khop_node_sets(&a, &[7], 1);
+        let sub = extract_sub_csr(&a, &sets[1], &sets[0]);
+        assert_eq!(sub.rows(), 1);
+        assert_eq!(sub.nnz(), a.row_nnz(7));
+    }
+}

@@ -17,12 +17,17 @@
 //!
 //! It also hosts [`rowplan::RowRequestPlan`] — the adjacency-derived row
 //! request sets that drive the sparse collectives (the row demand is a
-//! property of the graph's structure, so it lives with the graphs).
+//! property of the graph's structure, so it lives with the graphs) —
+//! plus the serving-side graph machinery: [`mmap::MappedFile`] zero-copy
+//! file views and the [`khop`] receptive-field extraction the inference
+//! engine runs per query batch.
 
 pub mod datasets;
 pub mod generators;
 pub mod graph;
+pub mod khop;
 pub mod labels;
+pub mod mmap;
 pub mod rowplan;
 
 pub use datasets::{paper_datasets, DatasetKind, DatasetSpec, LoadedDataset};
@@ -30,5 +35,7 @@ pub use generators::{
     community_graph, erdos_renyi, rmat_edge_chunks, rmat_graph, road_network, RmatEdgeChunks,
 };
 pub use graph::Graph;
+pub use khop::{extract_sub_csr, khop_node_sets, RowSource};
 pub use labels::{degree_based_labels, train_val_test_masks, Split};
+pub use mmap::MappedFile;
 pub use rowplan::RowRequestPlan;

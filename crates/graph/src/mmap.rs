@@ -1,0 +1,215 @@
+//! Read-only memory-mapped files for zero-copy shard access.
+//!
+//! The out-of-core loader and the serving engine both read large,
+//! immutable, checksummed shard files. Before this module existed every
+//! window load copied whole files through `fs::read`; a [`MappedFile`]
+//! instead maps the file into the address space and hands out `&[u8]`
+//! slices, so a window load touches only the pages it actually decodes
+//! and a serving artifact can stay resident across millions of queries
+//! without a second copy of the graph in heap memory.
+//!
+//! The build environment carries no `libc`/`memmap2` dependency, so on
+//! `x86_64-linux` the mapping is made with raw `mmap`/`munmap` syscalls;
+//! every other target falls back to reading the file into an owned
+//! buffer (same API, [`MappedFile::is_mapped`] reports which path was
+//! taken so the [`plexus` ledger](crate) counters can distinguish
+//! mapped from copied bytes).
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// An immutable byte view of a file, memory-mapped where the platform
+/// allows and read into an owned buffer otherwise.
+pub struct MappedFile {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// The mapping is PROT_READ/MAP_PRIVATE over an immutable artifact file:
+// no interior mutability, so sharing the view across threads is safe.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Opens `path` read-only and maps (or, on unsupported targets,
+    /// reads) its full contents.
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(MappedFile { backing: Backing::Owned(Vec::new()) });
+        }
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            match unsafe { sys::mmap_readonly(len, file.as_raw_fd()) } {
+                Ok(ptr) => return Ok(MappedFile { backing: Backing::Mapped { ptr, len } }),
+                Err(_) => { /* fall through to the owned-buffer path */ }
+            }
+        }
+        Ok(MappedFile { backing: Backing::Owned(std::fs::read(path)?) })
+    }
+
+    /// The full file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(v) => v,
+        }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Owned(v) => v.len(),
+        }
+    }
+
+    /// True when the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the contents are served from a real memory mapping
+    /// (false on the owned-buffer fallback path).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw Linux syscalls: the environment vendors no `libc`, and the
+    //! numbers below are part of the stable x86_64 kernel ABI.
+
+    use std::io;
+
+    const SYS_MMAP: isize = 9;
+    const SYS_MUNMAP: isize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`.
+    pub unsafe fn mmap_readonly(len: usize, fd: i32) -> io::Result<*const u8> {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        // The kernel returns -errno in [-4095, -1] on failure.
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as *const u8)
+        }
+    }
+
+    /// `munmap(ptr, len)`; failure on drop is ignored by the caller.
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let _ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP => _ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("plexus_mmap_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761) as u8).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(map.bytes(), &payload[..]);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(map.is_mapped(), "x86_64-linux should take the real mmap path");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = temp_path("definitely_missing_no_such_file");
+        assert!(MappedFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn view_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        let payload = vec![7u8; 4096];
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = std::sync::Arc::new(MappedFile::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! The query engine: answer node-classification requests by extracting
+//! the k-hop receptive field of the batch straight from the mapped
+//! adjacency and running it through the trainer's own kernel path.
+//!
+//! Bitwise parity with training is the core contract. The packed GEMM and
+//! the CSR SpMM both produce output row `i` through an operation sequence
+//! that depends only on the operand *row contents* — SpMM accumulates
+//! per-row in ascending-entry order, GEMM dispatch looks only at `k·n`.
+//! K-hop node sets are kept sorted ascending, so the column remap in
+//! [`extract_sub_csr`] is monotone and preserves entry order; every
+//! extracted row is therefore elementwise identical to the corresponding
+//! full-graph row, and the served logits come out bitwise equal to the
+//! trainer's forward on the same nodes.
+
+use crate::artifact::{Artifact, ModelSnapshot};
+use plexus_graph::{extract_sub_csr, khop_node_sets};
+use plexus_sparse::Csr;
+use plexus_tensor::KernelWorkspace;
+
+/// One answered query.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    pub node: u32,
+    /// Argmax class (ties break to the lowest class id).
+    pub class: u32,
+    /// The model version that produced this answer.
+    pub model_version: u64,
+    /// Raw output-layer logits for the node.
+    pub logits: Vec<f32>,
+}
+
+/// Per-worker inference state: one [`KernelWorkspace`] per layer, so the
+/// cached packed-B panels and the scratch pool are reused across batches
+/// — after a warmup batch of each shape class, steady-state serving does
+/// no kernel allocations and no weight repacking.
+pub struct QueryEngine {
+    layer_ws: Vec<KernelWorkspace>,
+}
+
+impl QueryEngine {
+    /// A fresh engine for a `num_layers`-deep model.
+    pub fn new(num_layers: usize) -> Self {
+        assert!(num_layers > 0, "QueryEngine: need at least one layer");
+        QueryEngine { layer_ws: (0..num_layers).map(|_| KernelWorkspace::new()).collect() }
+    }
+
+    /// Total workspace allocation events across all layers — flat between
+    /// two calls means the batch ran zero-alloc.
+    pub fn alloc_events(&self) -> u64 {
+        self.layer_ws.iter().map(|ws| ws.alloc_events()).sum()
+    }
+
+    /// Answer a batch of node-classification queries. Returns one
+    /// [`Prediction`] per entry of `nodes`, in request order (duplicates
+    /// allowed). Panics if a node id is out of range — the server front
+    /// end validates ids before they reach the engine.
+    pub fn predict_batch(
+        &mut self,
+        artifact: &Artifact,
+        snap: &ModelSnapshot,
+        nodes: &[u32],
+    ) -> Vec<Prediction> {
+        assert_eq!(
+            self.layer_ws.len(),
+            snap.gcn.config.num_layers,
+            "QueryEngine depth does not match the model"
+        );
+        let layers = snap.gcn.config.num_layers;
+        // Receptive field: sets[layers] = sorted unique queries,
+        // sets[l] = union of row supports of sets[l+1].
+        let sets = khop_node_sets(artifact, nodes, layers);
+        let subs: Vec<Csr> =
+            (0..layers).map(|l| extract_sub_csr(artifact, &sets[l + 1], &sets[l])).collect();
+        // Gather the innermost hop's feature rows into pooled scratch.
+        let feat = &snap.features;
+        let mut x0 = self.layer_ws[0].take_scratch(sets[0].len(), feat.cols());
+        for (i, &v) in sets[0].iter().enumerate() {
+            x0.row_mut(i).copy_from_slice(feat.row(v as usize));
+        }
+        let logits = snap.gcn.forward_extracted_ws(&mut self.layer_ws, &subs, &x0, snap.version);
+        self.layer_ws[0].recycle(x0);
+        let top = &sets[layers];
+        let out = nodes
+            .iter()
+            .map(|&v| {
+                let row = top.binary_search(&v).expect("query node present in its own k-hop set");
+                let lrow = logits.row(row);
+                Prediction {
+                    node: v,
+                    class: argmax(lrow),
+                    model_version: snap.version,
+                    logits: lrow.to_vec(),
+                }
+            })
+            .collect();
+        self.layer_ws[layers - 1].recycle(logits);
+        out
+    }
+}
+
+/// Index of the largest logit; ties break to the lowest index, matching
+/// the trainer's accuracy accounting.
+pub fn argmax(row: &[f32]) -> u32 {
+    let mut best = 0;
+    for (i, &x) in row.iter().enumerate() {
+        if x > row[best] {
+            best = i;
+        }
+    }
+    best as u32
+}

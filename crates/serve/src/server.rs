@@ -1,0 +1,292 @@
+//! The request-batching front end: a bounded submission queue, an
+//! adaptive batcher (flush on max-batch-size or max-wait, whichever
+//! first), a pool of worker threads each owning its own
+//! [`QueryEngine`] workspaces, and a sharded
+//! read-mostly prediction cache stamped with the model version so a hot
+//! reload invalidates it implicitly — stale entries simply stop matching.
+//!
+//! Hot reload never drains the server: [`Server::reload_latest`] swaps
+//! the model snapshot atomically; batches already in flight finish on the
+//! `Arc` they captured, the next batch picks up the new weights.
+
+use crate::artifact::Artifact;
+use crate::engine::{Prediction, QueryEngine};
+use parking_lot::{Condvar, Mutex};
+use plexus::loader::{LoaderResult, ShardStore};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Front-end tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads; each owns per-layer kernel workspaces.
+    pub workers: usize,
+    /// Flush a batch once it reaches this many requests.
+    pub max_batch: usize,
+    /// ... or once the oldest request in it has waited this long.
+    pub max_wait: Duration,
+    /// Bounded submission-queue capacity; submitters block when full.
+    pub queue_cap: usize,
+    /// Shards of the prediction cache (reduces write contention).
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 1024,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Counters exported by [`Server::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Predictions computed by workers (cache hits not included).
+    pub served: u64,
+    /// Batches flushed; `served / batches` is the realized batch size.
+    pub batches: u64,
+    /// Queries answered from the prediction cache.
+    pub cache_hits: u64,
+    /// Successful hot reloads.
+    pub reloads: u64,
+}
+
+struct Request {
+    node: u32,
+    tx: mpsc::Sender<Prediction>,
+}
+
+struct Shared {
+    artifact: Artifact,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Request>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    closed: AtomicBool,
+    /// Version-stamped prediction cache: a hit counts only when the entry
+    /// was computed by the currently served model version.
+    cache: Vec<RwLock<HashMap<u32, Prediction>>>,
+    served: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    reloads: AtomicU64,
+}
+
+/// A running serving instance over one frozen artifact.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Open (and fully verify) the artifact at `dir` and start the worker
+    /// pool.
+    pub fn start(dir: &Path, cfg: ServeConfig) -> LoaderResult<Server> {
+        assert!(cfg.workers > 0 && cfg.max_batch > 0 && cfg.queue_cap > 0 && cfg.cache_shards > 0);
+        let artifact = Artifact::open(dir)?;
+        let shared = Arc::new(Shared {
+            artifact,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            closed: AtomicBool::new(false),
+            cache: (0..cfg.cache_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("plexus-serve-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Server { shared, workers })
+    }
+
+    /// The artifact being served (read-only).
+    pub fn artifact(&self) -> &Artifact {
+        &self.shared.artifact
+    }
+
+    /// Answer one query, blocking until a worker flushes the batch it
+    /// lands in (or a cache entry from the current model version hits).
+    /// Panics if `node` is out of range.
+    pub fn query(&self, node: u32) -> Prediction {
+        assert!((node as usize) < self.shared.artifact.num_nodes(), "query node out of range");
+        if let Some(hit) = self.cache_lookup(node) {
+            return hit;
+        }
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(Request { node, tx });
+        rx.recv().expect("serve worker dropped a request")
+    }
+
+    /// Submit a group of queries at once and collect the answers in
+    /// order. All cache misses enter the queue together, so they tend to
+    /// be batched together.
+    pub fn query_many(&self, nodes: &[u32]) -> Vec<Prediction> {
+        let n = self.shared.artifact.num_nodes();
+        let mut pending: Vec<(usize, mpsc::Receiver<Prediction>)> = Vec::new();
+        let mut out: Vec<Option<Prediction>> = Vec::with_capacity(nodes.len());
+        for (i, &node) in nodes.iter().enumerate() {
+            assert!((node as usize) < n, "query node out of range");
+            if let Some(hit) = self.cache_lookup(node) {
+                out.push(Some(hit));
+            } else {
+                let (tx, rx) = mpsc::channel();
+                self.enqueue(Request { node, tx });
+                pending.push((i, rx));
+                out.push(None);
+            }
+        }
+        for (i, rx) in pending {
+            out[i] = Some(rx.recv().expect("serve worker dropped a request"));
+        }
+        out.into_iter().map(|p| p.expect("every slot answered")).collect()
+    }
+
+    /// Pick up a newly [`publish`](crate::publish)ed model version, if
+    /// any, without draining in-flight work. Returns the new version.
+    pub fn reload_latest(&self) -> LoaderResult<Option<u64>> {
+        let swapped = self.shared.artifact.reload_latest()?;
+        if swapped.is_some() {
+            self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(swapped)
+    }
+
+    /// The model version currently being served.
+    pub fn current_version(&self) -> u64 {
+        self.shared.artifact.snapshot().version
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            reloads: self.shared.reloads.load(Ordering::Relaxed),
+        }
+    }
+
+    fn cache_lookup(&self, node: u32) -> Option<Prediction> {
+        let current = self.shared.artifact.snapshot().version;
+        let shard = &self.shared.cache[node as usize % self.shared.cache.len()];
+        let hit = shard
+            .read()
+            .expect("cache lock poisoned")
+            .get(&node)
+            .filter(|p| p.model_version == current)
+            .cloned();
+        if hit.is_some() {
+            self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn enqueue(&self, req: Request) {
+        let mut q = self.shared.queue.lock();
+        while q.len() >= self.shared.cfg.queue_cap && !self.shared.closed.load(Ordering::Acquire) {
+            self.shared.not_full.wait(&mut q);
+        }
+        q.push_back(req);
+        drop(q);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl Drop for Server {
+    /// Graceful shutdown: workers drain everything already queued, then
+    /// exit.
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let depth = shared.artifact.snapshot().gcn.config.num_layers;
+    let mut engine = QueryEngine::new(depth);
+    let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch);
+    let mut nodes: Vec<u32> = Vec::with_capacity(shared.cfg.max_batch);
+    loop {
+        batch.clear();
+        {
+            let mut q = shared.queue.lock();
+            while q.is_empty() {
+                if shared.closed.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.not_empty.wait(&mut q);
+            }
+            // Adaptive batching: take whatever is queued; while under
+            // max_batch, linger up to max_wait for stragglers.
+            let deadline = Instant::now() + shared.cfg.max_wait;
+            loop {
+                while batch.len() < shared.cfg.max_batch {
+                    match q.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                if batch.len() >= shared.cfg.max_batch || shared.closed.load(Ordering::Acquire) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                if q.is_empty() {
+                    let res = shared.not_empty.wait_for(&mut q, deadline - now);
+                    if res.timed_out() && q.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        shared.not_full.notify_all();
+        if batch.is_empty() {
+            continue;
+        }
+        // Snapshot once per batch: a concurrent reload never tears it.
+        let snap = shared.artifact.snapshot();
+        nodes.clear();
+        nodes.extend(batch.iter().map(|r| r.node));
+        let preds = engine.predict_batch(&shared.artifact, &snap, &nodes);
+        shared.served.fetch_add(preds.len() as u64, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        for (req, pred) in batch.drain(..).zip(preds) {
+            let shard = &shared.cache[pred.node as usize % shared.cache.len()];
+            shard.write().expect("cache lock poisoned").insert(pred.node, pred.clone());
+            // The submitter may have given up (dropped receiver); fine.
+            let _ = req.tx.send(pred);
+        }
+    }
+}
+
+/// Convenience for smoke tests and examples: how many adjacency shard
+/// files an artifact at `dir` has (`p*q`, Even parity).
+pub fn shard_count(dir: &Path) -> LoaderResult<usize> {
+    let store = ShardStore::open(dir)?;
+    Ok(store.grid_p * store.grid_q)
+}

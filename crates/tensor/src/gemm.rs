@@ -188,6 +188,68 @@ pub fn gemm_nn_cached_b(
     }
 }
 
+/// `C = alpha * A * Bᵀ + beta * C` with the packed `Bᵀ` panels cached in
+/// `ws` under `b_version` — the transposed-layout sibling of
+/// [`gemm_nn_cached_b`], closing the packed-B reuse leak in backward's
+/// `∂L/∂H = dQ·Wᵀ`: before this existed, every backward call repacked the
+/// transposed weights even though they only change at the optimizer step.
+///
+/// The cache lives in its own workspace slot (`cached_bt`), keyed by the
+/// same per-layer weight version the forward cache uses, so forward (`N`
+/// pack) and backward (`T` pack) of one step never evict each other.
+/// Version discipline, the debug content-hash guard, the below-threshold
+/// unpacked route and bitwise equality with [`gemm_ws`] on the same
+/// operands all match the `N` variant.
+pub fn gemm_nt_cached_b(
+    ws: &mut KernelWorkspace,
+    c: &mut Matrix,
+    a: &Matrix,
+    b: &Matrix,
+    b_version: u64,
+    alpha: f32,
+    beta: f32,
+) {
+    check_shapes(c, a, Trans::N, b, Trans::T);
+    let (m, k) = Trans::N.shape_of(a);
+    let (_, n) = Trans::T.shape_of(b);
+    if k * n < PACK_KN_THRESHOLD {
+        gemm_unpacked(c, a, Trans::N, b, Trans::T, alpha, beta);
+        return;
+    }
+    let key = (b_version, b.rows(), b.cols());
+    if ws.cached_bt_key != Some(key) {
+        let before = ws.cached_bt.capacity();
+        pack_b_all_panels(&mut ws.cached_bt, b, Trans::T, k, n);
+        ws.note_grown(before, ws.cached_bt.capacity());
+        ws.cached_bt_key = Some(key);
+        #[cfg(debug_assertions)]
+        {
+            ws.cached_bt_fnv = fnv_f32(b.as_slice());
+        }
+    }
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        ws.cached_bt_fnv,
+        fnv_f32(b.as_slice()),
+        "gemm_nt_cached_b: version {} reused for different operand contents",
+        b_version
+    );
+    scale_output(c, beta);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut pc = 0;
+    let mut offset = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let nstrips = n.div_ceil(NR);
+        let panel = &ws.cached_bt[offset..offset + nstrips * kc * NR];
+        packed_strip_pass(panel, c, a, Trans::N, pc, kc, alpha);
+        offset += nstrips * kc * NR;
+        pc += kc;
+    }
+}
+
 /// FNV-1a over the raw bits of an f32 slice (cached-B content guard).
 #[cfg(debug_assertions)]
 fn fnv_f32(data: &[f32]) -> u64 {
@@ -837,6 +899,74 @@ mod tests {
         let mut ws = KernelWorkspace::new();
         let mut c = Matrix::zeros(30, 8);
         gemm_nn_cached_b(&mut ws, &mut c, &a, &b, 3, 1.0, 0.0);
+        assert_eq!(c.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn cached_bt_matches_gemm_ws_bitwise() {
+        // The backward shape: dH = dQ · Wᵀ with W of shape (k_in, n_out).
+        // Repeated calls, row tiles and version bumps through the
+        // transposed cache must agree bitwise with per-call packing.
+        let w = test_mat(90, 120, 0.2);
+        let mut ws = KernelWorkspace::new();
+        for (version, rows) in [(1u64, 50usize), (1, 50), (1, 33), (2, 50)] {
+            let dq = test_mat(rows, 120, 0.1 + version as f32);
+            let mut expect = Matrix::zeros(rows, 90);
+            gemm_ws(&mut ws, &mut expect, &dq, Trans::N, &w, Trans::T, 1.0, 0.0);
+            let mut c = Matrix::zeros(rows, 90);
+            gemm_nt_cached_b(&mut ws, &mut c, &dq, &w, version, 1.0, 0.0);
+            assert_eq!(c.as_slice(), expect.as_slice(), "cached-Bᵀ diverged (v{})", version);
+        }
+        // Multi-panel k (> KC) through the transposed cache.
+        let dq = test_mat(20, 700, 0.4);
+        let w = test_mat(40, 700, 0.5);
+        let mut expect = Matrix::zeros(20, 40);
+        gemm_ws(&mut ws, &mut expect, &dq, Trans::N, &w, Trans::T, 1.0, 0.0);
+        let mut c = Matrix::zeros(20, 40);
+        gemm_nt_cached_b(&mut ws, &mut c, &dq, &w, 7, 1.0, 0.0);
+        assert_eq!(c.as_slice(), expect.as_slice(), "multi-panel cached-Bᵀ diverged");
+    }
+
+    #[test]
+    fn cached_bt_and_nn_share_a_workspace_without_thrash_or_allocs() {
+        // One step's pattern: forward packs W under N, backward packs the
+        // same W under T, same version. The slots are independent, so
+        // after warmup neither direction repacks or allocates.
+        let w = test_mat(100, 80, 0.6);
+        let h = test_mat(40, 100, 0.3);
+        let dq = test_mat(40, 80, 0.4);
+        let mut ws = KernelWorkspace::new();
+        let mut q = Matrix::zeros(40, 80);
+        let mut dh = Matrix::zeros(40, 100);
+        gemm_nn_cached_b(&mut ws, &mut q, &h, &w, 0, 1.0, 0.0);
+        gemm_nt_cached_b(&mut ws, &mut dh, &dq, &w, 0, 1.0, 0.0);
+        let warmed = ws.alloc_events();
+        let (q_expect, dh_expect) = (q.as_slice().to_vec(), dh.as_slice().to_vec());
+        for _ in 0..4 {
+            gemm_nn_cached_b(&mut ws, &mut q, &h, &w, 0, 1.0, 0.0);
+            gemm_nt_cached_b(&mut ws, &mut dh, &dq, &w, 0, 1.0, 0.0);
+            assert_eq!(q.as_slice(), &q_expect[..]);
+            assert_eq!(dh.as_slice(), &dh_expect[..]);
+        }
+        assert_eq!(ws.alloc_events(), warmed, "alternating N/T packs thrashed or allocated");
+        // Version bumps repack in place (same capacity, no allocations).
+        for v in 1..4u64 {
+            let w2 = test_mat(100, 80, 0.6 + v as f32);
+            gemm_nn_cached_b(&mut ws, &mut q, &h, &w2, v, 1.0, 0.0);
+            gemm_nt_cached_b(&mut ws, &mut dh, &dq, &w2, v, 1.0, 0.0);
+        }
+        assert_eq!(ws.alloc_events(), warmed, "version repacks allocated");
+    }
+
+    #[test]
+    fn cached_bt_below_threshold_matches_unpacked() {
+        let dq = test_mat(30, 8, 0.7);
+        let w = test_mat(8, 8, 0.8);
+        let mut expect = Matrix::zeros(30, 8);
+        gemm(&mut expect, &dq, Trans::N, &w, Trans::T, 1.0, 0.0);
+        let mut ws = KernelWorkspace::new();
+        let mut c = Matrix::zeros(30, 8);
+        gemm_nt_cached_b(&mut ws, &mut c, &dq, &w, 3, 1.0, 0.0);
         assert_eq!(c.as_slice(), expect.as_slice());
     }
 

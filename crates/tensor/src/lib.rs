@@ -22,7 +22,9 @@ pub mod ops;
 pub mod workspace;
 
 pub use compare::{assert_close, max_abs_diff, MatComparison};
-pub use gemm::{gemm, gemm_nn_cached_b, gemm_reference_tn, gemm_seq, gemm_ws, Trans};
+pub use gemm::{
+    gemm, gemm_nn_cached_b, gemm_nt_cached_b, gemm_reference_tn, gemm_seq, gemm_ws, Trans,
+};
 pub use init::{glorot_uniform, randn_matrix, uniform_matrix};
 pub use matrix::Matrix;
 pub use workspace::KernelWorkspace;

@@ -45,6 +45,17 @@ pub struct KernelWorkspace {
     /// a version number for different bits (debug builds only).
     #[cfg(debug_assertions)]
     pub(crate) cached_b_fnv: u64,
+    /// Transposed-layout sibling of `cached_b`: the same operand packed as
+    /// `op(B) = Bᵀ`, so backward's `∂L/∂H = dQ·Wᵀ` reuses its pack across
+    /// calls instead of repacking the transposed weights every time. A
+    /// separate slot because forward (`N`) and backward (`T`) alternate
+    /// within one step and would thrash a shared one.
+    pub(crate) cached_bt: Vec<f32>,
+    /// `(version, rows, cols)` of the operand packed in `cached_bt`.
+    pub(crate) cached_bt_key: Option<(u64, usize, usize)>,
+    /// Content hash of the transposed-cached operand (debug builds only).
+    #[cfg(debug_assertions)]
+    pub(crate) cached_bt_fnv: u64,
     /// Recycled output buffers, reused by capacity.
     pool: Vec<Vec<f32>>,
     alloc_events: u64,
