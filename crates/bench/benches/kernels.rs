@@ -67,6 +67,37 @@ fn bench_gemm_modes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multicore(c: &mut Criterion) {
+    // First multi-core arms: the same SpMM and packed-TN GEMM workloads
+    // run inside explicitly sized pools. On a single-core host the t > 1
+    // arms measure time-sliced threads, not parallel speedup — the BENCH
+    // machine block records `logical_cores` so readers can tell which.
+    let g = rmat_graph(13, 8, 1);
+    let a = g.normalized_adjacency();
+    let b = uniform_matrix(a.cols(), 128, -1.0, 1.0, 2);
+    let n_loc = 4096;
+    let h = uniform_matrix(n_loc, 128, -1.0, 1.0, 3);
+    let dq = uniform_matrix(n_loc, 64, -1.0, 1.0, 4);
+    let mut group = c.benchmark_group("multicore");
+    group.sample_size(10);
+    for &t in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPool::new(t);
+        group.bench_with_input(BenchmarkId::new("spmm_rmat_8k_128", t), &t, |bench, _| {
+            bench.iter(|| pool.install(|| spmm(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_packed_tn", t), &t, |bench, _| {
+            bench.iter(|| {
+                pool.install(|| {
+                    let mut dw = Matrix::zeros(128, 64);
+                    gemm(&mut dw, &h, Trans::T, &dq, Trans::N, 1.0, 0.0);
+                    dw
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_permutation(c: &mut Criterion) {
     let g = rmat_graph(13, 8, 5);
     let a = g.normalized_adjacency();
@@ -97,5 +128,12 @@ fn bench_collectives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmm, bench_gemm_modes, bench_permutation, bench_collectives);
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_gemm_modes,
+    bench_multicore,
+    bench_permutation,
+    bench_collectives
+);
 criterion_main!(benches);

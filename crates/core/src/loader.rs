@@ -820,8 +820,10 @@ fn temp_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{}.tmp", name))
 }
 
-/// Run `f` over every row band, in parallel (one rayon task per band, each
-/// writing its own temp files — no shared mutable state) or sequentially.
+/// Run `f` over every row band, in parallel (one task per band on the
+/// persistent worker pool, each writing its own temp files — no shared
+/// mutable state) or sequentially. Under `PLEXUS_THREADS=1` the parallel
+/// flag degenerates to the same sequential loop.
 fn run_bands<F>(p: usize, parallel: bool, f: F) -> LoaderResult<Vec<Vec<BandFile>>>
 where
     F: Fn(usize) -> LoaderResult<Vec<BandFile>> + Sync,

@@ -357,7 +357,8 @@ impl RankData {
     /// Load everything rank `rank` owns straight from a preprocessed
     /// [`ShardStore`], merging only the shard files its windows intersect
     /// (the §5.4 parallel loader). Layer windows are loaded in parallel
-    /// via rayon. Returns the rank data — bitwise identical to
+    /// on the persistent worker pool (a per-layer task costs a deque push,
+    /// not a thread spawn). Returns the rank data — bitwise identical to
     /// [`RankData::extract`] on the equivalent [`GlobalProblem`] — plus a
     /// [`MemoryLedger`] of the bytes touched and resident.
     pub fn load_from_store(

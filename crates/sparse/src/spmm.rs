@@ -162,7 +162,10 @@ pub fn nnz_balanced_bounds(row_ptr: &[usize], max_chunks: usize) -> Vec<(usize, 
 
 fn spmm_par(a: &Csr, b: &Matrix, c: &mut Matrix, accumulate: bool) {
     let n = b.cols();
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    // Ask the pool (global or installed) rather than the OS: under
+    // PLEXUS_THREADS=1 or a 1-thread `ThreadPool::install` this must take
+    // the exact sequential path.
+    let threads = rayon::current_num_threads();
     if threads <= 1 {
         spmm_rows(a, b, c.as_mut_slice(), 0, a.rows(), accumulate);
         return;
@@ -198,14 +201,15 @@ fn spmm_rows(a: &Csr, b: &Matrix, c_rows: &mut [f32], r0: usize, r1: usize, accu
 }
 
 /// One output row: dispatches to the AVX2+FMA band kernel when the CPU
-/// has it (checked once per process, so every call in a build takes the
-/// same path and all bitwise-identity invariants hold), otherwise to the
-/// portable band kernel.
+/// has it — through the shared once-per-process policy in
+/// [`plexus_tensor::cpu`], the same detection the GEMM microkernel uses,
+/// so every kernel in a run agrees on the path and all bitwise-identity
+/// invariants hold — otherwise to the portable band kernel.
 #[inline]
 fn spmm_row(cols: &[u32], vals: &[f32], b: &Matrix, crow: &mut [f32], accumulate: bool) {
     #[cfg(target_arch = "x86_64")]
-    if x86::available() {
-        // SAFETY: `available()` verified avx2+fma support on this CPU.
+    if plexus_tensor::cpu::fma_available() {
+        // SAFETY: `fma_available()` verified avx2+fma support on this CPU.
         unsafe { x86::spmm_row_fma(cols, vals, b.as_slice(), b.cols(), crow, accumulate) };
         return;
     }
@@ -278,11 +282,13 @@ fn band_pass<const W: usize>(
     crow[j..j + W].copy_from_slice(&acc);
 }
 
-/// AVX2+FMA row kernel, runtime-dispatched — the only `unsafe` in the
-/// workspace, kept to the minimum surface a vector kernel needs: the
-/// `#[target_feature]` call boundary and the SIMD load/store intrinsics.
-/// Every pointer is derived from a bounds-checked slice immediately before
-/// use, so the safety argument is purely "the CPU features were detected".
+/// AVX2+FMA row kernel, kept to the minimum `unsafe` surface a vector
+/// kernel needs (the same policy as the GEMM microkernel in
+/// `plexus-tensor`): the `#[target_feature]` call boundary and the SIMD
+/// load/store intrinsics. Every pointer is derived from a bounds-checked
+/// slice immediately before use, so the safety argument is purely "the CPU
+/// features were detected" — and detection lives in one shared place,
+/// [`plexus_tensor::cpu`].
 ///
 /// FMA fuses each multiply-add without intermediate rounding, so values
 /// can differ from the portable kernel in the last ulp. Dispatch is
@@ -296,15 +302,6 @@ mod x86 {
         __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
         _mm256_storeu_ps,
     };
-    use std::sync::OnceLock;
-
-    /// Whether the FMA band kernel is usable on this CPU (detected once).
-    #[inline]
-    pub fn available() -> bool {
-        static AVAILABLE: OnceLock<bool> = OnceLock::new();
-        *AVAILABLE
-            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
-    }
 
     #[inline]
     #[target_feature(enable = "avx2,fma")]

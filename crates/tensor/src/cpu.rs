@@ -1,0 +1,65 @@
+//! Shared CPU feature detection for the SIMD kernels.
+//!
+//! Both the SpMM band kernel (`plexus-sparse`) and the GEMM microkernel
+//! (this crate) want the same question answered — "may I call an
+//! `#[target_feature(enable = "avx2,fma")]` function?" — and the answer
+//! must be decided **once per process**: the engine's bitwise-identity
+//! invariants (blocked == unblocked, parallel == sequential, overlapped ==
+//! blocking, sharded == in-memory, serve == trainer) tolerate FMA's fused
+//! rounding only because every call in a run takes the same kernel path.
+//! Centralizing the detection here gives one `OnceLock`, one `unsafe`
+//! policy, and one place to audit instead of a copy per crate.
+//!
+//! `PLEXUS_NO_SIMD` (any value) forces the portable scalar kernels, which
+//! is how tests and benches get a scalar process without recompiling. The
+//! variable is read once at first use, like the detection itself.
+
+use std::sync::OnceLock;
+
+/// Whether the AVX2+FMA kernels are usable in this process. Decided once,
+/// from the CPU and `PLEXUS_NO_SIMD` alone — never from shapes or thread
+/// counts — so every kernel call in a run agrees on the dispatch.
+#[inline]
+pub fn fma_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(detect)
+}
+
+fn detect() -> bool {
+    if std::env::var_os("PLEXUS_NO_SIMD").is_some() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Human-readable name of the kernel path this process dispatches to;
+/// recorded in bench machine blocks so snapshots are comparable.
+pub fn simd_label() -> &'static str {
+    if fma_available() {
+        "avx2+fma"
+    } else {
+        "scalar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable_across_calls() {
+        let first = fma_available();
+        for _ in 0..8 {
+            assert_eq!(fma_available(), first);
+        }
+        let label = simd_label();
+        assert_eq!(label == "avx2+fma", first);
+    }
+}

@@ -15,16 +15,20 @@
 //! quoted in §6.1).
 
 pub mod compare;
+pub mod cpu;
 pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod tune;
 pub mod workspace;
 
 pub use compare::{assert_close, max_abs_diff, MatComparison};
+pub use cpu::{fma_available, simd_label};
 pub use gemm::{
     gemm, gemm_nn_cached_b, gemm_nt_cached_b, gemm_reference_tn, gemm_seq, gemm_ws, Trans,
 };
 pub use init::{glorot_uniform, randn_matrix, uniform_matrix};
 pub use matrix::Matrix;
+pub use tune::{ShapeClass, Tile};
 pub use workspace::KernelWorkspace;

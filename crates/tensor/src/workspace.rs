@@ -39,8 +39,10 @@ pub struct KernelWorkspace {
     /// survive across calls (the combination GEMM's gathered weight
     /// matrix). See [`gemm_nn_cached_b`](crate::gemm::gemm_nn_cached_b).
     pub(crate) cached_b: Vec<f32>,
-    /// `(version, rows, cols)` of the operand packed in `cached_b`.
-    pub(crate) cached_b_key: Option<(u64, usize, usize)>,
+    /// `(version, rows, cols, nr)` of the operand packed in `cached_b` —
+    /// `nr` because the strip width is part of the packed layout, so a
+    /// tile change between calls must repack.
+    pub(crate) cached_b_key: Option<(u64, usize, usize, usize)>,
     /// Content hash of the cached operand; guards against a caller reusing
     /// a version number for different bits (debug builds only).
     #[cfg(debug_assertions)]
@@ -51,8 +53,8 @@ pub struct KernelWorkspace {
     /// separate slot because forward (`N`) and backward (`T`) alternate
     /// within one step and would thrash a shared one.
     pub(crate) cached_bt: Vec<f32>,
-    /// `(version, rows, cols)` of the operand packed in `cached_bt`.
-    pub(crate) cached_bt_key: Option<(u64, usize, usize)>,
+    /// `(version, rows, cols, nr)` of the operand packed in `cached_bt`.
+    pub(crate) cached_bt_key: Option<(u64, usize, usize, usize)>,
     /// Content hash of the transposed-cached operand (debug builds only).
     #[cfg(debug_assertions)]
     pub(crate) cached_bt_fnv: u64,

@@ -20,6 +20,8 @@ use plexus_graph::{train_val_test_masks, DatasetKind, DatasetSpec, Graph, Loaded
 use plexus_sparse::permute::{apply_permutation, inverse_permutation, random_permutation};
 use plexus_sparse::shard::{shard_grid, unshard_grid};
 use plexus_sparse::{nnz_balanced_bounds, spmm, spmm_acc_into, spmm_into, Coo, Csr};
+use plexus_tensor::gemm::gemm_packed_with_tile;
+use plexus_tensor::tune::{self, FMA_CANDIDATES};
 use plexus_tensor::{assert_close, gemm, gemm_seq, gemm_ws, KernelWorkspace, Matrix, Trans};
 use proptest::prelude::*;
 
@@ -76,7 +78,7 @@ proptest! {
     #[test]
     fn packed_gemm_matches_naive_all_modes(
         m in 1usize..40,
-        k in 1usize..600,   // spans multiple K-panels (KC = 512)
+        k in 1usize..600,   // spans multiple K-panels for every shape class
         n in 1usize..40,
         mode in 0usize..4,
         alpha in -2.0f32..2.0,
@@ -139,7 +141,57 @@ proptest! {
     }
 
     #[test]
+    fn fma_and_scalar_tiles_agree_all_modes(
+        m in 1usize..32,
+        k in 1usize..1200,  // crosses the kc boundary of every shape class
+        n in 1usize..32,
+        mode in 0usize..4,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in any::<u64>(),
+    ) {
+        // The microkernel contract behind the autotuner: MR/NR are
+        // bits-neutral (any candidate tile produces identical bits on a
+        // given arithmetic path), and the FMA path agrees with the scalar
+        // path within rounding across all four transpose modes, alpha/beta
+        // and multi-panel k. On machines without AVX2+FMA the "fma" run
+        // falls back to scalar and the tolerance check is trivially exact.
+        let (ta, tb) = [(Trans::N, Trans::N), (Trans::N, Trans::T),
+                        (Trans::T, Trans::N), (Trans::T, Trans::T)][mode];
+        let a = match ta {
+            Trans::N => seeded_matrix(m, k, seed),
+            Trans::T => seeded_matrix(k, m, seed),
+        };
+        let b = match tb {
+            Trans::N => seeded_matrix(k, n, seed ^ 1),
+            Trans::T => seeded_matrix(n, k, seed ^ 1),
+        };
+        let seed_c = seeded_matrix(m, n, seed ^ 2);
+        let kc = tune::tile_for(k, n).kc;
+        let run = |mr: usize, nr: usize, force_scalar: bool| {
+            let mut c = seed_c.clone();
+            let mut bp = Vec::new();
+            gemm_packed_with_tile(
+                &mut bp, &mut c, &a, ta, &b, tb, alpha, beta,
+                plexus_tensor::Tile { mr, nr, kc }, force_scalar,
+            );
+            c
+        };
+        let (mr0, nr0) = FMA_CANDIDATES[0];
+        let scalar = run(mr0, nr0, true);
+        let fma = run(mr0, nr0, false);
+        assert_close(&fma, &scalar, 2e-4, "fma vs scalar microkernel");
+        for &(mr, nr) in &FMA_CANDIDATES[1..] {
+            let other_scalar = run(mr, nr, true);
+            let other_fma = run(mr, nr, false);
+            prop_assert_eq!(other_scalar.as_slice(), scalar.as_slice());
+            prop_assert_eq!(other_fma.as_slice(), fma.as_slice());
+        }
+    }
+
+    #[test]
     fn spmm_into_variants_match_reference(
+
         a in arb_csr(40),
         cols in 1usize..40,
         seed in any::<u64>(),
@@ -176,6 +228,65 @@ proptest! {
             prop_assert!(r0 < r1, "empty chunk in {:?}", bounds);
         }
         prop_assert!(bounds.len() <= chunks.min(a.rows()));
+    }
+}
+
+proptest! {
+    // Determinism across thread counts: pools are expensive per case, so
+    // fewer cases with shapes big enough to engage the parallel paths.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_kernels_bitwise_equal_to_single_thread(
+        threads in 2usize..9,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in any::<u64>(),
+    ) {
+        // The workspace-wide determinism contract: the f32 op order for any
+        // output element is a function of shape only, never of how rows are
+        // partitioned across workers. So any pool size must reproduce the
+        // single-thread result bit for bit.
+        let (m, k, n) = (48, 700, 24);
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed ^ 1);
+        let seed_c = seeded_matrix(m, n, seed ^ 2);
+        let tile = tune::tile_for(k, n);
+        let run_gemm = |t: usize| {
+            rayon::ThreadPool::new(t).install(|| {
+                let mut c = seed_c.clone();
+                let mut bp = Vec::new();
+                gemm_packed_with_tile(
+                    &mut bp, &mut c, &a, Trans::N, &b, Trans::N, alpha, beta, tile, false,
+                );
+                c
+            })
+        };
+        let gemm_one = run_gemm(1);
+        let gemm_many = run_gemm(threads);
+        prop_assert_eq!(gemm_many.as_slice(), gemm_one.as_slice());
+
+        // SpMM over a graph dense enough to clear the row-parallel
+        // threshold (nnz * cols well above the dispatch cutoff).
+        let csr = {
+            use rand::{rngs::StdRng, RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed ^ 4);
+            let (rows, cols) = (200, 200);
+            let mut coo = Coo::new(rows, cols);
+            for _ in 0..4000 {
+                coo.push(
+                    rng.random_range(0..rows as u32),
+                    rng.random_range(0..cols as u32),
+                    rng.random_range(-2.0f32..2.0),
+                );
+            }
+            coo.to_csr()
+        };
+        let h = seeded_matrix(csr.cols(), 64, seed ^ 5);
+        let run_spmm = |t: usize| rayon::ThreadPool::new(t).install(|| spmm(&csr, &h));
+        let spmm_one = run_spmm(1);
+        let spmm_many = run_spmm(threads);
+        prop_assert_eq!(spmm_many.as_slice(), spmm_one.as_slice());
     }
 }
 

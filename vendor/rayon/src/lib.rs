@@ -1,35 +1,41 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a persistent work-stealing
+//! thread pool.
 //!
-//! Implements the two primitives the compute kernels use —
-//! `slice.par_chunks_mut(n).enumerate().for_each(..)` and
-//! `vec.into_par_iter().for_each(..)` (the latter carries the unevenly
-//! sized, nnz-balanced SpMM work items) — with real parallelism: items are
-//! dealt round-robin to `available_parallelism()` scoped threads. No work
-//! stealing, which is fine here because callers pre-balance their items.
-//! Threads are spawned per call rather than kept in a persistent pool — a
-//! known simplification that adds per-kernel-invocation overhead on
-//! multi-core machines; swap in the real rayon (one line in the root
-//! manifest) or add a pool before drawing multi-core perf conclusions from
-//! microbenchmarks.
+//! The API surface is the subset the workspace uses —
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)`,
+//! `slice.par_iter().for_each(..)`, `vec.into_par_iter().for_each(..)`
+//! (the latter carries the unevenly sized, nnz-balanced SpMM work items),
+//! [`join`], [`current_num_threads`], and [`ThreadPool`] with
+//! rayon-compatible [`ThreadPool::install`] scoping — but unlike the
+//! earlier stand-in, threads are **not** spawned per call: a
+//! lazily-initialized global pool (the `pool` module) keeps its workers
+//! parked between kernel invocations, deals each call's items into
+//! per-worker deques, and rebalances by chunk stealing. Multi-core numbers
+//! measured through this crate therefore reflect the kernels, not thread
+//! spawn overhead.
 //!
-//! Single-threaded machines degrade to a plain sequential loop with no
-//! thread spawns, so the kernels stay deterministic and cheap under test.
+//! The global pool's size comes from `PLEXUS_THREADS` when set (pin it for
+//! reproducible runs; `PLEXUS_THREADS=1` short-circuits every parallel
+//! call to a plain sequential loop on the calling thread), otherwise from
+//! the machine's logical core count. Items are executed exactly once each,
+//! per-item work is untouched by scheduling, and the pool never splits an
+//! item — so kernel results are bitwise identical for every thread count.
+//! Panics inside a parallel region propagate to the submitting caller
+//! after the job drains (never a hang), and the pool survives them.
 
-use std::thread;
+mod pool;
+
+pub use pool::{current_num_threads, join, ThreadPool};
 
 pub mod prelude {
     pub use crate::IntoParallelIterator;
+    pub use crate::ParallelSlice;
     pub use crate::ParallelSliceMut;
-}
-
-/// How many worker threads a `for_each` may use.
-fn max_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel equivalent of `chunks_mut`: the returned adapter's
-    /// `for_each` distributes chunks across threads.
+    /// `for_each` distributes chunks across the pool.
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
 
@@ -76,31 +82,50 @@ impl<T: Send> EnumeratedParChunksMut<'_, T> {
         F: Fn((usize, &mut [T])) + Sync,
     {
         let chunk_size = self.inner.chunk_size;
-        let chunks: Vec<(usize, &mut [T])> =
-            self.inner.slice.chunks_mut(chunk_size).enumerate().collect();
-        let workers = max_threads().min(chunks.len());
-        if workers <= 1 {
-            for item in chunks {
+        if pool::current_num_threads() <= 1 {
+            // The serial path allocates nothing and touches no pool state.
+            for item in self.inner.slice.chunks_mut(chunk_size).enumerate() {
                 op(item);
             }
             return;
         }
-        // Round-robin deal so neighbouring (cache-warm, similarly sized)
-        // chunks spread across workers.
-        let mut queues: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-        for (pos, item) in chunks.into_iter().enumerate() {
-            queues[pos % workers].push(item);
-        }
-        let op = &op;
-        thread::scope(|s| {
-            for queue in queues {
-                s.spawn(move || {
-                    for item in queue {
-                        op(item);
-                    }
-                });
-            }
-        });
+        let chunks: Vec<(usize, &mut [T])> =
+            self.inner.slice.chunks_mut(chunk_size).enumerate().collect();
+        pool::run_foreach(chunks, op);
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iteration over a slice (the `&`-borrowing sibling
+    /// of [`ParallelSliceMut::par_chunks_mut`]).
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let slice = self.slice;
+        pool::run_indexed(slice.len(), &|i| op(&slice[i]));
     }
 }
 
@@ -119,7 +144,8 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 }
 
 /// Parallel consuming iterator over a `Vec`, mirroring rayon's semantics
-/// for the `for_each` terminal: items run concurrently, dealt round-robin.
+/// for the `for_each` terminal: every item runs exactly once, concurrently
+/// when the pool has more than one executor.
 pub struct VecParIter<T> {
     items: Vec<T>,
 }
@@ -129,33 +155,16 @@ impl<T: Send> VecParIter<T> {
     where
         F: Fn(T) + Sync,
     {
-        let workers = max_threads().min(self.items.len());
-        if workers <= 1 {
-            for item in self.items {
-                op(item);
-            }
-            return;
-        }
-        let mut queues: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
-        for (pos, item) in self.items.into_iter().enumerate() {
-            queues[pos % workers].push(item);
-        }
-        let op = &op;
-        thread::scope(|s| {
-            for queue in queues {
-                s.spawn(move || {
-                    for item in queue {
-                        op(item);
-                    }
-                });
-            }
-        });
+        pool::run_foreach(self.items, op);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, join, ThreadPool};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn covers_every_chunk_exactly_once() {
@@ -187,7 +196,6 @@ mod tests {
 
     #[test]
     fn into_par_iter_visits_every_item_once() {
-        use std::sync::atomic::{AtomicU64, Ordering};
         let sum = AtomicU64::new(0);
         (1u64..=100).collect::<Vec<_>>().into_par_iter().for_each(|x| {
             sum.fetch_add(x, Ordering::Relaxed);
@@ -206,5 +214,132 @@ mod tests {
             chunk.iter_mut().for_each(|v| *v = len);
         });
         assert_eq!(data, vec![3, 3, 3, 5, 5, 5, 5, 5, 2, 2]);
+    }
+
+    #[test]
+    fn par_iter_visits_every_element() {
+        let data: Vec<u64> = (0..500).collect();
+        let sum = AtomicU64::new(0);
+        data.as_slice().par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499 * 500 / 2);
+    }
+
+    #[test]
+    fn installed_pool_governs_thread_count() {
+        let four = ThreadPool::new(4);
+        let one = ThreadPool::new(1);
+        assert_eq!(four.install(current_num_threads), 4);
+        assert_eq!(one.install(current_num_threads), 1);
+        // install restores the previous pool, panic included.
+        let before = current_num_threads();
+        let result = catch_unwind(AssertUnwindSafe(|| four.install(|| panic!("boom"))));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn results_identical_across_arbitrary_thread_counts() {
+        let reference: Vec<u64> = (0..997u64).map(|i| i * i + 1).collect();
+        for threads in [1usize, 2, 3, 4, 7, 16] {
+            let pool = ThreadPool::new(threads);
+            let mut data = vec![0u64; 997];
+            pool.install(|| {
+                data.as_mut_slice().par_chunks_mut(13).enumerate().for_each(|(ci, chunk)| {
+                    for (off, v) in chunk.iter_mut().enumerate() {
+                        let i = (ci * 13 + off) as u64;
+                        *v = i * i + 1;
+                    }
+                });
+            });
+            assert_eq!(data, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_on_the_calling_thread() {
+        // PLEXUS_THREADS=1 semantics: the serial path — no pool thread
+        // ever touches the items.
+        let pool = ThreadPool::new(1);
+        let caller = std::thread::current().id();
+        let mut ran = vec![false; 37];
+        pool.install(|| {
+            ran.as_mut_slice().par_chunks_mut(5).for_each(|chunk| {
+                assert_eq!(std::thread::current().id(), caller, "leaked off-thread");
+                chunk.iter_mut().for_each(|v| *v = true);
+            });
+        });
+        assert!(ran.iter().all(|&b| b));
+        let (a, b) = pool.install(|| join(|| 1 + 1, || 2 + 2));
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn panic_in_one_item_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize).collect::<Vec<_>>().into_par_iter().for_each(|i| {
+                    if i == 17 {
+                        panic!("kernel worker exploded");
+                    }
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        // Surfaces as an error on the submitting thread — not a hang.
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "kernel worker exploded");
+        assert_eq!(survivors.load(Ordering::Relaxed), 63, "independent items still run");
+        // The pool stays usable for later jobs.
+        let sum = AtomicU64::new(0);
+        pool.install(|| {
+            (1u64..=10).collect::<Vec<_>>().into_par_iter().for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_in_order() {
+        let pool = ThreadPool::new(3);
+        let (a, b) = pool.install(|| join(|| "left".to_string(), || 42));
+        assert_eq!((a.as_str(), b), ("left", 42));
+    }
+
+    #[test]
+    fn nested_join_inside_par_iter_does_not_deadlock() {
+        // Every item of a parallel loop forks again; with 2 executors and
+        // 8 items the workers must help their own nested jobs instead of
+        // waiting on each other.
+        for threads in [2usize, 4] {
+            let pool = ThreadPool::new(threads);
+            let total = AtomicU64::new(0);
+            pool.install(|| {
+                (0..8u64).collect::<Vec<_>>().into_par_iter().for_each(|i| {
+                    let (x, y) = join(|| i * 2, || join(|| i, || i + 1));
+                    total.fetch_add(x + y.0 + y.1, Ordering::Relaxed);
+                });
+            });
+            // sum over i of (2i + i + i+1) = 4*sum(i) + 8 = 4*28 + 8
+            assert_eq!(total.load(Ordering::Relaxed), 120, "at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_completes() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.install(|| fib(12)), 144);
     }
 }

@@ -1,0 +1,453 @@
+//! The persistent work-stealing thread pool behind every `par_*` adapter.
+//!
+//! # Architecture
+//!
+//! One [`PoolShared`] owns `threads - 1` worker threads (the submitting
+//! caller is the remaining executor — it *helps* run its own job instead
+//! of blocking immediately). Work arrives as **jobs**: a job is one
+//! `for_each` (or `join`) call, split into contiguous index-range **tasks**
+//! (at most [`TASKS_PER_EXECUTOR`] per executor) that are dealt round-robin
+//! into the per-worker deques. Workers pop their own deque from the front
+//! and steal from the *back* of a victim's deque — a whole range task at a
+//! time, so a steal moves a chunk of work, not a single item. Idle workers
+//! park on a condvar and are woken by job submission (an epoch counter
+//! bumped under the same lock prevents lost wakeups).
+//!
+//! # Why the caller helps
+//!
+//! The caller executes tasks *of its own job* until none are left
+//! unclaimed, then sleeps until the last claimed task finishes. This is
+//! what makes nested parallelism (a task that itself calls `for_each` or
+//! `join`) deadlock-free: a thread only ever blocks when every task of the
+//! job it waits for is actively being executed by some other thread, and
+//! the waits-for relation follows strictly increasing nesting depth, so it
+//! cannot cycle.
+//!
+//! # Panics and poisoning
+//!
+//! A panic inside a task is caught on the executing thread, recorded in
+//! the job, and re-raised on the *submitting* thread once the job
+//! completes — an error, never a hang, and the pool's workers survive to
+//! serve later jobs (every item of the job is still attempted, since items
+//! are independent). As a backstop against pool bugs, a worker thread that
+//! dies outside the catch (impossible unless the pool itself is broken)
+//! poisons the pool: subsequent and in-flight submissions panic with a
+//! "pool poisoned" message instead of waiting forever.
+//!
+//! # Determinism
+//!
+//! The pool never changes *what* a task computes, only *where* it runs:
+//! tasks are disjoint index ranges over caller-provided items, and every
+//! item is executed exactly once by exactly one thread. Combined with the
+//! kernels' per-row accumulator discipline, results are bitwise identical
+//! for every thread count, including 1 (where submission short-circuits to
+//! a plain sequential loop on the calling thread — no pool interaction at
+//! all, the exact pre-pool serial path).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Upper bound on range tasks per executor for one job: enough slack that
+/// a stolen chunk rebalances a straggler, few enough that task bookkeeping
+/// stays negligible next to the work itself.
+const TASKS_PER_EXECUTOR: usize = 4;
+
+/// How long a completion wait sleeps between poison re-checks. Purely a
+/// backstop — completion itself is signalled through the job's condvar.
+const POISON_RECHECK: Duration = Duration::from_millis(100);
+
+/// One unit of claimable work: run `job`'s function over `[start, end)`.
+struct Task {
+    job: *const JobCore,
+    start: usize,
+    end: usize,
+}
+
+// SAFETY: the raw pointers target a `JobCore` (and through it the job's
+// closure) on the submitting thread's stack; `run_job` does not return
+// until every task has finished, so the pointee strictly outlives every
+// `Task` that references it.
+unsafe impl Send for Task {}
+
+/// Per-job completion state, stack-allocated in [`PoolShared::run_job`].
+struct JobCore {
+    /// The job body, lifetime-erased by `run_job` (see its SAFETY note).
+    func: *const (dyn Fn(usize) + Sync),
+    /// Tasks not yet finished; the executor that brings this to zero sets
+    /// `done` and signals `done_cv`.
+    pending: AtomicUsize,
+    /// First panic payload raised by any task of this job.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `func` points at a `Sync` closure, `pending`/`panic`/`done` are
+// themselves thread-safe; the raw pointer is what defeats the auto impl.
+unsafe impl Sync for JobCore {}
+
+pub(crate) struct PoolShared {
+    /// Parallelism degree: worker threads plus the helping caller.
+    pub(crate) threads: usize,
+    /// One deque per worker thread (`threads - 1` of them). Owners pop
+    /// from the front; thieves (other workers, helping callers) take a
+    /// whole range task from the back.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Park/unpark state: workers sleep on `idle_cv` under `idle_lock`;
+    /// every submission bumps `epoch` under the lock and notifies, so a
+    /// worker that saw no work re-checks before sleeping.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    epoch: AtomicU64,
+    /// Set when a worker thread dies outside the task catch — a pool bug,
+    /// converted into panics at the submission sites instead of hangs.
+    poisoned: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// The pool `par_*` calls on this thread submit to: set for worker
+    /// threads (their own pool) and inside [`ThreadPool::install`];
+    /// everything else uses the process-global pool.
+    static CURRENT: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
+}
+
+/// The pool the current thread's parallel calls run on.
+pub(crate) fn current_shared() -> Arc<PoolShared> {
+    if let Some(shared) = CURRENT.with(|c| c.borrow().clone()) {
+        return shared;
+    }
+    global_pool().shared.clone()
+}
+
+/// Number of executors parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    current_shared().threads
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(configured_threads()))
+}
+
+/// Global pool size: `PLEXUS_THREADS` when set (reproducible runs pin it;
+/// an unparsable value is a configuration error and panics rather than
+/// silently measuring something else), otherwise the machine's logical
+/// core count.
+fn configured_threads() -> usize {
+    match std::env::var("PLEXUS_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("PLEXUS_THREADS must be a positive integer, got {:?}", raw),
+        },
+        Err(_) => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// A work-stealing pool with a fixed executor count. The process-global
+/// pool (sized by `PLEXUS_THREADS` / the core count) serves all parallel
+/// calls by default; tests and benches build private pools and route a
+/// scope through them with [`install`](Self::install).
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Build a pool with `threads` executors (`threads - 1` spawned
+    /// workers; the caller of each parallel op is the last executor).
+    /// `threads == 1` spawns nothing and runs every job inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            threads,
+            queues: (1..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..shared.queues.len())
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("plexus-pool-{idx}"))
+                    .spawn(move || worker_main(shared, idx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Executor count (including the helping caller).
+    pub fn num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Run `f` with this pool as the current thread's pool: every `par_*`
+    /// call and `join` inside `f` (on this thread) submits here instead of
+    /// to the global pool. Restores the previous pool on exit, panic
+    /// included.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<PoolShared>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.shared)));
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.idle_lock.lock().unwrap();
+            self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+            self.shared.idle_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already poisoned the pool; nothing
+            // more to surface here.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Sets the poison flag if the worker unwinds outside the per-task catch.
+struct PoisonOnUnwind(Arc<PoolShared>);
+
+impl Drop for PoisonOnUnwind {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.0.poisoned.store(true, Ordering::SeqCst);
+            let _guard = self.0.idle_lock.lock().unwrap();
+            self.0.idle_cv.notify_all();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<PoolShared>, index: usize) {
+    let guard = PoisonOnUnwind(Arc::clone(&shared));
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        if let Some(task) = shared.find_task(index) {
+            shared.execute(task);
+            continue;
+        }
+        // Nothing runnable: park unless a submission landed after the
+        // epoch read (its bump-and-notify happens under `idle_lock`, so
+        // re-checking under the same lock cannot miss it).
+        let guard = shared.idle_lock.lock().unwrap();
+        if shared.epoch.load(Ordering::SeqCst) == epoch && !shared.shutdown.load(Ordering::SeqCst) {
+            let _guard = shared.idle_cv.wait(guard).unwrap();
+        }
+    }
+    drop(guard);
+}
+
+impl PoolShared {
+    /// A task for worker `index`: its own deque's front, else a chunk
+    /// stolen from the back of another worker's deque.
+    fn find_task(&self, index: usize) -> Option<Task> {
+        if let Some(task) = self.queues[index].lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (index + off) % n;
+            if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Claim an unclaimed task belonging to `job`, searching every deque
+    /// from the back — the helping caller's steal.
+    fn steal_task_of(&self, job: *const JobCore) -> Option<Task> {
+        for queue in &self.queues {
+            let mut queue = queue.lock().unwrap();
+            if let Some(pos) = queue.iter().rposition(|t| std::ptr::eq(t.job, job)) {
+                return queue.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Run one claimed task: every index in the range is attempted (items
+    /// are independent); the first panic is recorded for the submitter.
+    fn execute(&self, task: Task) {
+        // SAFETY: `run_job` keeps the `JobCore` and its closure alive
+        // until `pending` reaches zero, which cannot happen before this
+        // task finishes.
+        let job = unsafe { &*task.job };
+        let func = unsafe { &*job.func };
+        for i in task.start..task.end {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(i))) {
+                let mut slot = job.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = job.done.lock().unwrap();
+            *done = true;
+            job.done_cv.notify_all();
+        }
+    }
+
+    /// Run `func(0..n)` across the pool: split into range tasks, deal them
+    /// to the worker deques, help with this job's tasks, wait for the
+    /// last, propagate any panic. `threads <= 1` (or a single-index job)
+    /// runs inline — the serial path, bit for bit.
+    pub(crate) fn run_job(&self, n: usize, func: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || self.queues.is_empty() || n == 1 {
+            for i in 0..n {
+                func(i);
+            }
+            return;
+        }
+        assert!(
+            !self.poisoned.load(Ordering::SeqCst),
+            "thread pool poisoned: a worker thread died; results cannot be trusted"
+        );
+        // SAFETY: the job (and through it `func` and whatever it borrows)
+        // lives on this stack frame, and this function does not return
+        // until the done flag — set only when `pending` hits zero — is
+        // observed. No task can touch the job after that.
+        let func_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(func) };
+        let ntasks = n.min(self.threads * TASKS_PER_EXECUTOR);
+        let job = JobCore {
+            func: func_static as *const _,
+            pending: AtomicUsize::new(ntasks),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        };
+        let job_ptr = &job as *const JobCore;
+        for t in 0..ntasks {
+            let task = Task { job: job_ptr, start: t * n / ntasks, end: (t + 1) * n / ntasks };
+            self.queues[t % self.queues.len()].lock().unwrap().push_back(task);
+        }
+        {
+            let _guard = self.idle_lock.lock().unwrap();
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.idle_cv.notify_all();
+        }
+        // Help: run this job's still-unclaimed tasks on the submitting
+        // thread. When none remain, every task is in some executor's
+        // hands and finishes in finite time (see module docs).
+        while let Some(task) = self.steal_task_of(job_ptr) {
+            self.execute(task);
+        }
+        let mut done = job.done.lock().unwrap();
+        while !*done {
+            assert!(
+                !self.poisoned.load(Ordering::SeqCst),
+                "thread pool poisoned: a worker thread died mid-job"
+            );
+            let (guard, _timeout) = job.done_cv.wait_timeout(done, POISON_RECHECK).unwrap();
+            done = guard;
+        }
+        drop(done);
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Interior-mutable slot for an item consumed by exactly one task index.
+struct TaskCell<T>(std::cell::UnsafeCell<Option<T>>);
+
+// SAFETY: each cell index is covered by exactly one range task, and each
+// task is claimed (removed from a mutex-guarded deque) by exactly one
+// thread, so no two threads ever touch the same cell.
+unsafe impl<T: Send> Sync for TaskCell<T> {}
+
+/// Consume `items` in parallel on the current thread's pool. Items run
+/// exactly once each; unexecuted items (a panicking sibling task does not
+/// prevent execution, but a poisoned pool might) are dropped with the
+/// cell vector.
+pub(crate) fn run_foreach<T, F>(items: Vec<T>, op: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let shared = current_shared();
+    if shared.threads <= 1 || items.len() <= 1 {
+        for item in items {
+            op(item);
+        }
+        return;
+    }
+    let cells: Vec<TaskCell<T>> =
+        items.into_iter().map(|t| TaskCell(std::cell::UnsafeCell::new(Some(t)))).collect();
+    let func = |i: usize| {
+        // SAFETY: see `TaskCell` — index `i` is visited exactly once.
+        let item = unsafe { (*cells[i].0.get()).take() }.expect("pool item consumed twice");
+        op(item);
+    };
+    shared.run_job(cells.len(), &func);
+}
+
+/// Run `func(i)` for every `i in 0..n` in parallel on the current pool —
+/// the borrowing core behind `par_iter` and `par_chunks_mut`.
+pub(crate) fn run_indexed(n: usize, func: &(dyn Fn(usize) + Sync)) {
+    current_shared().run_job(n, func);
+}
+
+/// Potentially-parallel execution of two closures; the second may run on
+/// another pool thread while the caller runs the first. Nested `join`s
+/// (including inside `par_iter` bodies) are safe: the caller helps with
+/// its own job and the waits-for relation cannot cycle.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let shared = current_shared();
+    if shared.threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    enum Side<A, B> {
+        A(A),
+        B(B),
+    }
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    run_foreach(vec![Side::A(oper_a), Side::B(oper_b)], |side| match side {
+        Side::A(f) => *ra.lock().unwrap() = Some(f()),
+        Side::B(f) => *rb.lock().unwrap() = Some(f()),
+    });
+    (
+        ra.into_inner().unwrap().expect("join: first closure did not run"),
+        rb.into_inner().unwrap().expect("join: second closure did not run"),
+    )
+}
