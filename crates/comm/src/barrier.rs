@@ -15,6 +15,8 @@ struct State {
     /// Incremented when a generation completes; waiters key off it.
     generation: u64,
     poisoned: bool,
+    /// Who/what poisoned the barrier, for the unwinding panic message.
+    origin: Option<Arc<str>>,
 }
 
 /// Reusable barrier for a fixed number of participants.
@@ -29,7 +31,7 @@ impl PoisonBarrier {
         assert!(n > 0, "PoisonBarrier: zero participants");
         Arc::new(Self {
             n,
-            state: Mutex::new(State { count: 0, generation: 0, poisoned: false }),
+            state: Mutex::new(State { count: 0, generation: 0, poisoned: false, origin: None }),
             cv: Condvar::new(),
         })
     }
@@ -43,8 +45,9 @@ impl PoisonBarrier {
     pub fn wait(&self) {
         let mut st = self.state.lock();
         if st.poisoned {
+            let origin = st.origin.clone();
             drop(st);
-            panic!("PoisonBarrier: poisoned (another rank panicked)");
+            Self::poison_panic(origin);
         }
         st.count += 1;
         if st.count == self.n {
@@ -58,9 +61,19 @@ impl PoisonBarrier {
             self.cv.wait(&mut st);
         }
         let poisoned = st.poisoned;
+        let origin = st.origin.clone();
         drop(st);
         if poisoned {
-            panic!("PoisonBarrier: poisoned (another rank panicked)");
+            Self::poison_panic(origin);
+        }
+    }
+
+    fn poison_panic(origin: Option<Arc<str>>) -> ! {
+        // The "poisoned" substring is load-bearing: `run_world` uses it to
+        // tell secondary poison unwinds from the original panic.
+        match origin {
+            Some(o) => panic!("PoisonBarrier: poisoned ({o})"),
+            None => panic!("PoisonBarrier: poisoned (another rank panicked)"),
         }
     }
 
@@ -69,6 +82,18 @@ impl PoisonBarrier {
     pub fn poison(&self) {
         let mut st = self.state.lock();
         st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Like [`poison`](Self::poison), recording where the failure came from
+    /// so unwinding waiters name the origin rank/collective. The first
+    /// recorded origin wins (a poison cascade keeps the root cause).
+    pub fn poison_with(&self, origin: &Arc<str>) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        if st.origin.is_none() {
+            st.origin = Some(Arc::clone(origin));
+        }
         self.cv.notify_all();
     }
 

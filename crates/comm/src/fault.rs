@@ -1,0 +1,295 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A [`FaultPlan`] is an immutable list of armed faults shared (via `Arc`)
+//! by every rank thread of a world. Subsystems consult it at well-defined
+//! *fault sites* — the trainer at each epoch boundary, the distributed
+//! layer's forward, every `ThreadComm` collective, and the shard/spill read
+//! paths — through `#[inline]` hooks that are a single `Option` check when
+//! no plan is installed, so production runs pay nothing.
+//!
+//! Faults are **consumable**: each carries a `times` budget decremented
+//! atomically when it fires, so an injected failure models a *transient*
+//! fault — the retry/recovery machinery under test sees the failure once
+//! (or `times` times) and then a healthy system. This is what makes
+//! kill-and-resume tests terminate: after recovery the same plan no longer
+//! re-kills the rank.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One injectable failure mode. Ranks are always *world* ranks, even when
+/// the fault fires inside a subgroup collective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic rank `rank` at the start of epoch `epoch` (0-based).
+    RankPanic { rank: usize, epoch: usize },
+    /// Panic rank `rank` entering the forward pass of layer `layer`.
+    LayerPanic { rank: usize, layer: usize },
+    /// Panic rank `rank` on its `nth` collective call (1-based over every
+    /// group handle the rank uses, in program order).
+    CollectiveAbort { rank: usize, nth: u64 },
+    /// Fail a shard/spill read whose file name contains `file_substr` with
+    /// an injected checksum mismatch.
+    ShardRead { file_substr: String },
+}
+
+#[derive(Debug)]
+struct Armed {
+    fault: Fault,
+    /// Remaining firings; the fault is inert at zero.
+    remaining: AtomicU32,
+    /// Per-fault observation counter (collective calls seen on the target
+    /// rank for [`Fault::CollectiveAbort`]).
+    seen: AtomicU64,
+}
+
+impl Armed {
+    /// Consume one firing; false when the budget is exhausted.
+    fn consume(&self) -> bool {
+        self.remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// A deterministic, seedable set of armed faults. See the module docs for
+/// the consumption semantics.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    armed: Vec<Armed>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `fault` to fire once.
+    pub fn with(self, fault: Fault) -> Self {
+        self.with_times(fault, 1)
+    }
+
+    /// Arm `fault` to fire `times` times before going inert.
+    pub fn with_times(mut self, fault: Fault, times: u32) -> Self {
+        self.armed.push(Armed { fault, remaining: AtomicU32::new(times), seen: AtomicU64::new(0) });
+        self
+    }
+
+    /// Convenience: kill `rank` at the start of `epoch`, once.
+    pub fn kill_rank(rank: usize, epoch: usize) -> Self {
+        Self::new().with(Fault::RankPanic { rank, epoch })
+    }
+
+    /// Seed-derived rank kill: picks `(rank, epoch)` from `seed` via
+    /// splitmix64 so property tests can draw reproducible fault points.
+    pub fn seeded_kill(seed: u64, world: usize, epochs: usize) -> Self {
+        assert!(world > 0 && epochs > 0, "seeded_kill: empty world or run");
+        let a = splitmix64(seed);
+        let b = splitmix64(a);
+        Self::kill_rank((a % world as u64) as usize, (b % epochs as u64) as usize)
+    }
+
+    /// Parse a plan from the `PLEXUS_FAULT` environment variable. The spec
+    /// is a comma-separated list of:
+    ///
+    /// * `kill:<rank>@<epoch>` — [`Fault::RankPanic`]
+    /// * `layer:<rank>@<layer>` — [`Fault::LayerPanic`]
+    /// * `coll:<rank>@<nth>` — [`Fault::CollectiveAbort`]
+    /// * `shard:<substr>` — [`Fault::ShardRead`], optionally `xN` for a
+    ///   firing budget (`shard:feat x2` → fails two reads).
+    ///
+    /// Returns `None` when unset or empty; panics on a malformed spec so a
+    /// typo'd injection never silently tests nothing.
+    pub fn from_env() -> Option<Arc<Self>> {
+        let spec = std::env::var("PLEXUS_FAULT").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        Some(Arc::new(Self::parse(&spec)))
+    }
+
+    /// Parse a `PLEXUS_FAULT`-format spec (see [`FaultPlan::from_env`]).
+    pub fn parse(spec: &str) -> Self {
+        let mut plan = Self::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, rest) = part
+                .split_once(':')
+                .unwrap_or_else(|| panic!("FaultPlan: bad fault spec '{part}'"));
+            let at = |s: &str| -> (usize, usize) {
+                let (a, b) = s
+                    .split_once('@')
+                    .unwrap_or_else(|| panic!("FaultPlan: '{part}' needs <a>@<b>"));
+                let parse = |v: &str| {
+                    v.trim().parse().unwrap_or_else(|_| panic!("FaultPlan: bad number in '{part}'"))
+                };
+                (parse(a), parse(b))
+            };
+            match kind.trim() {
+                "kill" => {
+                    let (rank, epoch) = at(rest);
+                    plan = plan.with(Fault::RankPanic { rank, epoch });
+                }
+                "layer" => {
+                    let (rank, layer) = at(rest);
+                    plan = plan.with(Fault::LayerPanic { rank, layer });
+                }
+                "coll" => {
+                    let (rank, nth) = at(rest);
+                    plan = plan.with(Fault::CollectiveAbort { rank, nth: nth as u64 });
+                }
+                "shard" => {
+                    let (substr, times) = match rest.rsplit_once('x') {
+                        Some((s, n)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                            (s.trim(), n.parse().unwrap())
+                        }
+                        _ => (rest.trim(), 1),
+                    };
+                    plan = plan
+                        .with_times(Fault::ShardRead { file_substr: substr.to_string() }, times);
+                }
+                other => panic!("FaultPlan: unknown fault kind '{other}' in '{part}'"),
+            }
+        }
+        plan
+    }
+
+    /// Trainer hook: called by each rank at the start of every epoch.
+    /// Panics if a [`Fault::RankPanic`] for this `(rank, epoch)` is armed.
+    #[inline]
+    pub fn epoch_tick(&self, rank: usize, epoch: usize) {
+        for a in &self.armed {
+            if let Fault::RankPanic { rank: r, epoch: e } = a.fault {
+                if r == rank && e == epoch && a.consume() {
+                    panic!("FaultPlan: injected panic on rank {rank} at epoch {epoch}");
+                }
+            }
+        }
+    }
+
+    /// Layer hook: called entering `DistLayer::forward`.
+    #[inline]
+    pub fn layer_tick(&self, rank: usize, layer: usize) {
+        for a in &self.armed {
+            if let Fault::LayerPanic { rank: r, layer: l } = a.fault {
+                if r == rank && l == layer && a.consume() {
+                    panic!(
+                        "FaultPlan: injected panic on rank {rank} entering layer {layer} forward"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Collective hook: called by `ThreadComm` once per collective with the
+    /// rank's *world* rank. Counts calls per armed fault and panics when
+    /// the `nth` call on the target rank arrives.
+    #[inline]
+    pub fn collective_tick(&self, world_rank: usize, op: &'static str, group: &'static str) {
+        for a in &self.armed {
+            if let Fault::CollectiveAbort { rank, nth } = a.fault {
+                if rank == world_rank {
+                    let seen = a.seen.fetch_add(1, Ordering::AcqRel) + 1;
+                    if seen == nth && a.consume() {
+                        panic!(
+                            "FaultPlan: injected abort on rank {world_rank}, collective #{nth} \
+                             ({op} on group '{group}')"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read hook: returns true when a read of `name` should be failed with
+    /// a synthetic checksum mismatch (consuming one firing).
+    #[inline]
+    pub fn shard_read_fails(&self, name: &str) -> bool {
+        for a in &self.armed {
+            if let Fault::ShardRead { file_substr } = &a.fault {
+                if name.contains(file_substr.as_str()) && a.consume() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// True when no armed fault has firings left (useful for asserting a
+    /// plan was fully exercised).
+    pub fn exhausted(&self) -> bool {
+        self.armed.iter().all(|a| a.remaining.load(Ordering::Acquire) == 0)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn faults_are_consumed_once() {
+        let plan = FaultPlan::kill_rank(1, 2);
+        // Wrong rank / wrong epoch: inert.
+        plan.epoch_tick(0, 2);
+        plan.epoch_tick(1, 1);
+        assert!(!plan.exhausted());
+        let r = catch_unwind(AssertUnwindSafe(|| plan.epoch_tick(1, 2)));
+        assert!(r.is_err(), "armed fault must fire");
+        assert!(plan.exhausted());
+        // Second visit to the same (rank, epoch): the fault is spent.
+        plan.epoch_tick(1, 2);
+    }
+
+    #[test]
+    fn shard_read_budget_counts_down() {
+        let plan = FaultPlan::new().with_times(Fault::ShardRead { file_substr: "feat".into() }, 2);
+        assert!(!plan.shard_read_fails("adj_e_0_0.plx"));
+        assert!(plan.shard_read_fails("feat_0.plx"));
+        assert!(plan.shard_read_fails("feat_0.plx"));
+        assert!(!plan.shard_read_fails("feat_0.plx"), "budget of 2 exhausted");
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn nth_collective_fires_exactly_once() {
+        let plan = FaultPlan::new().with(Fault::CollectiveAbort { rank: 0, nth: 3 });
+        plan.collective_tick(0, "AllReduce", "world");
+        plan.collective_tick(1, "AllReduce", "world"); // other rank: not counted
+        plan.collective_tick(0, "AllGather", "x");
+        let r = catch_unwind(AssertUnwindSafe(|| plan.collective_tick(0, "Barrier", "world")));
+        assert!(r.is_err(), "3rd collective on rank 0 must abort");
+        plan.collective_tick(0, "Barrier", "world"); // spent
+    }
+
+    #[test]
+    fn env_spec_round_trips() {
+        let plan = FaultPlan::parse("kill:1@2, coll:0@5, shard:feat x2, layer:3@1");
+        assert_eq!(plan.armed.len(), 4);
+        assert_eq!(plan.armed[0].fault, Fault::RankPanic { rank: 1, epoch: 2 });
+        assert_eq!(plan.armed[1].fault, Fault::CollectiveAbort { rank: 0, nth: 5 });
+        assert_eq!(plan.armed[2].fault, Fault::ShardRead { file_substr: "feat".into() });
+        assert_eq!(plan.armed[2].remaining.load(Ordering::Acquire), 2);
+        assert_eq!(plan.armed[3].fault, Fault::LayerPanic { rank: 3, layer: 1 });
+    }
+
+    #[test]
+    fn seeded_kill_is_deterministic_and_in_range() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::seeded_kill(seed, 4, 6);
+            let b = FaultPlan::seeded_kill(seed, 4, 6);
+            assert_eq!(a.armed[0].fault, b.armed[0].fault);
+            if let Fault::RankPanic { rank, epoch } = a.armed[0].fault {
+                assert!(rank < 4 && epoch < 6);
+            } else {
+                panic!("seeded_kill must arm a RankPanic");
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 use crate::barrier::PoisonBarrier;
 use crate::communicator::{Communicator, PendingCollective};
+use crate::fault::FaultPlan;
 use crate::types::{CollOp, CommElem, CommEvent, ReduceOp, TrafficLedger};
 use crate::world::WorldState;
 use parking_lot::Mutex;
@@ -83,6 +84,11 @@ pub struct ThreadComm {
     shared: Arc<GroupShared>,
     world: Arc<WorldState>,
     ledger: Arc<TrafficLedger>,
+    /// This thread's rank in the *world* group, stable across splits;
+    /// poison diagnostics and fault injection key off it.
+    world_rank: usize,
+    /// Armed fault-injection plan, if any (see [`FaultPlan`]).
+    faults: Option<Arc<FaultPlan>>,
     /// Number of `split` calls made through this handle (must advance in
     /// lockstep across ranks; SPMD guarantees it).
     split_seq: Cell<u64>,
@@ -94,12 +100,39 @@ impl ThreadComm {
         shared: Arc<GroupShared>,
         world: Arc<WorldState>,
         ledger: Arc<TrafficLedger>,
+        world_rank: usize,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
         assert!(rank < shared.size, "ThreadComm: rank {} out of {}", rank, shared.size);
-        Self { rank, size: shared.size, shared, world, ledger, split_seq: Cell::new(0) }
+        Self {
+            rank,
+            size: shared.size,
+            shared,
+            world,
+            ledger,
+            world_rank,
+            faults,
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's position in the world group (invariant under `split`).
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// The fault plan installed by `run_world_faulted`, if any.
+    #[inline]
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     fn record(&self, op: CollOp, bytes: usize) {
+        self.world.note_op(self.world_rank, op, self.shared.label);
+        if let Some(plan) = &self.faults {
+            plan.collective_tick(self.world_rank, op.name(), self.shared.label);
+        }
         self.ledger.record(CommEvent {
             op,
             bytes,
@@ -409,7 +442,14 @@ impl ThreadComm {
         );
         self.shared.barrier.wait();
         self.clear_own_slot();
-        ThreadComm::new(group_rank, child, Arc::clone(&self.world), Arc::clone(&self.ledger))
+        ThreadComm::new(
+            group_rank,
+            child,
+            Arc::clone(&self.world),
+            Arc::clone(&self.ledger),
+            self.world_rank,
+            self.faults.clone(),
+        )
     }
 }
 

@@ -35,11 +35,13 @@
 
 pub mod barrier;
 pub mod communicator;
+pub mod fault;
 pub mod group;
 pub mod types;
 pub mod world;
 
 pub use communicator::{Communicator, PendingCollective};
+pub use fault::{Fault, FaultPlan};
 pub use group::ThreadComm;
 pub use types::{CollOp, CommElem, CommEvent, ReduceOp, TrafficLedger};
-pub use world::{run_world, run_world_with};
+pub use world::{run_world, run_world_faulted, run_world_with};

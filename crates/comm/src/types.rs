@@ -69,6 +69,22 @@ pub enum CollOp {
     AllToAllRows,
 }
 
+impl CollOp {
+    /// Static name for diagnostics (poison payloads, fault injection).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::AllGather => "all_gather",
+            CollOp::AllReduce => "all_reduce",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::Broadcast => "broadcast",
+            CollOp::AllToAll => "all_to_all",
+            CollOp::Barrier => "barrier",
+            CollOp::AllGatherRows => "all_gather_rows",
+            CollOp::AllToAllRows => "all_to_all_rows",
+        }
+    }
+}
+
 /// One recorded collective call on one rank.
 #[derive(Clone, Debug)]
 pub struct CommEvent {

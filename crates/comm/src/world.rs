@@ -7,31 +7,56 @@
 //! caller's thread.
 
 use crate::barrier::PoisonBarrier;
+use crate::fault::FaultPlan;
 use crate::group::{GroupShared, ThreadComm};
-use crate::types::{CommEvent, TrafficLedger};
+use crate::types::{CollOp, CommEvent, TrafficLedger};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Weak};
 
 /// World-global state: the registry of every barrier ever created in this
-/// world, so a crash can poison all of them.
+/// world (so a crash can poison all of them) plus each rank's last recorded
+/// collective (so the poison panic can name where the failure happened).
 pub(crate) struct WorldState {
     barriers: Mutex<Vec<Weak<PoisonBarrier>>>,
+    /// Per world-rank `(op, group label)` of the most recent collective.
+    last_ops: Mutex<Vec<Option<(CollOp, &'static str)>>>,
 }
 
 impl WorldState {
     pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Self { barriers: Mutex::new(Vec::new()) })
+        Arc::new(Self { barriers: Mutex::new(Vec::new()), last_ops: Mutex::new(Vec::new()) })
     }
 
     pub(crate) fn register_barrier(&self, b: &Arc<PoisonBarrier>) {
         self.barriers.lock().push(Arc::downgrade(b));
     }
 
-    pub(crate) fn poison_all(&self) {
+    /// Record rank `world_rank`'s most recent collective for diagnostics.
+    pub(crate) fn note_op(&self, world_rank: usize, op: CollOp, group: &'static str) {
+        let mut ops = self.last_ops.lock();
+        if ops.len() <= world_rank {
+            ops.resize(world_rank + 1, None);
+        }
+        ops[world_rank] = Some((op, group));
+    }
+
+    /// Poison every barrier, attributing the failure to `world_rank` and
+    /// its last recorded collective so sibling ranks unwind with a message
+    /// that names the origin instead of an anonymous "another rank".
+    pub(crate) fn poison_all_from(&self, world_rank: usize) {
+        let last = self.last_ops.lock().get(world_rank).copied().flatten();
+        let origin: Arc<str> = match last {
+            Some((op, group)) => format!(
+                "rank {world_rank} panicked; its last collective was {} on group '{group}'",
+                op.name()
+            )
+            .into(),
+            None => format!("rank {world_rank} panicked before its first collective").into(),
+        };
         for weak in self.barriers.lock().iter() {
             if let Some(b) = weak.upgrade() {
-                b.poison();
+                b.poison_with(&origin);
             }
         }
     }
@@ -58,6 +83,22 @@ where
     R: Send,
     F: Fn(&ThreadComm) -> R + Send + Sync,
 {
+    run_world_faulted(size, None, f)
+}
+
+/// Like [`run_world_with`] but installs an optional [`FaultPlan`] on every
+/// rank's communicator (and all groups split from it), arming deterministic
+/// fault injection in the collectives. `None` is the production path and
+/// costs nothing.
+pub fn run_world_faulted<R, F>(
+    size: usize,
+    faults: Option<Arc<FaultPlan>>,
+    f: F,
+) -> (Vec<R>, Vec<Vec<CommEvent>>)
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+{
     assert!(size > 0, "run_world: world size must be positive");
     let world = WorldState::new();
     let root = GroupShared::new(&world, size, "world");
@@ -69,15 +110,23 @@ where
             .map(|rank| {
                 let root = Arc::clone(&root);
                 let world = Arc::clone(&world);
+                let faults = faults.clone();
                 let f = &f;
                 s.spawn(move || {
                     let ledger = Arc::new(TrafficLedger::new(true));
-                    let comm = ThreadComm::new(rank, root, Arc::clone(&world), Arc::clone(&ledger));
+                    let comm = ThreadComm::new(
+                        rank,
+                        root,
+                        Arc::clone(&world),
+                        Arc::clone(&ledger),
+                        rank,
+                        faults,
+                    );
                     let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     match result {
                         Ok(r) => Ok((r, ledger.take())),
                         Err(e) => {
-                            world.poison_all();
+                            world.poison_all_from(rank);
                             Err(e)
                         }
                     }
@@ -321,6 +370,98 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("injected failure"), "got panic message: {}", msg);
+    }
+
+    #[test]
+    fn poison_origin_is_observable_by_siblings() {
+        // Drive the barrier directly: rank 1's failure must surface in
+        // rank 0's poison panic with the origin rank and collective name.
+        use std::sync::Mutex as StdMutex;
+        let sibling_msg = Arc::new(StdMutex::new(String::new()));
+        let sm = Arc::clone(&sibling_msg);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_world(2, move |comm| {
+                let mut v = vec![comm.rank() as f32];
+                comm.all_reduce(&mut v, ReduceOp::Sum);
+                if comm.rank() == 1 {
+                    panic!("injected failure on rank 1");
+                }
+                let r = catch_unwind(AssertUnwindSafe(|| comm.barrier()));
+                if let Err(p) = r {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_default();
+                    *sm.lock().unwrap() = msg.clone();
+                    std::panic::resume_unwind(Box::new(msg));
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let msg = sibling_msg.lock().unwrap().clone();
+        assert!(msg.contains("poisoned"), "poison marker kept: {msg}");
+        assert!(msg.contains("rank 1"), "origin rank named: {msg}");
+        assert!(msg.contains("all_reduce"), "last collective named: {msg}");
+    }
+
+    #[test]
+    fn fault_plan_aborts_nth_collective() {
+        use crate::fault::{Fault, FaultPlan};
+        // Rank 1's 2nd collective is the all_gather; the plan must abort
+        // exactly there and the world must unwind, not deadlock.
+        let plan = Arc::new(FaultPlan::new().with(Fault::CollectiveAbort { rank: 1, nth: 2 }));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_world_faulted(3, Some(Arc::clone(&plan)), |comm| {
+                let mut v = vec![comm.rank() as f32];
+                comm.all_reduce(&mut v, ReduceOp::Sum);
+                let _ = comm.all_gather(&[comm.rank() as u32]);
+                comm.barrier();
+            });
+        }));
+        let payload = caught.expect_err("injected collective abort must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected abort"), "got: {msg}");
+        assert!(msg.contains("collective #2"), "got: {msg}");
+        assert!(plan.exhausted(), "the armed fault must have been consumed");
+    }
+
+    #[test]
+    fn fault_plan_rides_through_splits() {
+        use crate::fault::{Fault, FaultPlan};
+        // The abort targets world rank 3 even though the faulting call
+        // happens on a subgroup handle where its group rank is 1.
+        let plan = Arc::new(FaultPlan::new().with(Fault::CollectiveAbort { rank: 3, nth: 2 }));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_world_faulted(4, Some(plan), |comm| {
+                let sub = comm.split((comm.rank() % 2) as u64, comm.rank() as u64, "sub");
+                comm.barrier(); // collective #1 on every rank
+                let mut v = vec![comm.rank() as f32];
+                sub.all_reduce(&mut v, ReduceOp::Sum); // collective #2: fires on world rank 3
+            });
+        }));
+        let payload = caught.expect_err("fault must fire on the subgroup handle");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("rank 3"), "world rank named: {msg}");
+        assert!(msg.contains("group 'sub'"), "subgroup named: {msg}");
+    }
+
+    #[test]
+    fn no_fault_plan_is_the_default_and_harmless() {
+        let (results, _) = run_world_faulted(2, None, |comm| {
+            let mut v = vec![1.0f32];
+            comm.all_reduce(&mut v, ReduceOp::Sum);
+            v[0]
+        });
+        assert_eq!(results, vec![2.0, 2.0]);
     }
 
     #[test]

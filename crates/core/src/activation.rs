@@ -37,12 +37,16 @@
 //! [`ShardStore`]: crate::loader::ShardStore
 
 use crate::layer::DistLayerCache;
-use crate::loader::{fnv1a, Cursor, LoaderError, LoaderResult, FORMAT_VERSION};
+use crate::loader::{
+    fnv1a, Cursor, LoaderError, LoaderResult, FORMAT_VERSION, MAX_READ_RETRIES, READ_RETRY_BACKOFF,
+};
+use plexus_comm::fault::FaultPlan;
 use plexus_tensor::{KernelWorkspace, Matrix};
 use std::fs::{self, File};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How inter-layer activation state is kept between forward and backward.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +82,9 @@ pub struct ActivationStats {
     pub spill_events: u64,
     /// Layer caches reloaded from disk.
     pub reload_events: u64,
+    /// Reloads that failed verification once and succeeded on the bounded
+    /// re-read (transient-fault recovery).
+    pub reload_retries: u64,
     /// Layer caches scheduled for re-derivation during backward.
     pub recompute_events: u64,
     /// Wall seconds spent writing and reading spill files.
@@ -127,6 +134,9 @@ pub struct ActivationStore {
     io_buf: Vec<u8>,
     stats: ActivationStats,
     clock: u64,
+    /// Armed fault-injection plan consulted on every spill reload (test
+    /// harness only; `None` costs nothing).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 fn cache_bytes(cache: &DistLayerCache) -> u64 {
@@ -149,11 +159,17 @@ impl ActivationStore {
             io_buf: Vec::new(),
             stats: ActivationStats::default(),
             clock: 0,
+            faults: None,
         }
     }
 
     pub fn policy(&self) -> ResidencyPolicy {
         self.policy
+    }
+
+    /// Arm `plan` on this store's reload path (fault-injection tests).
+    pub fn set_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
     }
 
     /// The spill directory (created lazily on first eviction).
@@ -343,12 +359,19 @@ impl ActivationStore {
         Ok(())
     }
 
-    /// Read a spill file back, verify length + checksum + header, and
-    /// rebuild the cache in workspace buffers.
-    fn reload(&mut self, file: &SpillFile, activated: bool) -> LoaderResult<DistLayerCache> {
-        let t0 = std::time::Instant::now();
+    /// One read + length/checksum verification attempt into `io_buf`.
+    fn read_spill_verified(&mut self, file: &SpillFile) -> LoaderResult<()> {
         self.io_buf.clear();
         File::open(&file.path)?.read_to_end(&mut self.io_buf)?;
+        if let Some(plan) = &self.faults {
+            if plan.shard_read_fails(&file.path.to_string_lossy()) {
+                return Err(LoaderError::ChecksumMismatch {
+                    file: file.path.clone(),
+                    stored: file.checksum,
+                    computed: !file.checksum, // synthetic injected mismatch
+                });
+            }
+        }
         if self.io_buf.len() as u64 != file.len {
             return Err(LoaderError::Truncated { file: file.path.clone() });
         }
@@ -360,6 +383,30 @@ impl ActivationStore {
                 computed,
             });
         }
+        Ok(())
+    }
+
+    /// Read a spill file back, verify length + checksum + header, and
+    /// rebuild the cache in workspace buffers. Like the shard loader's
+    /// verified reads, a checksum/truncation failure is re-read once from
+    /// disk (bounded backoff) before the typed error surfaces.
+    fn reload(&mut self, file: &SpillFile, activated: bool) -> LoaderResult<DistLayerCache> {
+        let t0 = std::time::Instant::now();
+        let mut retries = 0u64;
+        loop {
+            match self.read_spill_verified(file) {
+                Ok(()) => break,
+                Err(e @ (LoaderError::ChecksumMismatch { .. } | LoaderError::Truncated { .. })) => {
+                    if retries >= MAX_READ_RETRIES {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    std::thread::sleep(READ_RETRY_BACKOFF * retries as u32);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats.reload_retries += retries;
         let mut cur = Cursor { bytes: &self.io_buf, pos: 0, path: &file.path };
         let magic = cur.u64()?;
         if magic != crate::loader::MAGIC {

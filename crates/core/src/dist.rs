@@ -8,8 +8,9 @@
 //! machine can execute.
 
 use crate::grid::{Axis, GridConfig, GridCoords, GridSpec};
-use plexus_comm::{Communicator, ReduceOp, ThreadComm};
+use plexus_comm::{Communicator, FaultPlan, ReduceOp, ThreadComm};
 use plexus_tensor::Matrix;
+use std::sync::Arc;
 
 /// Everything a rank needs to communicate inside the 3D grid.
 ///
@@ -32,6 +33,9 @@ pub struct DistContext<C: Communicator = ThreadComm> {
     /// `z % c`); the epoch feature gather runs over this group. Present
     /// only when `c > 1`.
     cross_replica: Option<C>,
+    /// Deterministic fault-injection hooks (layer-entry panics). `None` in
+    /// production: the per-layer check is a single branch on a `None`.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 /// The cost-only variant of [`DistContext`], for perf-model studies on
@@ -135,6 +139,7 @@ impl<C: Communicator> DistContext<C> {
             z_group,
             intra_replica,
             cross_replica,
+            faults: None,
         }
     }
 

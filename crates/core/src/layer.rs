@@ -109,7 +109,7 @@ const Q_TILES: usize = 4;
 
 /// Wall-time split of an operation sequence, used for the Fig. 9-style
 /// communication/computation breakdowns.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TimeSplit {
     pub compute_s: f64,
     pub comm_s: f64,
@@ -339,6 +339,11 @@ impl DistLayer {
         w_stored: &Matrix,
         activated: bool,
     ) -> (Matrix, DistLayerCache, TimeSplit) {
+        // Fault-injection hook: a `LayerPanic` armed for this rank/layer
+        // fires on entry. A single `None` branch when injection is off.
+        if let Some(plan) = &ctx.faults {
+            plan.layer_tick(ctx.world.rank(), self.layer_idx);
+        }
         let mut t = TimeSplit::default();
         let h = self.aggregate(ctx, f_full, &mut t);
         let w_full = self.gather_weights(ctx, w_stored, &mut t);

@@ -20,6 +20,9 @@
 //! * [`activation`] — the activation residency-policy engine: keep,
 //!   spill-to-checksummed-files, or drop-and-recompute every inter-layer
 //!   cache under a configurable byte budget, bitwise-identically;
+//! * [`checkpoint`] — periodic, atomically-published snapshots of the run
+//!   (weight shards, Adam moments, epoch history, ledger counters) with a
+//!   typed reader that resumes bitwise-identically;
 //! * [`loss`] — distributed masked cross-entropy;
 //! * [`trainer`] — per-rank state, the epoch loop,
 //!   [`trainer::train_distributed`] (the engine's main entry point),
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod activation;
+pub mod checkpoint;
 pub mod dist;
 pub mod grid;
 pub mod layer;
@@ -62,6 +66,7 @@ pub mod setup;
 pub mod trainer;
 
 pub use activation::{ActivationStats, ActivationStore, Fetched, ResidencyPolicy};
+pub use checkpoint::{Checkpoint, CheckpointPolicy, ParamState, RankState};
 pub use dist::{DistContext, SimDistContext};
 pub use grid::{roles_for_layer, Axis, GridConfig, GridCoords, GridSpec, LayerRoles};
 pub use layer::{
@@ -75,6 +80,6 @@ pub use loader::{
 };
 pub use setup::{build_permutations, GlobalProblem, PermutationMode, ProblemMeta, RankData};
 pub use trainer::{
-    simulate_epochs, train_distributed, train_from_source, DistEpochStats, DistRunResult,
-    DistTrainOptions, ProblemSource, RankTrainer, SimRunReport,
+    resume_from_checkpoint, simulate_epochs, train_distributed, train_from_source, DistEpochStats,
+    DistRunResult, DistTrainOptions, ProblemSource, RankTrainer, SimRunReport, TrainError,
 };

@@ -29,6 +29,7 @@
 //! garbage data.
 
 use crate::setup::PermutationMode;
+use plexus_comm::fault::FaultPlan;
 use plexus_graph::{LoadedDataset, MappedFile};
 use plexus_sparse::permute::{inverse_permutation, permuted_row_band};
 use plexus_sparse::shard::split_range;
@@ -40,6 +41,8 @@ use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Magic prefix of every Plexus shard-format file ("PLXSSHAR"). Public so
 /// downstream artifact formats (the serving freezer) can reuse the header.
@@ -47,6 +50,12 @@ pub const MAGIC: u64 = 0x504c5853_53484152;
 /// Current on-disk format. Version 2 added the per-file version header,
 /// manifest checksums, dual-parity adjacency shards, and label files.
 pub const FORMAT_VERSION: u64 = 2;
+/// Bounded retry budget for verified reads: one re-read from disk before a
+/// checksum/truncation failure becomes the caller's typed [`LoaderError`].
+/// Shared with the activation store's spill reloads.
+pub(crate) const MAX_READ_RETRIES: u64 = 1;
+/// Backoff before a verified-read retry (scaled by the attempt number).
+pub(crate) const READ_RETRY_BACKOFF: Duration = Duration::from_millis(2);
 
 /// Typed failure of a [`ShardStore`] operation.
 #[derive(Debug)]
@@ -155,6 +164,9 @@ pub struct LoadStats {
     /// Peak bytes of shard/band buffers alive at once while merging,
     /// beyond the returned object itself.
     pub peak_transient_bytes: u64,
+    /// Reads that failed verification once and succeeded on the bounded
+    /// re-read (transient-fault recovery; see `ShardStore::read_verified`).
+    pub read_retries: u64,
 }
 
 impl LoadStats {
@@ -177,7 +189,7 @@ impl LoadStats {
 /// layer for the sharded path against `2·nnz` for the in-memory path),
 /// plus the activation-residency counters synced from the trainer's
 /// [`ActivationStore`](crate::activation::ActivationStore).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemoryLedger {
     pub bytes_read: u64,
     pub bytes_skipped: u64,
@@ -203,6 +215,12 @@ pub struct MemoryLedger {
     pub activation_spill_events: u64,
     /// Layer caches re-derived from retained inputs during backward.
     pub activation_recompute_events: u64,
+    /// Shard reads that failed verification once and succeeded on the
+    /// bounded re-read.
+    pub read_retries: u64,
+    /// Spill-file reloads that failed verification once and succeeded on
+    /// the bounded re-read.
+    pub activation_reload_retries: u64,
 }
 
 impl MemoryLedger {
@@ -214,6 +232,7 @@ impl MemoryLedger {
         self.files_skipped += s.files_skipped;
         self.bytes_mapped += s.bytes_mapped;
         self.bytes_copied += s.bytes_copied;
+        self.read_retries += s.read_retries;
     }
 
     /// Account `bytes` of adjacency that stay resident after a load.
@@ -250,6 +269,7 @@ impl MemoryLedger {
         self.activation_reloaded_bytes = s.reloaded_bytes;
         self.activation_spill_events = s.spill_events;
         self.activation_recompute_events = s.recompute_events;
+        self.activation_reload_retries = s.reload_retries;
     }
 
     /// One-line human summary (the example's per-rank report).
@@ -304,6 +324,9 @@ pub struct ShardStore {
     pub preprocess: PreprocessSummary,
     /// filename -> (fnv1a checksum, file length in bytes).
     files: BTreeMap<String, (u64, u64)>,
+    /// Armed fault-injection plan consulted on every verified read (test
+    /// harness only; `None` — the production default — costs nothing).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// What one [`preprocess_to_store`] run wrote vs. reused: with an existing
@@ -378,6 +401,7 @@ impl ShardStore {
             source_fp: 0,
             preprocess: PreprocessSummary::default(),
             files,
+            faults: None,
         };
         store.write_manifest()?;
         Ok(store)
@@ -455,7 +479,32 @@ impl ShardStore {
             source_fp,
             preprocess: PreprocessSummary::default(),
             files,
+            faults: None,
         })
+    }
+
+    /// A second handle onto the same on-disk store with `plan` armed on
+    /// its read path: reads consult the plan and can be made to fail with
+    /// a synthetic checksum mismatch. The original handle is untouched, so
+    /// tests can run a faulted and a clean loader against one store.
+    pub fn with_faults(&self, plan: Arc<FaultPlan>) -> ShardStore {
+        ShardStore {
+            dir: self.dir.clone(),
+            grid_p: self.grid_p,
+            grid_q: self.grid_q,
+            rows: self.rows,
+            cols: self.cols,
+            feat_dim: self.feat_dim,
+            parities: self.parities,
+            num_classes: self.num_classes,
+            total_train: self.total_train,
+            perm_mode: self.perm_mode,
+            perm_seed: self.perm_seed,
+            source_fp: self.source_fp,
+            preprocess: self.preprocess,
+            files: self.files.clone(),
+            faults: Some(plan),
+        }
     }
 
     fn write_manifest(&self) -> LoaderResult<()> {
@@ -516,14 +565,51 @@ impl ShardStore {
     /// Map and checksum-verify a file; returns the read-only mapping plus
     /// the offset where the payload starts (just past the magic/version
     /// header), so callers decode in place without copying the file.
+    ///
+    /// A checksum/truncation failure is retried once from disk after a
+    /// short backoff before surfacing the typed error: a mismatch can be a
+    /// transient fault (torn page cache, mid-flight replacement by an
+    /// atomic republish) as easily as real corruption, and a re-read
+    /// distinguishes the two for free.
     fn read_verified(&self, name: &str) -> LoaderResult<(MappedFile, usize)> {
+        self.read_verified_counted(name).map(|(m, p, _)| (m, p))
+    }
+
+    /// [`read_verified`](Self::read_verified) plus the number of re-reads
+    /// the bounded retry performed (0 on the clean path).
+    fn read_verified_counted(&self, name: &str) -> LoaderResult<(MappedFile, usize, u64)> {
         let path = self.dir.join(name);
         let &(stored_ck, stored_len) = self.files.get(name).ok_or_else(|| {
             LoaderError::BadManifest { reason: format!("{} not in manifest", name) }
         })?;
-        let map = MappedFile::open(&path)?;
-        let payload_at = verify_shard_bytes(map.bytes(), &path, stored_ck, stored_len)?;
-        Ok((map, payload_at))
+        let mut retries = 0u64;
+        loop {
+            let attempt = (|| {
+                let map = MappedFile::open(&path)?;
+                if let Some(plan) = &self.faults {
+                    if plan.shard_read_fails(name) {
+                        return Err(LoaderError::ChecksumMismatch {
+                            file: path.clone(),
+                            stored: stored_ck,
+                            computed: !stored_ck, // synthetic injected mismatch
+                        });
+                    }
+                }
+                let payload_at = verify_shard_bytes(map.bytes(), &path, stored_ck, stored_len)?;
+                Ok((map, payload_at))
+            })();
+            match attempt {
+                Ok((map, payload_at)) => return Ok((map, payload_at, retries)),
+                Err(e @ (LoaderError::ChecksumMismatch { .. } | LoaderError::Truncated { .. })) => {
+                    if retries >= MAX_READ_RETRIES {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    std::thread::sleep(READ_RETRY_BACKOFF * retries as u32);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Public form of the verified-map open, for downstream readers (the
@@ -587,7 +673,8 @@ impl ShardStore {
                     stats.bytes_skipped += self.file_len(&name)?;
                     continue;
                 }
-                let (map, payload_at) = self.read_verified(&name)?;
+                let (map, payload_at, retries) = self.read_verified_counted(&name)?;
+                stats.read_retries += retries;
                 stats.note_file_read(&map);
                 // Slice to the window intersection, in shard-local coords,
                 // decoding only the intersecting rows straight out of the
@@ -641,7 +728,8 @@ impl ShardStore {
                 stats.bytes_skipped += self.file_len(&name)?;
                 continue;
             }
-            let (map, payload_at) = self.read_verified(&name)?;
+            let (map, payload_at, retries) = self.read_verified_counted(&name)?;
+            stats.read_retries += retries;
             stats.note_file_read(&map);
             let block = parse_matrix_rows(
                 &map.bytes()[payload_at..],
@@ -671,8 +759,9 @@ impl ShardStore {
             return Err(LoaderError::Missing { what: "labels (raw store)" });
         }
         let name = labels_name(parity);
-        let (map, payload_at) = self.read_verified(&name)?;
+        let (map, payload_at, retries) = self.read_verified_counted(&name)?;
         let mut stats = LoadStats::default();
+        stats.read_retries += retries;
         stats.note_file_read(&map);
         let path = self.dir.join(&name);
         let mut cur = Cursor { bytes: &map.bytes()[payload_at..], pos: 0, path: &path };
@@ -802,6 +891,7 @@ fn preprocess_impl(
         source_fp,
         preprocess: summary,
         files,
+        faults: None,
     };
     store.write_manifest()?;
     Ok(store)

@@ -4,17 +4,21 @@
 //! the cost-only [`SimComm`] backend at grid sizes no machine can run.
 
 use crate::activation::{ActivationStore, Fetched, ResidencyPolicy};
+use crate::checkpoint::{self, Checkpoint, CheckpointPolicy, ParamState, RankState};
 use crate::dist::DistContext;
 use crate::grid::{roles_for_layer, GridConfig, GridSpec};
 use crate::layer::{Aggregation, CommOverlap, CommPlan, DistLayer, GemmTuning, TimeSplit};
-use crate::loader::{LoaderResult, MemoryLedger, ShardStore};
+use crate::loader::{fnv1a, LoaderError, LoaderResult, MemoryLedger, ShardStore};
 use crate::loss::dist_masked_cross_entropy;
 use crate::setup::{GlobalProblem, PermutationMode, ProblemMeta, RankData};
-use plexus_comm::{run_world_with, CommEvent, Communicator, ThreadComm};
+use plexus_comm::{run_world_faulted, CommEvent, Communicator, FaultPlan, ThreadComm};
 use plexus_gnn::{Adam, AdamConfig};
 use plexus_graph::{LoadedDataset, RowRequestPlan};
 use plexus_simnet::{SimComm, SimCostModel};
 use plexus_tensor::Matrix;
+use std::fmt;
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Engine options (model hyperparameters plus the §5 optimizations).
@@ -47,6 +51,19 @@ pub struct DistTrainOptions {
     /// plain engine; `c > 1` reassociates the feature-gradient sum, so it
     /// matches to tolerance rather than bitwise.
     pub replication: usize,
+    /// Periodic checkpointing and crash recovery. When set,
+    /// [`train_from_source`] snapshots every rank's state at the policy's
+    /// epoch cadence, catches a poisoned world at the world boundary,
+    /// rebuilds it, and resumes from the last published checkpoint —
+    /// bitwise-identically to an uninterrupted run. `None` (the default)
+    /// runs the engine exactly as before: no snapshot I/O, no panic
+    /// catching.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault injection for robustness tests: epoch/layer
+    /// panics, collective aborts, and shard-read corruption, threaded
+    /// through the loader, the communicator, and the layers. `None`
+    /// disables every hook (a single branch each).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for DistTrainOptions {
@@ -64,6 +81,8 @@ impl Default for DistTrainOptions {
             residency: ResidencyPolicy::Resident,
             comm_plan: CommPlan::Dense,
             replication: 1,
+            checkpoint: None,
+            faults: None,
         }
     }
 }
@@ -76,7 +95,7 @@ impl DistTrainOptions {
 }
 
 /// Per-epoch results (identical on every rank by construction).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DistEpochStats {
     pub loss: f64,
     pub train_accuracy: f64,
@@ -319,10 +338,69 @@ impl<C: Communicator> RankTrainer<C> {
     pub fn ctx(&self) -> &DistContext<C> {
         &self.ctx
     }
+
+    /// Install the fault plan's spill-read hooks on the activation store
+    /// (the shard-read hooks ride in via [`ShardStore::with_faults`], the
+    /// layer/collective hooks via the context and the communicator).
+    pub(crate) fn set_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.acts.set_faults(plan);
+    }
+
+    /// Snapshot everything that determines this rank's continuation: the
+    /// stored weight/feature shards with their Adam moments, the epoch
+    /// history, and the ledger counters.
+    pub(crate) fn export_state(
+        &self,
+        config_fp: u64,
+        epochs_done: usize,
+        history: Vec<DistEpochStats>,
+    ) -> RankState {
+        let param = |value: &Matrix, opt: &Adam| {
+            let (m, v, t) = opt.state();
+            ParamState { value: value.clone(), m: m.clone(), v: v.clone(), t }
+        };
+        RankState {
+            config_fp,
+            epochs_done,
+            history,
+            layers: self.w_stored.iter().zip(&self.w_opts).map(|(w, o)| param(w, o)).collect(),
+            features: param(&self.f_stored, &self.f_opt),
+            ledger: self.ledger.clone(),
+        }
+    }
+
+    /// Restore a state captured by [`export_state`](Self::export_state).
+    /// Training continues bitwise-identically to the run that produced the
+    /// snapshot. The ledger is replaced wholesale, so a recovery attempt's
+    /// re-ingest I/O is not double-counted against the original run's.
+    pub(crate) fn restore_state(&mut self, st: RankState) {
+        assert_eq!(st.layers.len(), self.w_stored.len(), "checkpoint layer count mismatch");
+        for (l, p) in st.layers.into_iter().enumerate() {
+            assert_eq!(
+                p.value.shape(),
+                self.w_stored[l].shape(),
+                "checkpoint weight shape mismatch at layer {}",
+                l
+            );
+            self.w_stored[l] = p.value;
+            self.w_opts[l].restore(p.m, p.v, p.t);
+            // Restored weights invalidate any packed-B kernel caches.
+            self.layers[l].bump_weights_version();
+        }
+        assert_eq!(
+            st.features.value.shape(),
+            self.f_stored.shape(),
+            "checkpoint feature shape mismatch"
+        );
+        self.f_stored = st.features.value;
+        self.f_opt.restore(st.features.m, st.features.v, st.features.t);
+        self.ledger = st.ledger;
+    }
 }
 
 /// Result of a distributed run: rank-0 epoch stats (all ranks agree
 /// bitwise) plus each rank's collective-traffic ledger and memory ledger.
+#[derive(Debug)]
 pub struct DistRunResult {
     pub grid: GridConfig,
     pub epochs: Vec<DistEpochStats>,
@@ -331,6 +409,10 @@ pub struct DistRunResult {
     /// rank the shared global problem plus its shards; the sharded path
     /// charges only what each rank loaded from the store.
     pub memory: Vec<MemoryLedger>,
+    /// World rebuilds performed by checkpoint-based crash recovery. `0`
+    /// for an uninterrupted run (and always `0` without a checkpoint
+    /// policy, where a rank failure propagates as a panic instead).
+    pub recoveries: usize,
 }
 
 impl DistRunResult {
@@ -361,23 +443,293 @@ pub enum ProblemSource<'a> {
     Sharded(&'a ShardStore),
 }
 
+/// Typed failure of a distributed training run.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A structural or ingest problem surfaced outside the rank threads:
+    /// store validation, or a checkpoint that is corrupt/incompatible with
+    /// this run's configuration.
+    Loader(LoaderError),
+    /// Checkpoint-based recovery exhausted its retry budget: the initial
+    /// attempt and every retry died. `last_panic` is the final attempt's
+    /// originating panic message.
+    Unrecoverable { attempts: usize, last_panic: String },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Loader(e) => write!(f, "training ingest failed: {}", e),
+            TrainError::Unrecoverable { attempts, last_panic } => write!(
+                f,
+                "training unrecoverable after {} attempt(s); last failure: {}",
+                attempts, last_panic
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Loader(e) => Some(e),
+            TrainError::Unrecoverable { .. } => None,
+        }
+    }
+}
+
+impl From<LoaderError> for TrainError {
+    fn from(e: LoaderError) -> Self {
+        TrainError::Loader(e)
+    }
+}
+
+/// The ingest work that survives across recovery attempts: built once,
+/// before the first world, so a retry re-fans rank threads without
+/// re-preprocessing.
+enum Prepared<'a> {
+    InMemory { gp: Arc<GlobalProblem>, global_adj: u64, global_feat: u64 },
+    Sharded { store: &'a ShardStore, meta: ProblemMeta },
+}
+
+/// Stable tag for the permutation configuration (including "raw store").
+fn perm_tag(mode: Option<PermutationMode>) -> u64 {
+    match mode {
+        None => 0,
+        Some(PermutationMode::None) => 1,
+        Some(PermutationMode::Single) => 2,
+        Some(PermutationMode::Double) => 3,
+    }
+}
+
+/// Fingerprint of everything that pins a run's trajectory: grid shape,
+/// replication, model hyperparameters, the weight/permutation seeds, and
+/// the ingest source. Stored in every checkpoint rank file; resuming under
+/// a different fingerprint is refused. This is also what makes seeds the
+/// only "RNG state" a checkpoint needs — every random quantity in the
+/// engine is derived from them.
+fn config_fingerprint(
+    grid: GridConfig,
+    opts: &DistTrainOptions,
+    perm_tag: u64,
+    perm_seed: u64,
+    source_fp: u64,
+) -> u64 {
+    let mut buf = Vec::with_capacity(14 * 8);
+    for v in [
+        grid.gx as u64,
+        grid.gy as u64,
+        grid.gz as u64,
+        opts.replication as u64,
+        opts.hidden_dim as u64,
+        opts.num_layers as u64,
+        opts.model_seed,
+        perm_tag,
+        perm_seed,
+        source_fp,
+        opts.adam.lr.to_bits() as u64,
+        opts.adam.beta1.to_bits() as u64,
+        opts.adam.beta2.to_bits() as u64,
+        opts.adam.eps.to_bits() as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a(&buf)
+}
+
+/// Extract the originating panic message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Resolve the checkpoint to resume from, validating it against this
+/// run's world size and config fingerprint before any rank thread starts.
+fn preflight_resume(
+    opts: &DistTrainOptions,
+    grid: GridConfig,
+    config_fp: u64,
+) -> Result<Option<Arc<Checkpoint>>, TrainError> {
+    let Some(policy) = &opts.checkpoint else { return Ok(None) };
+    let Some(ck) = Checkpoint::latest(&policy.dir)? else { return Ok(None) };
+    if ck.world_size() != grid.total() {
+        return Err(LoaderError::BadManifest {
+            reason: format!(
+                "checkpoint {} was taken on a {}-rank world; this run needs {}",
+                ck.dir().display(),
+                ck.world_size(),
+                grid.total()
+            ),
+        }
+        .into());
+    }
+    // Probe one rank file: its fingerprint stands for all of them (every
+    // rank writes the same fp), and corruption surfaces as a typed error
+    // here rather than as a mid-world panic.
+    let probe = ck.load_rank(0)?;
+    if probe.config_fp != config_fp {
+        return Err(LoaderError::BadManifest {
+            reason: format!(
+                "checkpoint {} fingerprint {:016x} does not match this run's {:016x} \
+                 (different grid, hyperparameters, seeds, or ingest source)",
+                ck.dir().display(),
+                probe.config_fp,
+                config_fp
+            ),
+        }
+        .into());
+    }
+    Ok(Some(Arc::new(ck)))
+}
+
+/// Snapshot the run after `epochs_done` completed epochs. Collective:
+/// every rank writes its own file atomically, the world gathers the
+/// `(checksum, length)` entries, and rank 0 publishes the manifest and
+/// repoints `latest.txt` — all behind tmp + rename, so a crash at any
+/// point leaves the previous checkpoint intact.
+fn save_checkpoint<C: Communicator>(
+    policy: &CheckpointPolicy,
+    config_fp: u64,
+    rt: &RankTrainer<C>,
+    rank: usize,
+    world: usize,
+    epochs_done: usize,
+    history: &[DistEpochStats],
+) -> LoaderResult<()> {
+    let epoch_dir = policy.dir.join(checkpoint::epoch_dir_name(epochs_done));
+    fs::create_dir_all(&epoch_dir)?;
+    let state = rt.export_state(config_fp, epochs_done, history.to_vec());
+    let entry = checkpoint::write_rank_state(&epoch_dir, rank, world, &state)?;
+    // The gather doubles as a barrier: no rank reaches the manifest until
+    // every rank's file is renamed into place.
+    let entries = rt.ctx().world.all_gather(&[entry.0, entry.1]);
+    if rank == 0 {
+        let pairs: Vec<(u64, u64)> = entries.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        checkpoint::publish_manifest(&epoch_dir, epochs_done, &pairs)?;
+        checkpoint::publish_latest(&policy.dir, &checkpoint::epoch_dir_name(epochs_done))?;
+    }
+    // Hold every rank until the manifest and pointer are published, so a
+    // fault in the next epoch can only ever see a complete checkpoint.
+    rt.ctx().world.barrier();
+    Ok(())
+}
+
+/// Per-rank `(epoch stats, ledger)` pairs plus each rank's comm trace —
+/// what one world attempt hands back to the recovery loop.
+type AttemptOutput = (Vec<(Vec<DistEpochStats>, MemoryLedger)>, Vec<Vec<CommEvent>>);
+
+/// One world attempt: fan out the rank threads, optionally resume from a
+/// validated checkpoint, and run the epoch loop with the fault hooks and
+/// the checkpoint cadence installed. Panics if any rank fails (the world
+/// is poisoned); [`train_from_source`] decides whether that is caught.
+fn run_attempt(
+    prepared: &Prepared<'_>,
+    grid: GridConfig,
+    opts: &DistTrainOptions,
+    epochs: usize,
+    config_fp: u64,
+    resume: Option<Arc<Checkpoint>>,
+) -> AttemptOutput {
+    run_world_faulted(grid.total(), opts.faults.clone(), |comm| {
+        let rank = comm.rank();
+        // Duplicate the world communicator so the context can own it.
+        let world = comm.split(0, rank as u64, "world");
+        let mut ctx = DistContext::with_spec(world, opts.grid_spec(grid));
+        ctx.faults = opts.faults.clone();
+        let mut rt = match prepared {
+            Prepared::InMemory { gp, global_adj, global_feat } => {
+                let rd = RankData::extract(gp, ctx.world.rank());
+                let rank_adj: u64 =
+                    rd.a_shards.iter().chain(&rd.a_shards_t).map(|a| a.mem_bytes()).sum();
+                // Replication widens the stored span (and optimizer) c-fold.
+                let rank_feat = rd.f_stored.mem_bytes() * opts.replication as u64;
+                let mut rt = RankTrainer::from_parts(&gp.meta, ctx, rd, opts);
+                // The Arc'd global problem stays resident on every rank for
+                // the whole run — the 2·nnz footprint §5.4 attacks.
+                rt.ledger_mut().note_adjacency_resident(global_adj + rank_adj);
+                rt.ledger_mut().note_feature_resident(global_feat + rank_feat);
+                rt
+            }
+            Prepared::Sharded { store, meta } => {
+                // Content checksums are verified during the loads; a fault
+                // plan rides in on a cloned store handle.
+                match &opts.faults {
+                    Some(plan) => {
+                        RankTrainer::from_store(&store.with_faults(plan.clone()), meta, ctx, opts)
+                    }
+                    None => RankTrainer::from_store(store, meta, ctx, opts),
+                }
+                .unwrap_or_else(|e| panic!("rank {}: shard load failed: {}", rank, e))
+            }
+        };
+        rt.set_faults(opts.faults.clone());
+        let mut history: Vec<DistEpochStats> = Vec::new();
+        let mut start = 0usize;
+        if let Some(ck) = &resume {
+            let mut st = ck
+                .load_rank(rank)
+                .unwrap_or_else(|e| panic!("rank {}: checkpoint load failed: {}", rank, e));
+            start = st.epochs_done.min(epochs);
+            history = std::mem::take(&mut st.history);
+            history.truncate(start);
+            rt.restore_state(st);
+        }
+        for e in start..epochs {
+            // Fault-injection hook: a `RankPanic` armed for (rank, e)
+            // fires at the top of the epoch.
+            if let Some(plan) = &opts.faults {
+                plan.epoch_tick(rank, e);
+            }
+            history.push(rt.train_epoch());
+            if let Some(policy) = &opts.checkpoint {
+                if (e + 1) % policy.every == 0 {
+                    save_checkpoint(policy, config_fp, &rt, rank, grid.total(), e + 1, &history)
+                        .unwrap_or_else(|err| {
+                            panic!("rank {}: checkpoint write failed: {}", rank, err)
+                        });
+                }
+            }
+        }
+        (history, rt.ledger().clone())
+    })
+}
+
 /// Train `epochs` on a `grid.total()`-rank world from either ingest path.
 /// With the same permutation options the two paths produce bitwise
 /// identical losses; only the memory ledgers differ.
 ///
 /// Structural store problems — a raw (labelless, single-parity) store, or
-/// files missing/mis-sized against the manifest — surface as `Err` before
-/// any rank thread starts. Corruption discovered *during* the per-rank
-/// window loads (checksum/version failures on an individual shard)
-/// panics the failing rank, which poisons the world: ranks cannot return
-/// early individually without deadlocking their peers' collectives.
+/// files missing/mis-sized against the manifest — surface as
+/// [`TrainError::Loader`] before any rank thread starts, as do corrupt or
+/// configuration-incompatible checkpoints.
+///
+/// **Without** `opts.checkpoint`: corruption discovered *during* the
+/// per-rank window loads (checksum/version failures on an individual
+/// shard) panics the failing rank, which poisons the world: ranks cannot
+/// return early individually without deadlocking their peers' collectives.
+/// The poison propagates out of this call as a panic, exactly as before.
+///
+/// **With** `opts.checkpoint`: the poisoned world is caught at this
+/// boundary, the world is rebuilt, and the run resumes from the last
+/// published checkpoint (or from scratch if none exists yet) — up to the
+/// policy's `max_retries` times, after which the typed
+/// [`TrainError::Unrecoverable`] carries the final panic message. A
+/// recovered run is bitwise-identical to an uninterrupted one:
+/// checkpoints capture the weights, both Adam states, the epoch counter
+/// and history, and the ledger counters, while every random quantity is
+/// seed-derived and pinned by the checkpoint's config fingerprint.
 pub fn train_from_source(
     source: ProblemSource<'_>,
     grid: GridConfig,
     opts: &DistTrainOptions,
     epochs: usize,
-) -> LoaderResult<DistRunResult> {
-    let (per_rank, traffic) = match source {
+) -> Result<DistRunResult, TrainError> {
+    let prepared = match source {
         ProblemSource::InMemory(ds) => {
             let gp = Arc::new(GlobalProblem::build(
                 ds,
@@ -390,62 +742,107 @@ pub fn train_from_source(
             ));
             let global_adj = gp.adjacency_footprint_bytes();
             let global_feat = gp.features_perm.mem_bytes();
-            run_world_with(grid.total(), |comm| {
-                // Duplicate the world communicator so the context can own it.
-                let world = comm.split(0, comm.rank() as u64, "world");
-                let ctx = DistContext::with_spec(world, opts.grid_spec(grid));
-                let rd = RankData::extract(&gp, ctx.world.rank());
-                let rank_adj: u64 =
-                    rd.a_shards.iter().chain(&rd.a_shards_t).map(|a| a.mem_bytes()).sum();
-                // Replication widens the stored span (and optimizer) c-fold.
-                let rank_feat = rd.f_stored.mem_bytes() * opts.replication as u64;
-                let mut rt = RankTrainer::from_parts(&gp.meta, ctx, rd, opts);
-                // The Arc'd global problem stays resident on every rank for
-                // the whole run — the 2·nnz footprint §5.4 attacks.
-                rt.ledger_mut().note_adjacency_resident(global_adj + rank_adj);
-                rt.ledger_mut().note_feature_resident(global_feat + rank_feat);
-                let stats: Vec<DistEpochStats> = (0..epochs).map(|_| rt.train_epoch()).collect();
-                (stats, rt.ledger().clone())
-            })
+            Prepared::InMemory { gp, global_adj, global_feat }
         }
         ProblemSource::Sharded(store) => {
-            // Catch structural problems before fanning out rank threads;
-            // content checksums are verified during the loads.
+            // Catch structural problems before fanning out rank threads.
             if store.parities < 2 || store.perm_mode.is_none() {
-                return Err(crate::loader::LoaderError::Missing {
+                return Err(LoaderError::Missing {
                     what: "preprocessed store (raw stores lack the odd parity and labels)",
-                });
+                }
+                .into());
             }
             store.validate_files()?;
             let meta = ProblemMeta::from_store(store, grid, opts.hidden_dim, opts.num_layers);
-            run_world_with(grid.total(), |comm| {
-                let world = comm.split(0, comm.rank() as u64, "world");
-                let ctx = DistContext::with_spec(world, opts.grid_spec(grid));
-                let mut rt = RankTrainer::from_store(store, &meta, ctx, opts)
-                    .unwrap_or_else(|e| panic!("rank {}: shard load failed: {}", comm.rank(), e));
-                let stats: Vec<DistEpochStats> = (0..epochs).map(|_| rt.train_epoch()).collect();
-                (stats, rt.ledger().clone())
-            })
+            Prepared::Sharded { store, meta }
         }
     };
-
-    let (per_rank, memory): (Vec<Vec<DistEpochStats>>, Vec<MemoryLedger>) =
-        per_rank.into_iter().unzip();
-    // Every rank must report identical losses (deterministic collectives).
-    let reference: Vec<f64> = per_rank[0].iter().map(|e| e.loss).collect();
-    for (rank, stats) in per_rank.iter().enumerate().skip(1) {
-        for (e, (s, &r)) in stats.iter().zip(&reference).enumerate() {
-            assert!(
-                (s.loss - r).abs() < 1e-12,
-                "rank {} epoch {} loss {} differs from rank 0's {}",
-                rank,
-                e,
-                s.loss,
-                r
-            );
+    // The sharded fingerprint pins the *store's* permutation and source
+    // (opts.permutation is ignored on that path), so a checkpoint can
+    // never be resumed against a different store.
+    let config_fp = match &prepared {
+        Prepared::InMemory { .. } => {
+            config_fingerprint(grid, opts, perm_tag(Some(opts.permutation)), opts.perm_seed, 0)
         }
+        Prepared::Sharded { store, .. } => config_fingerprint(
+            grid,
+            opts,
+            perm_tag(store.perm_mode),
+            store.perm_seed,
+            store.source_fp,
+        ),
+    };
+
+    let attempts = 1 + opts.checkpoint.as_ref().map_or(0, |p| p.max_retries);
+    let mut last_panic = String::new();
+    for attempt in 0..attempts {
+        let resume = preflight_resume(opts, grid, config_fp)?;
+        let outcome = if opts.checkpoint.is_some() {
+            // Only the checkpoint-enabled path catches rank panics;
+            // without a policy a crash propagates exactly as it always
+            // has (the `else` arm never unwinds into a catch).
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                run_attempt(&prepared, grid, opts, epochs, config_fp, resume)
+            }))
+        } else {
+            Ok(run_attempt(&prepared, grid, opts, epochs, config_fp, resume))
+        };
+        let (per_rank, traffic) = match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                last_panic = panic_message(payload);
+                continue;
+            }
+        };
+        let (per_rank, memory): (Vec<Vec<DistEpochStats>>, Vec<MemoryLedger>) =
+            per_rank.into_iter().unzip();
+        // Every rank must report identical losses (deterministic
+        // collectives).
+        let reference: Vec<f64> = per_rank[0].iter().map(|e| e.loss).collect();
+        for (rank, stats) in per_rank.iter().enumerate().skip(1) {
+            for (e, (s, &r)) in stats.iter().zip(&reference).enumerate() {
+                assert!(
+                    (s.loss - r).abs() < 1e-12,
+                    "rank {} epoch {} loss {} differs from rank 0's {}",
+                    rank,
+                    e,
+                    s.loss,
+                    r
+                );
+            }
+        }
+        return Ok(DistRunResult {
+            grid,
+            epochs: per_rank.into_iter().next().unwrap(),
+            traffic,
+            memory,
+            recoveries: attempt,
+        });
     }
-    Ok(DistRunResult { grid, epochs: per_rank.into_iter().next().unwrap(), traffic, memory })
+    Err(TrainError::Unrecoverable { attempts, last_panic })
+}
+
+/// Resume an interrupted run: [`train_from_source`] with the additional
+/// requirement that `opts.checkpoint` is set **and** a published
+/// checkpoint already exists under its root — a missing checkpoint is a
+/// typed error instead of a silent from-scratch restart. The continued
+/// run is bitwise-identical to one that was never interrupted.
+pub fn resume_from_checkpoint(
+    source: ProblemSource<'_>,
+    grid: GridConfig,
+    opts: &DistTrainOptions,
+    epochs: usize,
+) -> Result<DistRunResult, TrainError> {
+    let policy = opts.checkpoint.as_ref().ok_or(LoaderError::Missing {
+        what: "checkpoint policy (set DistTrainOptions::checkpoint to resume)",
+    })?;
+    if Checkpoint::latest(&policy.dir)?.is_none() {
+        return Err(LoaderError::Missing {
+            what: "checkpoint (no published epoch under the checkpoint root)",
+        }
+        .into());
+    }
+    train_from_source(source, grid, opts, epochs)
 }
 
 /// Preprocess `ds` in RAM and train it for `epochs` on a
@@ -964,7 +1361,7 @@ mod tests {
         let opts = DistTrainOptions { hidden_dim: 8, ..Default::default() };
         let res =
             train_from_source(ProblemSource::Sharded(&store), GridConfig::new(1, 1, 1), &opts, 1);
-        assert!(matches!(res, Err(crate::loader::LoaderError::Missing { .. })));
+        assert!(matches!(res, Err(TrainError::Loader(crate::loader::LoaderError::Missing { .. }))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

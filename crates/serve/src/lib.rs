@@ -34,7 +34,7 @@ pub mod server;
 
 pub use artifact::{freeze, publish, Artifact, ModelSnapshot};
 pub use engine::{argmax, Prediction, QueryEngine};
-pub use server::{shard_count, ServeConfig, Server, ServerStats};
+pub use server::{shard_count, ServeConfig, ServeError, Server, ServerStats, SubmitPolicy};
 
 #[cfg(test)]
 mod tests {
@@ -196,6 +196,7 @@ mod tests {
             max_wait: Duration::from_millis(2),
             queue_cap: 64,
             cache_shards: 4,
+            ..Default::default()
         };
         let server = Server::start(&dir, cfg).unwrap();
         let full = gcn.forward(&ds.adjacency, &ds.features).logits;
@@ -224,6 +225,79 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(server.stats().reloads, 1);
+        assert_eq!(server.stats().shed, 0, "Block admission must never shed");
+        drop(server);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shed_policy_returns_overloaded_under_saturation() {
+        let dir = temp_dir("shed");
+        let (ds, gcn) = small_setup(71);
+        freeze(&dir, &ds.adjacency, &gcn, &ds.features, 2, 2).unwrap();
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_micros(50),
+            queue_cap: 1,
+            cache_shards: 2,
+            submit: SubmitPolicy::Shed,
+        };
+        let server = Server::start(&dir, cfg).unwrap();
+        // A single-slot queue behind a single worker: burst-submitting
+        // distinct (uncached) nodes must overflow it. Each attempt uses a
+        // fresh chunk so cache hits from completed answers can't mask the
+        // overload; a handful of attempts absorbs scheduler luck.
+        let n = ds.adjacency.rows() as u32;
+        let mut shed_seen = false;
+        for attempt in 0..6u32 {
+            let nodes: Vec<u32> = (0..32).map(|i| (attempt * 32 + i) % n).collect();
+            match server.try_query_many(&nodes) {
+                Err(ServeError::Overloaded) => {
+                    shed_seen = true;
+                    break;
+                }
+                Ok(preds) => assert_eq!(preds.len(), nodes.len()),
+            }
+        }
+        assert!(shed_seen, "burst submissions against a 1-slot queue never shed");
+        assert!(server.stats().shed >= 1, "shed counter must record the refusal");
+        // The server stays healthy after shedding: a blocking-free retry
+        // of a single query eventually succeeds.
+        let mut answered = false;
+        for _ in 0..1000 {
+            if let Ok(pred) = server.try_query(5) {
+                assert_eq!(pred.node, 5);
+                answered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(answered, "server wedged after shedding");
+        drop(server);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn block_policy_never_sheds_under_saturation() {
+        let dir = temp_dir("block");
+        let (ds, gcn) = small_setup(79);
+        freeze(&dir, &ds.adjacency, &gcn, &ds.features, 2, 2).unwrap();
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_micros(50),
+            queue_cap: 2,
+            cache_shards: 2,
+            submit: SubmitPolicy::Block,
+        };
+        let server = Server::start(&dir, cfg).unwrap();
+        let nodes: Vec<u32> = (0..64).collect();
+        let preds = server.query_many(&nodes);
+        assert_eq!(preds.len(), 64);
+        let stats = server.stats();
+        assert_eq!(stats.shed, 0, "Block admission must never shed");
+        assert_eq!(stats.served, 64);
         drop(server);
         fs::remove_dir_all(&dir).unwrap();
     }

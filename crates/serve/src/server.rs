@@ -20,6 +20,35 @@ use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Admission control for a full submission queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SubmitPolicy {
+    /// Block the submitter until a worker frees queue space.
+    #[default]
+    Block,
+    /// Refuse immediately with [`ServeError::Overloaded`]; the caller
+    /// decides whether to retry, degrade, or propagate.
+    Shed,
+}
+
+/// Typed serving-path errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submission queue was full and the server is configured with
+    /// [`SubmitPolicy::Shed`].
+    Overloaded,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "submission queue full (load shed)"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// Front-end tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -29,10 +58,13 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// ... or once the oldest request in it has waited this long.
     pub max_wait: Duration,
-    /// Bounded submission-queue capacity; submitters block when full.
+    /// Bounded submission-queue capacity; what happens when it fills is
+    /// decided by `submit`.
     pub queue_cap: usize,
     /// Shards of the prediction cache (reduces write contention).
     pub cache_shards: usize,
+    /// Admission control when the queue is full: block (default) or shed.
+    pub submit: SubmitPolicy,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +75,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(500),
             queue_cap: 1024,
             cache_shards: 16,
+            submit: SubmitPolicy::Block,
         }
     }
 }
@@ -58,6 +91,8 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Successful hot reloads.
     pub reloads: u64,
+    /// Submissions refused under [`SubmitPolicy::Shed`].
+    pub shed: u64,
 }
 
 struct Request {
@@ -79,6 +114,7 @@ struct Shared {
     batches: AtomicU64,
     cache_hits: AtomicU64,
     reloads: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A running serving instance over one frozen artifact.
@@ -104,6 +140,7 @@ impl Server {
             batches: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             cfg,
         });
         let workers = (0..shared.cfg.workers)
@@ -125,21 +162,40 @@ impl Server {
 
     /// Answer one query, blocking until a worker flushes the batch it
     /// lands in (or a cache entry from the current model version hits).
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range, or on [`ServeError::Overloaded`]
+    /// under [`SubmitPolicy::Shed`] — use [`Server::try_query`] when the
+    /// server sheds load.
     pub fn query(&self, node: u32) -> Prediction {
+        self.try_query(node).expect("submission shed under SubmitPolicy::Shed; use try_query")
+    }
+
+    /// [`Server::query`], but surfaces admission control as a typed
+    /// error: under [`SubmitPolicy::Shed`], a full queue returns
+    /// [`ServeError::Overloaded`] immediately instead of blocking.
+    pub fn try_query(&self, node: u32) -> Result<Prediction, ServeError> {
         assert!((node as usize) < self.shared.artifact.num_nodes(), "query node out of range");
         if let Some(hit) = self.cache_lookup(node) {
-            return hit;
+            return Ok(hit);
         }
         let (tx, rx) = mpsc::channel();
-        self.enqueue(Request { node, tx });
-        rx.recv().expect("serve worker dropped a request")
+        self.try_enqueue(Request { node, tx })?;
+        Ok(rx.recv().expect("serve worker dropped a request"))
     }
 
     /// Submit a group of queries at once and collect the answers in
     /// order. All cache misses enter the queue together, so they tend to
-    /// be batched together.
+    /// be batched together. Panics on [`ServeError::Overloaded`] under
+    /// [`SubmitPolicy::Shed`] — use [`Server::try_query_many`] then.
     pub fn query_many(&self, nodes: &[u32]) -> Vec<Prediction> {
+        self.try_query_many(nodes)
+            .expect("submission shed under SubmitPolicy::Shed; use try_query_many")
+    }
+
+    /// [`Server::query_many`] with typed admission control: the first
+    /// shed submission aborts the call with [`ServeError::Overloaded`].
+    /// Requests already enqueued still run (their answers warm the
+    /// prediction cache); their receivers are simply dropped.
+    pub fn try_query_many(&self, nodes: &[u32]) -> Result<Vec<Prediction>, ServeError> {
         let n = self.shared.artifact.num_nodes();
         let mut pending: Vec<(usize, mpsc::Receiver<Prediction>)> = Vec::new();
         let mut out: Vec<Option<Prediction>> = Vec::with_capacity(nodes.len());
@@ -149,7 +205,7 @@ impl Server {
                 out.push(Some(hit));
             } else {
                 let (tx, rx) = mpsc::channel();
-                self.enqueue(Request { node, tx });
+                self.try_enqueue(Request { node, tx })?;
                 pending.push((i, rx));
                 out.push(None);
             }
@@ -157,7 +213,7 @@ impl Server {
         for (i, rx) in pending {
             out[i] = Some(rx.recv().expect("serve worker dropped a request"));
         }
-        out.into_iter().map(|p| p.expect("every slot answered")).collect()
+        Ok(out.into_iter().map(|p| p.expect("every slot answered")).collect())
     }
 
     /// Pick up a newly [`publish`](crate::publish)ed model version, if
@@ -182,6 +238,7 @@ impl Server {
             batches: self.shared.batches.load(Ordering::Relaxed),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             reloads: self.shared.reloads.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -200,14 +257,30 @@ impl Server {
         hit
     }
 
-    fn enqueue(&self, req: Request) {
+    fn try_enqueue(&self, req: Request) -> Result<(), ServeError> {
         let mut q = self.shared.queue.lock();
-        while q.len() >= self.shared.cfg.queue_cap && !self.shared.closed.load(Ordering::Acquire) {
-            self.shared.not_full.wait(&mut q);
+        match self.shared.cfg.submit {
+            SubmitPolicy::Block => {
+                while q.len() >= self.shared.cfg.queue_cap
+                    && !self.shared.closed.load(Ordering::Acquire)
+                {
+                    self.shared.not_full.wait(&mut q);
+                }
+            }
+            SubmitPolicy::Shed => {
+                if q.len() >= self.shared.cfg.queue_cap
+                    && !self.shared.closed.load(Ordering::Acquire)
+                {
+                    drop(q);
+                    self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded);
+                }
+            }
         }
         q.push_back(req);
         drop(q);
         self.shared.not_empty.notify_one();
+        Ok(())
     }
 }
 

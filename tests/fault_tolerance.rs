@@ -1,0 +1,302 @@
+// The kill-point property below expands to a deep proptest! macro tree.
+#![recursion_limit = "256"]
+
+//! Fault-tolerance integration tests: checkpoint-based crash recovery.
+//!
+//! * Property: killing training at an *arbitrary* `(rank, epoch)` via a
+//!   [`FaultPlan`], letting recovery rebuild the world and resume from the
+//!   last checkpoint, produces the **bitwise-identical** loss trajectory
+//!   and final weight/optimizer shards of an uninterrupted run.
+//! * Resume semantics: `resume_from_checkpoint` continues a half-finished
+//!   run to the same bits an uninterrupted run reaches.
+//! * Typed failure: exhausting the retry budget, or resuming against an
+//!   incompatible configuration, is a [`TrainError`] — never a hang or a
+//!   silently wrong answer.
+//! * Transient ingest faults: a single injected shard corruption is
+//!   absorbed by the bounded read retry (no recovery, no loss change);
+//!   persistent corruption exhausts the budget as a typed error.
+
+use plexus::checkpoint::{Checkpoint, CheckpointPolicy};
+use plexus::grid::GridConfig;
+use plexus::loader::{preprocess_to_store, LoaderError, ShardStore};
+use plexus::setup::PermutationMode;
+use plexus::trainer::{
+    resume_from_checkpoint, train_from_source, DistTrainOptions, ProblemSource, TrainError,
+};
+use plexus_comm::{Fault, FaultPlan};
+use plexus_graph::{datasets::OGBN_PRODUCTS, LoadedDataset};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plexus_ft_{}_{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts_with_checkpoint(ck_dir: &Path, model_seed: u64) -> DistTrainOptions {
+    DistTrainOptions {
+        hidden_dim: 8,
+        model_seed,
+        permutation: PermutationMode::Double,
+        checkpoint: Some(CheckpointPolicy::new(ck_dir)),
+        ..Default::default()
+    }
+}
+
+/// Compare the latest published checkpoints of two runs rank by rank:
+/// same epoch, same config fingerprint, bitwise-equal weight matrices and
+/// Adam moments. (Epoch history carries wall-clock timings, so it is
+/// compared through losses by the callers, not here.)
+fn assert_same_final_weights(a: &Path, b: &Path, world: usize) {
+    let ca = Checkpoint::latest(a).unwrap().expect("baseline run published no checkpoint");
+    let cb = Checkpoint::latest(b).unwrap().expect("recovered run published no checkpoint");
+    assert_eq!(ca.epochs_done(), cb.epochs_done(), "runs stopped at different epochs");
+    for rank in 0..world {
+        let sa = ca.load_rank(rank).unwrap();
+        let sb = cb.load_rank(rank).unwrap();
+        assert_eq!(sa.config_fp, sb.config_fp, "rank {rank}: config fingerprints diverged");
+        assert_eq!(sa.layers, sb.layers, "rank {rank}: weight/moment shards diverged");
+        assert_eq!(sa.features, sb.features, "rank {rank}: trained-feature state diverged");
+    }
+}
+
+#[test]
+fn killed_rank_recovers_and_matches_uninterrupted_run_bitwise() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(8), 21);
+    let grid = GridConfig::new(2, 1, 1);
+    let dir_a = temp_dir("kill_base");
+    let dir_b = temp_dir("kill_fault");
+
+    let base =
+        train_from_source(ProblemSource::InMemory(&ds), grid, &opts_with_checkpoint(&dir_a, 11), 4)
+            .unwrap();
+    assert_eq!(base.recoveries, 0, "uninterrupted run must not recover");
+
+    let plan = Arc::new(FaultPlan::kill_rank(1, 2));
+    let opts =
+        DistTrainOptions { faults: Some(Arc::clone(&plan)), ..opts_with_checkpoint(&dir_b, 11) };
+    let res = train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 4).unwrap();
+    assert_eq!(res.recoveries, 1, "the injected kill must force exactly one world rebuild");
+    assert!(plan.exhausted(), "the armed kill never fired");
+    assert_eq!(base.losses(), res.losses(), "recovered loss trajectory diverged");
+    assert_same_final_weights(&dir_a, &dir_b, grid.total());
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
+fn resume_from_checkpoint_continues_to_the_same_bits() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(8), 33);
+    let grid = GridConfig::new(2, 1, 1);
+    let dir_full = temp_dir("resume_full");
+    let dir_half = temp_dir("resume_half");
+
+    let full = train_from_source(
+        ProblemSource::InMemory(&ds),
+        grid,
+        &opts_with_checkpoint(&dir_full, 5),
+        5,
+    )
+    .unwrap();
+
+    // Train half the epochs, then resume the rest from the checkpoint.
+    let opts = opts_with_checkpoint(&dir_half, 5);
+    let half = train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 2).unwrap();
+    let resumed = resume_from_checkpoint(ProblemSource::InMemory(&ds), grid, &opts, 5).unwrap();
+    assert_eq!(resumed.recoveries, 0);
+    assert_eq!(resumed.epochs.len(), 5);
+    assert_eq!(&resumed.losses()[..2], &half.losses()[..], "restored history diverged");
+    assert_eq!(full.losses(), resumed.losses(), "resumed trajectory diverged");
+    assert_same_final_weights(&dir_full, &dir_half, grid.total());
+
+    // Resuming with nothing on disk is a typed error, not a fresh run.
+    let empty = temp_dir("resume_empty");
+    let opts_empty = opts_with_checkpoint(&empty, 5);
+    assert!(matches!(
+        resume_from_checkpoint(ProblemSource::InMemory(&ds), grid, &opts_empty, 5),
+        Err(TrainError::Loader(LoaderError::Missing { .. }))
+    ));
+
+    std::fs::remove_dir_all(&dir_full).unwrap();
+    std::fs::remove_dir_all(&dir_half).unwrap();
+}
+
+#[test]
+fn retry_budget_exhaustion_is_a_typed_unrecoverable_error() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(8), 47);
+    let grid = GridConfig::new(2, 1, 1);
+    let dir = temp_dir("unrecoverable");
+
+    // The kill re-arms faster than the retry budget: every attempt dies.
+    let plan = Arc::new(FaultPlan::new().with_times(Fault::RankPanic { rank: 0, epoch: 1 }, 16));
+    let opts = DistTrainOptions {
+        checkpoint: Some(CheckpointPolicy::new(&dir).max_retries(2)),
+        faults: Some(Arc::clone(&plan)),
+        ..opts_with_checkpoint(&dir, 7)
+    };
+    match train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 4) {
+        Err(TrainError::Unrecoverable { attempts, last_panic }) => {
+            assert_eq!(attempts, 3, "1 initial attempt + 2 retries");
+            assert!(last_panic.contains("injected"), "unexpected panic payload: {last_panic}");
+        }
+        other => panic!("expected Unrecoverable, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resuming_against_a_different_config_is_a_typed_error() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(8), 59);
+    let grid = GridConfig::new(2, 1, 1);
+    let dir = temp_dir("config_mismatch");
+
+    let opts = opts_with_checkpoint(&dir, 3);
+    train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 2).unwrap();
+
+    // Same checkpoint directory, different model: the fingerprint probe
+    // must refuse before any world is built.
+    let wider = DistTrainOptions { hidden_dim: 12, ..opts.clone() };
+    assert!(matches!(
+        resume_from_checkpoint(ProblemSource::InMemory(&ds), grid, &wider, 4),
+        Err(TrainError::Loader(LoaderError::BadManifest { .. }))
+    ));
+
+    // A different world size is refused the same way.
+    assert!(matches!(
+        resume_from_checkpoint(ProblemSource::InMemory(&ds), GridConfig::new(2, 2, 1), &opts, 4),
+        Err(TrainError::Loader(LoaderError::BadManifest { .. }))
+    ));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn layer_and_collective_faults_recover_from_checkpoints() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 96, Some(8), 71);
+    let grid = GridConfig::new(2, 1, 1);
+    let dir_a = temp_dir("lc_base");
+    let base =
+        train_from_source(ProblemSource::InMemory(&ds), grid, &opts_with_checkpoint(&dir_a, 9), 3)
+            .unwrap();
+
+    // A panic entering a layer forward, and an abort in the middle of a
+    // collective (which poisons the peers blocked in it): both surface at
+    // the world boundary and recover to the same bits.
+    let faults =
+        [Fault::LayerPanic { rank: 0, layer: 1 }, Fault::CollectiveAbort { rank: 1, nth: 7 }];
+    for (i, fault) in faults.into_iter().enumerate() {
+        let dir_b = temp_dir(&format!("lc_fault_{i}"));
+        let plan = Arc::new(FaultPlan::new().with(fault.clone()));
+        let opts =
+            DistTrainOptions { faults: Some(Arc::clone(&plan)), ..opts_with_checkpoint(&dir_b, 9) };
+        let res = train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 3).unwrap();
+        assert_eq!(res.recoveries, 1, "{fault:?} must force one recovery");
+        assert!(plan.exhausted(), "{fault:?} never fired");
+        assert_eq!(base.losses(), res.losses(), "{fault:?} changed the losses");
+        assert_same_final_weights(&dir_a, &dir_b, grid.total());
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+}
+
+#[test]
+fn transient_shard_corruption_is_absorbed_by_the_read_retry() {
+    let ds = LoadedDataset::generate(OGBN_PRODUCTS, 128, Some(8), 83);
+    let grid = GridConfig::new(2, 1, 1);
+    let sdir = temp_dir("shard_store");
+    let opts = DistTrainOptions {
+        hidden_dim: 8,
+        model_seed: 13,
+        permutation: PermutationMode::Double,
+        ..Default::default()
+    };
+    preprocess_to_store(&ds, &sdir, opts.permutation, opts.perm_seed, 4, 4).unwrap();
+    let store = ShardStore::open(&sdir).unwrap();
+
+    let clean = train_from_source(ProblemSource::Sharded(&store), grid, &opts, 3).unwrap();
+
+    // One injected corruption: the bounded re-read absorbs it in-run, no
+    // world rebuild, bitwise-identical losses, and the ledger records it.
+    let plan = Arc::new(FaultPlan::new().with(Fault::ShardRead { file_substr: "adj_".into() }));
+    let faulted_opts = DistTrainOptions { faults: Some(Arc::clone(&plan)), ..opts.clone() };
+    let faulted =
+        train_from_source(ProblemSource::Sharded(&store), grid, &faulted_opts, 3).unwrap();
+    assert_eq!(faulted.recoveries, 0, "a transient corruption must not rebuild the world");
+    assert!(plan.exhausted(), "the armed corruption never fired");
+    assert_eq!(clean.losses(), faulted.losses(), "retried ingest changed the losses");
+    let retries: u64 = faulted.memory.iter().map(|m| m.read_retries).sum();
+    assert!(retries > 0, "ledger recorded no read retry");
+
+    // Persistent corruption outlives both the read retry and the world
+    // retry budget: a typed Unrecoverable whose payload names the cause.
+    let dir_ck = temp_dir("shard_ck");
+    let stuck = Arc::new(
+        FaultPlan::new().with_times(Fault::ShardRead { file_substr: "adj_".into() }, 10_000),
+    );
+    let stuck_opts = DistTrainOptions {
+        checkpoint: Some(CheckpointPolicy::new(&dir_ck).max_retries(1)),
+        faults: Some(Arc::clone(&stuck)),
+        ..opts.clone()
+    };
+    match train_from_source(ProblemSource::Sharded(&store), grid, &stuck_opts, 3) {
+        Err(TrainError::Unrecoverable { attempts, last_panic }) => {
+            assert_eq!(attempts, 2, "1 initial attempt + 1 retry");
+            assert!(
+                last_panic.to_lowercase().contains("checksum"),
+                "payload should name the checksum failure: {last_panic}"
+            );
+        }
+        other => panic!("expected Unrecoverable, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&sdir).unwrap();
+    let _ = std::fs::remove_dir_all(&dir_ck);
+}
+
+proptest! {
+    // Full training runs per case: few cases, tiny problem.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Kill an arbitrary rank at an arbitrary epoch; recovery must land on
+    /// the uninterrupted run's exact bits (losses and final weights).
+    #[test]
+    fn any_kill_point_recovers_bitwise(
+        rank in 0usize..2,
+        epoch in 0usize..3,
+        seed in 1u64..64,
+    ) {
+        let ds = LoadedDataset::generate(OGBN_PRODUCTS, 64, Some(8), seed);
+        let grid = GridConfig::new(2, 1, 1);
+        let tag_a = format!("prop_base_{rank}_{epoch}_{seed}");
+        let tag_b = format!("prop_fault_{rank}_{epoch}_{seed}");
+        let dir_a = temp_dir(&tag_a);
+        let dir_b = temp_dir(&tag_b);
+
+        let base = train_from_source(
+            ProblemSource::InMemory(&ds),
+            grid,
+            &opts_with_checkpoint(&dir_a, seed),
+            3,
+        ).unwrap();
+        prop_assert_eq!(base.recoveries, 0);
+
+        let plan = Arc::new(FaultPlan::kill_rank(rank, epoch));
+        let opts = DistTrainOptions {
+            faults: Some(Arc::clone(&plan)),
+            ..opts_with_checkpoint(&dir_b, seed)
+        };
+        let res = train_from_source(ProblemSource::InMemory(&ds), grid, &opts, 3).unwrap();
+        prop_assert_eq!(res.recoveries, 1);
+        prop_assert!(plan.exhausted());
+        prop_assert_eq!(base.losses(), res.losses());
+        assert_same_final_weights(&dir_a, &dir_b, grid.total());
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+}
