@@ -16,8 +16,8 @@
 use criterion::{criterion_group, Criterion};
 use plexus_bench::Table;
 use plexus_gnn::{Gcn, GcnConfig};
-use plexus_graph::{extract_sub_csr, khop_node_sets, rmat_graph};
-use plexus_serve::{freeze, Artifact, QueryEngine, ServeConfig, Server};
+use plexus_graph::{rmat_graph, KhopWorkspace};
+use plexus_serve::{freeze, Artifact, QueryEngine, ServeConfig, Server, SubmitPolicy};
 use plexus_tensor::uniform_matrix;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,17 +68,21 @@ fn bench_engine(c: &mut Criterion) {
     group.sample_size(20);
 
     // K-hop extraction alone: sets + per-layer sub-CSRs straight off the
-    // mapped shards. This is the path the mmap refactor feeds.
+    // mapped shards, through a persistent workspace exactly as a serving
+    // worker holds one (the merge-union + scatter-remap kernels).
     let batch32 = query_nodes(n, 32, 1);
+    let mut khop = KhopWorkspace::new();
     group.bench_function("khop_extract_32", |b| {
         b.iter(|| {
-            let sets = khop_node_sets(&art, &batch32, 3);
-            (0..3).map(|l| extract_sub_csr(&art, &sets[l + 1], &sets[l]).nnz()).sum::<usize>()
+            let sets = khop.khop_node_sets(&art, &batch32, 3);
+            (0..3).map(|l| khop.extract_sub_csr(&art, &sets[l + 1], &sets[l]).nnz()).sum::<usize>()
         });
     });
 
-    // Full engine forwards at three batch sizes; the workspaces warm up
-    // during criterion's first samples, steady state is zero-alloc.
+    // Full engine forwards at three batch sizes with the default engine
+    // (extraction cache on, as served in production); the workspaces and
+    // the cache warm up during criterion's first samples, steady state is
+    // zero-alloc and block-hit.
     let mut engine = QueryEngine::new(3);
     for &batch in &[1usize, 32, 256] {
         // Salt 0 starts the sequence at node 0 — an RMAT hub, so the
@@ -89,6 +93,22 @@ fn bench_engine(c: &mut Criterion) {
             b.iter(|| engine.predict_batch(&art, &snap, &nodes).len());
         });
     }
+
+    // Cold-vs-warm split on the hub single query: `_cold` disables the
+    // extraction cache (every iteration pays the full k-hop walk, sub-CSR
+    // build, gather, and layer-0 SpMM); `_warm` is the cache-hit steady
+    // state the default arms above settle into. The warm/cold ratio is
+    // the extraction cache's headline win.
+    let hub = query_nodes(n, 1, 0);
+    let mut cold = QueryEngine::without_cache(3);
+    group.bench_function("predict_batch_1_cold", |b| {
+        b.iter(|| cold.predict_batch(&art, &snap, &hub).len());
+    });
+    let mut warm = QueryEngine::new(3);
+    warm.predict_batch(&art, &snap, &hub); // populate the cache
+    group.bench_function("predict_batch_1_warm", |b| {
+        b.iter(|| warm.predict_batch(&art, &snap, &hub).len());
+    });
     group.finish();
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -105,6 +125,10 @@ fn pct(sorted: &[Duration], p: f64) -> Duration {
 /// builds queueing delay into the measured latency instead of slowing the
 /// arrival process down. `base` offsets the node id sequence so separate
 /// runs query disjoint node windows (no cross-run cache pollution).
+/// Returns the sorted latencies of *answered* requests plus the number of
+/// requests refused with [`Overloaded`](plexus_serve::ServeError) — under
+/// `SubmitPolicy::Block` the second count is always zero; under `Shed`
+/// the refusals are what keeps the answered tail short.
 fn open_loop(
     server: &Server,
     n: usize,
@@ -112,8 +136,9 @@ fn open_loop(
     total: usize,
     base: usize,
     clients: usize,
-) -> Vec<Duration> {
+) -> (Vec<Duration>, usize) {
     let next = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
     let latencies = Mutex::new(Vec::with_capacity(total));
     let start = Instant::now() + Duration::from_millis(20);
     std::thread::scope(|scope| {
@@ -142,8 +167,12 @@ fn open_loop(
                         }
                     }
                     let node = (((base + slot) * 2654435761) % n) as u32;
-                    server.query(node);
-                    local.push(due.elapsed());
+                    match server.try_query(node) {
+                        Ok(_) => local.push(due.elapsed()),
+                        Err(_) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 latencies.lock().unwrap().extend(local);
             });
@@ -151,13 +180,21 @@ fn open_loop(
     });
     let mut all = latencies.into_inner().unwrap();
     all.sort();
-    all
+    (all, shed.into_inner())
 }
 
 fn main() {
     benches();
 
     // ---- Open-loop front-end load test (reported, not criterion-timed).
+    // Honor the CLI substring filter the criterion arms use, so
+    // `cargo bench --bench serve -- khop` doesn't redo the load test (or
+    // overwrite its CSV) just to time one arm.
+    if let Some(filter) = std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+        if !"serve/open_loop".contains(filter.as_str()) {
+            return;
+        }
+    }
     let dir = build_artifact();
     let shrink = smoke_factor();
     // Three disjoint node windows (3 * 2600 < 2^13) so every rate's miss
@@ -166,48 +203,85 @@ fn main() {
     let total = 2600 / shrink;
     let mut table = Table::new(
         "plexus-serve open-loop load (RMAT scale 13, 3-layer GCN, 2 workers)",
-        &["Offered load (req/s)", "Achieved (req/s)", "p50 (us)", "p95 (us)", "p99 (us)"],
+        &[
+            "Policy",
+            "Offered load (req/s)",
+            "Achieved (req/s)",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+            "Shed",
+        ],
     );
-    let server = Server::start(
-        &dir,
-        ServeConfig {
-            workers: 2,
-            max_batch: 64,
-            max_wait: Duration::from_micros(200),
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let n = server.artifact().num_nodes();
-    // Warm the per-worker workspaces so percentiles reflect steady state.
-    let warm: Vec<u32> = query_nodes(n, 256, 3);
-    server.query_many(&warm);
+    // Block at all three rates, then Shed at the two overloaded rates: the
+    // tail-latency rows that motivated PR 9's admission control. Each
+    // policy gets a fresh server (fresh caches, fresh counters) and its
+    // runs use disjoint node windows (3 * 2600 < 2^13; the stride is odd,
+    // hence coprime with the power-of-two node count, so no duplicates
+    // within a run either).
+    for (policy, rates) in [
+        (SubmitPolicy::Block, &[500.0f64, 2000.0, 8000.0][..]),
+        (SubmitPolicy::Shed, &[2000.0, 8000.0][..]),
+    ] {
+        // A queue bound well under the client count: overloaded rates can
+        // actually fill it, so `Block` measures convoy delay and `Shed`
+        // measures the tail with refusals taken out of line.
+        let server = Server::start(
+            &dir,
+            ServeConfig {
+                workers: 2,
+                max_batch: 64,
+                max_wait: Duration::from_micros(200),
+                queue_cap: 32,
+                submit: policy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let n = server.artifact().num_nodes();
+        // Warm the per-worker workspaces so percentiles reflect steady
+        // state — in chunks under the queue bound so the Shed server
+        // doesn't refuse its own warmup.
+        let warm: Vec<u32> = query_nodes(n, 256, 3);
+        for chunk in warm.chunks(16) {
+            server.query_many(chunk);
+        }
 
-    for (run, &rate) in [500.0f64, 2000.0, 8000.0].iter().enumerate() {
-        let t0 = Instant::now();
-        let lat = open_loop(&server, n, rate, total, run * total, 8);
-        let secs = t0.elapsed().as_secs_f64();
-        let us = |d: Duration| format!("{:.0}", d.as_secs_f64() * 1e6);
-        table.row(vec![
-            format!("{:.0}", rate),
-            format!("{:.0}", lat.len() as f64 / secs),
-            us(pct(&lat, 50.0)),
-            us(pct(&lat, 95.0)),
-            us(pct(&lat, 99.0)),
-        ]);
+        for (run, &rate) in rates.iter().enumerate() {
+            let t0 = Instant::now();
+            let (lat, shed) = open_loop(&server, n, rate, total, run * total, 64);
+            let secs = t0.elapsed().as_secs_f64();
+            let us = |d: Duration| format!("{:.0}", d.as_secs_f64() * 1e6);
+            table.row(vec![
+                format!("{policy:?}"),
+                format!("{:.0}", rate),
+                format!("{:.0}", lat.len() as f64 / secs),
+                us(pct(&lat, 50.0)),
+                us(pct(&lat, 95.0)),
+                us(pct(&lat, 99.0)),
+                format!("{shed}"),
+            ]);
+        }
+        let stats = server.stats();
+        println!(
+            "\n[{policy:?}] Served {} predictions in {} batches (avg batch {:.1}), \
+             {} prediction-cache hits, {} extraction hits / {} misses \
+             ({} bytes held, {} evicted), {} shed, {} reloads.",
+            stats.served,
+            stats.batches,
+            stats.served as f64 / stats.batches.max(1) as f64,
+            stats.cache_hits,
+            stats.extraction_hits,
+            stats.extraction_misses,
+            stats.extraction_bytes,
+            stats.extraction_evicted,
+            stats.shed,
+            stats.reloads
+        );
+        drop(server);
     }
-    let stats = server.stats();
     table.print();
     table.write_csv("serve_open_loop");
-    println!(
-        "\nServed {} predictions in {} batches (avg batch {:.1}), {} cache hits, {} reloads.",
-        stats.served,
-        stats.batches,
-        stats.served as f64 / stats.batches.max(1) as f64,
-        stats.cache_hits,
-        stats.reloads
-    );
-    drop(server);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -21,18 +21,24 @@
 //! - [`Artifact`] — verified, mmap-backed read view; implements
 //!   [`RowSource`](plexus_graph::khop::RowSource) so k-hop extraction
 //!   walks adjacency rows straight out of the mappings.
-//! - [`QueryEngine`] — per-worker kernel workspaces; batched
+//! - [`QueryEngine`] — per-worker kernel + k-hop workspaces; batched
 //!   k-hop-extract + forward, zero-alloc at steady state.
+//! - [`ExtractionCache`] — version-stamped, byte-bounded LRU over whole
+//!   extraction blocks (node sets + sub-CSRs + the layer-0 aggregated
+//!   feature block) and hot per-node 1-hop slices; shared across
+//!   workers, invalidated on hot reload, on by default.
 //! - [`Server`] — bounded queue, adaptive batcher, worker pool,
 //!   version-stamped prediction cache, hot reload without draining.
 //!
 //! [`ShardStore`]: plexus::loader::ShardStore
 
 pub mod artifact;
+pub mod cache;
 pub mod engine;
 pub mod server;
 
 pub use artifact::{freeze, publish, Artifact, ModelSnapshot};
+pub use cache::{Extraction, ExtractionCache, ExtractionStats, DEFAULT_EXTRACTION_CACHE_BYTES};
 pub use engine::{argmax, Prediction, QueryEngine};
 pub use server::{shard_count, ServeConfig, ServeError, Server, ServerStats, SubmitPolicy};
 
@@ -242,6 +248,7 @@ mod tests {
             queue_cap: 1,
             cache_shards: 2,
             submit: SubmitPolicy::Shed,
+            ..Default::default()
         };
         let server = Server::start(&dir, cfg).unwrap();
         // A single-slot queue behind a single worker: burst-submitting
@@ -290,6 +297,7 @@ mod tests {
             queue_cap: 2,
             cache_shards: 2,
             submit: SubmitPolicy::Block,
+            ..Default::default()
         };
         let server = Server::start(&dir, cfg).unwrap();
         let nodes: Vec<u32> = (0..64).collect();

@@ -10,6 +10,7 @@
 //! `Arc` they captured, the next batch picks up the new weights.
 
 use crate::artifact::Artifact;
+use crate::cache::{ExtractionCache, ExtractionStats, DEFAULT_EXTRACTION_CACHE_BYTES};
 use crate::engine::{Prediction, QueryEngine};
 use parking_lot::{Condvar, Mutex};
 use plexus::loader::{LoaderResult, ShardStore};
@@ -63,6 +64,10 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Shards of the prediction cache (reduces write contention).
     pub cache_shards: usize,
+    /// Byte budget of the shared k-hop extraction cache (node sets,
+    /// sub-CSR blocks, layer-0 aggregates, per-node 1-hop slices). `0`
+    /// disables extraction caching entirely.
+    pub extraction_cache_bytes: usize,
     /// Admission control when the queue is full: block (default) or shed.
     pub submit: SubmitPolicy,
 }
@@ -75,6 +80,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(500),
             queue_cap: 1024,
             cache_shards: 16,
+            extraction_cache_bytes: DEFAULT_EXTRACTION_CACHE_BYTES,
             submit: SubmitPolicy::Block,
         }
     }
@@ -93,6 +99,14 @@ pub struct ServerStats {
     pub reloads: u64,
     /// Submissions refused under [`SubmitPolicy::Shed`].
     pub shed: u64,
+    /// Extraction-cache hits (whole blocks + per-node 1-hop slices).
+    pub extraction_hits: u64,
+    /// Extraction-cache misses.
+    pub extraction_misses: u64,
+    /// Extraction-cache entries evicted by the byte-budget LRU.
+    pub extraction_evicted: u64,
+    /// Bytes currently held by the extraction cache (its ledger).
+    pub extraction_bytes: u64,
 }
 
 struct Request {
@@ -110,6 +124,8 @@ struct Shared {
     /// Version-stamped prediction cache: a hit counts only when the entry
     /// was computed by the currently served model version.
     cache: Vec<RwLock<HashMap<u32, Prediction>>>,
+    /// K-hop extraction cache, shared by every worker's engine.
+    extraction: Arc<ExtractionCache>,
     served: AtomicU64,
     batches: AtomicU64,
     cache_hits: AtomicU64,
@@ -136,6 +152,7 @@ impl Server {
             not_full: Condvar::new(),
             closed: AtomicBool::new(false),
             cache: (0..cfg.cache_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            extraction: Arc::new(ExtractionCache::new(cfg.extraction_cache_bytes)),
             served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -221,6 +238,10 @@ impl Server {
     pub fn reload_latest(&self) -> LoaderResult<Option<u64>> {
         let swapped = self.shared.artifact.reload_latest()?;
         if swapped.is_some() {
+            // Stale-version extraction entries can never hit again (every
+            // lookup carries the live version); drop them eagerly so the
+            // byte budget is free for the new version's working set.
+            self.shared.extraction.invalidate();
             self.shared.reloads.fetch_add(1, Ordering::Relaxed);
         }
         Ok(swapped)
@@ -233,13 +254,24 @@ impl Server {
 
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
+        let ext = self.shared.extraction.stats();
         ServerStats {
             served: self.shared.served.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             reloads: self.shared.reloads.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
+            extraction_hits: ext.block_hits + ext.support_hits,
+            extraction_misses: ext.block_misses + ext.support_misses,
+            extraction_evicted: ext.evicted,
+            extraction_bytes: ext.bytes,
         }
+    }
+
+    /// Detailed extraction-cache counters (block vs per-node slice
+    /// breakdown); [`Server::stats`] carries the aggregates.
+    pub fn extraction_stats(&self) -> ExtractionStats {
+        self.shared.extraction.stats()
     }
 
     fn cache_lookup(&self, node: u32) -> Option<Prediction> {
@@ -299,7 +331,7 @@ impl Drop for Server {
 
 fn worker_loop(shared: &Shared) {
     let depth = shared.artifact.snapshot().gcn.config.num_layers;
-    let mut engine = QueryEngine::new(depth);
+    let mut engine = QueryEngine::with_cache(depth, Arc::clone(&shared.extraction));
     let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch);
     let mut nodes: Vec<u32> = Vec::with_capacity(shared.cfg.max_batch);
     loop {

@@ -11,6 +11,7 @@ use crate::csr::{Coo, Csr};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Uniformly random permutation of `{0..n}` (Fisher–Yates, seeded).
 pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
@@ -76,10 +77,42 @@ pub fn apply_symmetric_permutation(a: &Csr, p: &[u32]) -> Csr {
 /// `apply_permutation(a, pr, pc).block(r0, r1, 0, a.cols())`: entries are
 /// the same `f32` bit patterns and columns are sorted within each row
 /// exactly as COO→CSR conversion sorts them.
+///
+/// Output rows are independent (gather a source row, map its columns,
+/// sort), so large bands fan the row range out over the persistent
+/// work-stealing pool and stitch the per-chunk results serially. Each row
+/// is produced by the identical per-row computation on every path, so the
+/// result is bitwise the same for any thread count — `PLEXUS_THREADS=1`
+/// (or a 1-thread [`rayon::ThreadPool::install`]) takes the exact
+/// sequential loop.
 pub fn permuted_row_band(a: &Csr, inv_pr: &[u32], pc: &[u32], r0: usize, r1: usize) -> Csr {
     assert_eq!(inv_pr.len(), a.rows(), "permuted_row_band: inverse row permutation length");
     assert_eq!(pc.len(), a.cols(), "permuted_row_band: column permutation length");
     assert!(r0 <= r1 && r1 <= a.rows(), "permuted_row_band: band out of range");
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || r1 - r0 < 2 * PAR_BAND_MIN_ROWS {
+        return permuted_rows_serial(a, inv_pr, pc, r0, r1);
+    }
+    // A few chunks per worker so stealing smooths out skewed rows; chunks
+    // stay large enough that the vstack stitch cost is negligible.
+    let chunks = (threads * 4).min((r1 - r0) / PAR_BAND_MIN_ROWS).max(1);
+    let per = (r1 - r0).div_ceil(chunks);
+    let bounds: Vec<(usize, usize)> =
+        (0..chunks).map(|i| (r0 + i * per, (r0 + (i + 1) * per).min(r1))).collect();
+    let mut parts: Vec<Csr> =
+        bounds.iter().map(|_| Csr::from_raw(0, a.cols(), vec![0], vec![], vec![])).collect();
+    parts.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+        let (s, e) = bounds[i];
+        slot[0] = permuted_rows_serial(a, inv_pr, pc, s, e);
+    });
+    Csr::vstack(&parts)
+}
+
+/// Below this many rows per chunk, parallel fan-out costs more than the
+/// row work it distributes.
+const PAR_BAND_MIN_ROWS: usize = 128;
+
+fn permuted_rows_serial(a: &Csr, inv_pr: &[u32], pc: &[u32], r0: usize, r1: usize) -> Csr {
     let mut row_ptr = Vec::with_capacity(r1 - r0 + 1);
     row_ptr.push(0usize);
     let mut col_idx = Vec::new();
@@ -216,6 +249,39 @@ mod tests {
             .map(|&(r0, r1)| permuted_row_band(&a, &inv_pr, &pc, r0, r1))
             .collect();
         assert_eq!(Csr::vstack(&bands), apply_permutation(&a, &pr, &pc));
+    }
+
+    /// The pooled band path must be bitwise-identical to the sequential
+    /// loop for any thread count — a band large enough to cross the
+    /// parallel threshold, compared entry-for-entry in bits.
+    #[test]
+    fn row_band_bitwise_identical_across_thread_counts() {
+        use crate::csr::Coo;
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 3 * PAR_BAND_MIN_ROWS;
+        let mut coo = Coo::new(n, n);
+        for _ in 0..n * 5 {
+            coo.push(
+                rng.random_range(0..n as u32),
+                rng.random_range(0..n as u32),
+                rng.random_range(-1.0f32..1.0),
+            );
+        }
+        let a = coo.to_csr();
+        let pr = random_permutation(n, 5);
+        let pc = random_permutation(n, 6);
+        let inv_pr = inverse_permutation(&pr);
+        let serial =
+            rayon::ThreadPool::new(1).install(|| permuted_row_band(&a, &inv_pr, &pc, 0, n));
+        for threads in [2, 4] {
+            let par = rayon::ThreadPool::new(threads)
+                .install(|| permuted_row_band(&a, &inv_pr, &pc, 0, n));
+            assert_eq!(par.row_ptr(), serial.row_ptr(), "{threads} threads");
+            assert_eq!(par.col_idx(), serial.col_idx(), "{threads} threads");
+            let bits = |c: &Csr| c.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&par), bits(&serial), "{threads} threads");
+        }
     }
 
     #[test]

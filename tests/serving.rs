@@ -105,6 +105,78 @@ fn check_serve_parity(
     fs::remove_dir_all(&dir).unwrap();
 }
 
+/// One extraction-cache case: run an overlapping stream of query batches
+/// through a cache-enabled engine and a cache-disabled engine side by
+/// side, demanding bitwise-equal logits batch for batch — including
+/// across a mid-stream `publish` + `reload_latest`, where any stale cache
+/// entry (sets, sub-CSRs, or the layer-0 aggregate built from the old
+/// version's features) serving the new version would show up as a
+/// mismatch against the new model's full-graph forward.
+fn check_cached_stream(n: usize, extra: usize, layers: usize, seed: u64, batches: usize) {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let graph = random_graph(n, extra, seed);
+    let a_hat = graph.normalized_adjacency();
+    let features = uniform_matrix(n, 7, -1.0, 1.0, seed ^ 0xfeed);
+    let gcn = Gcn::new(GcnConfig {
+        input_dim: 7,
+        hidden_dim: 5,
+        num_classes: 4,
+        num_layers: layers,
+        seed: seed ^ 0xcafe,
+    });
+    let dir = case_dir("cached");
+    freeze(&dir, &a_hat, &gcn, &features, 2, 2).unwrap();
+    let art = Artifact::open(&dir).unwrap();
+    let mut cached = QueryEngine::new(layers); // cache on by default
+    let mut uncached = QueryEngine::without_cache(layers);
+    let full_v1 = gcn.forward(&a_hat, &features).logits;
+    let gcn2 = Gcn::new(GcnConfig { seed: seed ^ 0xbeef, ..gcn.config.clone() });
+    let full_v2 = gcn2.forward(&a_hat, &features).logits;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    // A small node pool forces batches to repeat query sets, so later
+    // batches hit cached blocks and per-node slices built by earlier ones.
+    let pool: Vec<u32> = (0..4.min(n)).map(|_| rng.random_range(0..n as u32)).collect();
+    let mut reloaded = false;
+    for b in 0..batches {
+        if b == batches / 2 {
+            // Mid-stream retrain: same shapes, new weights. The engines'
+            // caches are NOT told (no server in this test); the per-entry
+            // version stamp alone must keep stale entries from serving.
+            publish(&dir, &gcn2, &features).unwrap();
+            assert_eq!(art.reload_latest().unwrap(), Some(2));
+            reloaded = true;
+        }
+        let len = 1 + rng.random_range(0..4usize);
+        let nodes: Vec<u32> = (0..len).map(|_| pool[rng.random_range(0..pool.len())]).collect();
+        let snap = art.snapshot();
+        let full = if reloaded { &full_v2 } else { &full_v1 };
+        let want = &cached.predict_batch(&art, &snap, &nodes);
+        let got = &uncached.predict_batch(&art, &snap, &nodes);
+        for (c, u) in want.iter().zip(got.iter()) {
+            assert_eq!(c.node, u.node);
+            assert_eq!(c.model_version, u.model_version, "batch {b}");
+            let expect = full.row(c.node as usize);
+            for ((a, b2), e) in c.logits.iter().zip(&u.logits).zip(expect) {
+                assert_eq!(
+                    a.to_bits(),
+                    b2.to_bits(),
+                    "cached vs uncached, batch {b} node {}",
+                    c.node
+                );
+                assert_eq!(
+                    a.to_bits(),
+                    e.to_bits(),
+                    "cached vs trainer, batch {b} node {}",
+                    c.node
+                );
+            }
+        }
+    }
+    let stats = cached.cache().expect("cache on by default").stats();
+    assert!(stats.block_hits + stats.support_hits > 0, "overlapping stream never hit the cache");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -120,6 +192,24 @@ proptest! {
         queries in 1usize..12,
     ) {
         check_serve_parity(n, extra, layers, p, q, seed, queries);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Cached extraction == uncached extraction == trainer forward,
+    /// bitwise, over overlapping query streams and a mid-stream
+    /// publish + reload (stale entries must never serve a new version).
+    #[test]
+    fn cached_extraction_bitwise_equals_uncached(
+        n in 8usize..48,
+        extra in 0usize..120,
+        layers in 1usize..4,
+        seed in any::<u64>(),
+        batches in 4usize..10,
+    ) {
+        check_cached_stream(n, extra, layers, seed, batches);
     }
 }
 
